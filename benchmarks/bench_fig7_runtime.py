@@ -1,0 +1,50 @@
+"""Figure 7: running time of IC, LT (MC greedy + CELF) and CD vs k.
+
+The paper's headline efficiency result: selecting 50 seeds on
+Flixster_Small takes 40 h (IC) / 25 h (LT) with MC+CELF but 3 minutes
+with CD.  We reproduce the *orders-of-magnitude gap* at reduced scale:
+IC and LT run CELF over Monte Carlo estimation with learned
+probabilities/weights; CD runs the scan + Theorem-3 greedy.
+"""
+
+from benchmarks.conftest import NUM_SIMULATIONS
+from repro.evaluation.performance import runtime_comparison
+from repro.evaluation.reporting import format_series
+
+K_RUNTIME = 10  # MC greedy is the paper's bottleneck; keep the sweep short.
+
+
+def test_fig7_runtime_comparison(benchmark, report, flixster_small, flixster_split):
+    train, _ = flixster_split
+    curves = benchmark.pedantic(
+        lambda: runtime_comparison(
+            flixster_small.graph,
+            train,
+            k=K_RUNTIME,
+            num_simulations=NUM_SIMULATIONS,
+        ).curves,
+        rounds=1,
+        iterations=1,
+    )
+    series = {
+        method: [(float(count), elapsed) for count, elapsed in points]
+        for method, points in curves.items()
+    }
+    report(
+        format_series(
+            "k",
+            series,
+            title=(
+                "Figure 7 (flixster_small) — cumulative seconds to select k seeds\n"
+                "paper shape: CD orders of magnitude below IC and LT"
+            ),
+            y_format="{:.2f}",
+        )
+    )
+    cd_total = series["CD"][-1][1]
+    ic_total = series["IC"][-1][1]
+    lt_total = series["LT"][-1][1]
+    # The paper reports ~800x (IC) and ~500x (LT); at our scale demand
+    # at least one order of magnitude.
+    assert ic_total >= 10 * cd_total
+    assert lt_total >= 5 * cd_total

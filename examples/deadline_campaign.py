@@ -1,0 +1,95 @@
+"""Deadline-constrained campaign planning with continuous-time IC.
+
+A product launch has a hard deadline: influence that arrives after it
+is worthless.  Discrete IC/LT cannot express this; the continuous-time
+IC model can.  This script learns edge probabilities from a training
+log, selects candidate seed sets with two selectors (DegreeDiscount and
+RIS), and compares their *time-bounded* spread sigma(S, T) across
+deadlines and delay regimes — showing how the right seed set changes
+when time matters and how heavy-tailed response times eat into any
+fixed deadline.
+
+Run with:  python examples/deadline_campaign.py
+"""
+
+from repro import (
+    degree_discount_ic_seeds,
+    estimate_spread_ctic,
+    estimate_spread_ic,
+    exponential_delays,
+    flixster_like,
+    learn_static_probabilities,
+    lognormal_delays,
+    ris_maximize,
+    train_test_split,
+)
+from repro.evaluation.plots import ascii_line_chart
+
+K = 8
+DEADLINES = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+NUM_SIMULATIONS = 200
+
+
+def main() -> None:
+    dataset = flixster_like("small")
+    train, _ = train_test_split(dataset.log)
+    graph = dataset.graph
+    probabilities = learn_static_probabilities(graph, train, "bernoulli")
+    print(f"dataset: {dataset.name}; k = {K}")
+
+    candidates = {
+        "DegreeDiscount": degree_discount_ic_seeds(graph, K, probability=0.05),
+        "RIS": ris_maximize(
+            graph, probabilities, K, num_rr_sets=3000, seed=7
+        ).seeds,
+    }
+    for name, seeds in candidates.items():
+        unbounded = estimate_spread_ic(
+            graph, probabilities, seeds,
+            num_simulations=NUM_SIMULATIONS, seed=1,
+        )
+        print(f"\n{name} seeds: unbounded spread = {unbounded:.1f}")
+
+    # Time-bounded spread per deadline, under two delay regimes.
+    series = {}
+    for name, seeds in candidates.items():
+        for regime, sampler in (
+            ("exp", exponential_delays(1.0)),
+            ("heavy", lognormal_delays(median=1.0, sigma=2.0)),
+        ):
+            series[f"{name}/{regime}"] = [
+                (
+                    deadline,
+                    estimate_spread_ctic(
+                        graph,
+                        probabilities,
+                        seeds,
+                        horizon=deadline,
+                        delay_sampler=sampler,
+                        num_simulations=NUM_SIMULATIONS,
+                        seed=2,
+                    ),
+                )
+                for deadline in DEADLINES
+            ]
+
+    print()
+    print(
+        ascii_line_chart(
+            series,
+            title="time-bounded spread sigma(S, T) by deadline",
+            x_label="deadline T (mean delays)",
+            y_label="spread",
+        )
+    )
+    tightest = DEADLINES[0]
+    print(
+        f"\nAt the tightest deadline (T = {tightest}), heavy-tailed "
+        "response times defer a\nlarge share of each seed set's influence "
+        "past the deadline — the delay\nphenomenon the CD model's Eq. 9 "
+        "learns per user pair."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: the credit-distribution pipeline in ~40 lines.
+
+Generates a Flixster-like dataset (social graph + action log), learns
+the Eq.-9 credit parameters from the training traces, scans the log into
+a credit index (Algorithm 2) and selects seeds with the CELF-optimised
+CD maximizer (Algorithms 3-5) — no edge probabilities, no Monte Carlo.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    TimeDecayCredit,
+    cd_maximize,
+    flixster_like,
+    learn_influenceability,
+    scan_action_log,
+    sigma_cd,
+    train_test_split,
+)
+
+
+def main() -> None:
+    # 1. A dataset: unweighted social graph + action log L(user, action, time).
+    dataset = flixster_like("small")
+    stats = dataset.stats()
+    print(f"dataset: {dataset.name}")
+    print(
+        f"  {stats.num_nodes} users, {stats.num_edges} edges, "
+        f"{stats.num_propagations} propagations, {stats.num_tuples} tuples"
+    )
+
+    # 2. Hold out 20% of the traces for evaluation (the paper's split).
+    train, test = train_test_split(dataset.log)
+    print(f"  training on {train.num_actions} traces, testing on {test.num_actions}")
+
+    # 3. Learn the direct-credit parameters (tau, infl) and scan the log.
+    params = learn_influenceability(dataset.graph, train)
+    index = scan_action_log(
+        dataset.graph, train, credit=TimeDecayCredit(params), truncation=0.001
+    )
+    print(f"  credit index: {index.total_entries} entries")
+
+    # 4. Influence maximization under the CD model.
+    result = cd_maximize(index, k=10)
+    print("\ntop-10 seeds by credit-distribution greedy:")
+    for rank, (seed, gain) in enumerate(zip(result.seeds, result.gains), start=1):
+        print(f"  {rank:2d}. user {seed}  (marginal spread {gain:.2f})")
+    print(f"estimated spread sigma_cd(S) = {result.spread:.2f}")
+
+    # 5. Sanity check: evaluate the same seed set with the exact evaluator.
+    exact = sigma_cd(
+        dataset.graph, train, result.seeds, credit=TimeDecayCredit(params)
+    )
+    print(f"exact re-evaluation          = {exact:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Streaming scenario: keep the seed set fresh as the action log grows.
+
+A marketing team re-selects its seed users every "week".  New action
+tuples stream in continuously; because per-action credits are
+independent, the credit index ingests each completed trace exactly once
+and the standing index always equals a full batch rescan — no
+approximation drift, no periodic rebuilds.
+
+The script replays a Flixster-like action log in chronological waves,
+folds each wave into a :class:`repro.StreamingCreditIndex`, re-selects
+seeds, and reports how the seed set and its spread stabilise as
+evidence accumulates (the online version of the paper's Figure 9).
+
+Run with:  python examples/streaming_updates.py
+"""
+
+from repro import StreamingCreditIndex, flixster_like
+from repro.data.temporal import traces_by_completion
+
+NUM_WAVES = 4
+K = 8
+
+
+def main() -> None:
+    dataset = flixster_like("small")
+    print(f"dataset: {dataset.name} ({dataset.log.num_tuples} tuples)")
+
+    # Replay traces in waves, in the order a live system would see them
+    # complete (a trace is ingestible once its last activation lands).
+    actions = [action for action, _ in traces_by_completion(dataset.log)]
+    wave_size = (len(actions) + NUM_WAVES - 1) // NUM_WAVES
+
+    stream = StreamingCreditIndex(dataset.graph, truncation=0.001)
+    previous_seeds: set = set()
+    for wave_number in range(NUM_WAVES):
+        wave = actions[wave_number * wave_size : (wave_number + 1) * wave_size]
+        for action in wave:
+            for user, time in dataset.log.trace(action):
+                stream.observe(user, action, time)
+        folded = stream.flush()
+
+        result = stream.select_seeds(K)
+        seeds = set(result.seeds)
+        retained = len(seeds & previous_seeds)
+        print(
+            f"\nwave {wave_number + 1}: +{folded} traces "
+            f"({stream.flushed_actions} total, "
+            f"{stream.index.total_entries} credit entries)"
+        )
+        print(
+            f"  seeds: {sorted(result.seeds, key=repr)}\n"
+            f"  sigma_cd = {result.spread:.2f}; "
+            f"{retained}/{K} seeds kept from the previous wave"
+        )
+        previous_seeds = seeds
+
+    print(
+        "\nThe seed set churns early (little evidence) and stabilises as "
+        "the log grows —\nthe streaming analogue of the paper's Figure-9 "
+        "training-size saturation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Reproduce the Section-3 argument: edge probabilities must come from data.
+
+Compares the five probability-assignment methods of the paper's
+"Why Data Matters" section — UN (uniform), TV (trivalency), WC (weighted
+cascade), EM (learned from traces) and PT (EM + noise) — on two
+questions:
+
+1. do they choose the same seeds?  (Table 2: almost-empty intersections
+   between EM and the ad-hoc methods, large EM-vs-PT overlap)
+2. can they predict the spread of held-out propagations?  (Figure 2:
+   EM/PT far more accurate than UN/TV/WC)
+
+Run with:  python examples/why_data_matters.py
+"""
+
+from repro import flixster_like, train_test_split
+from repro.evaluation.metrics import rmse
+from repro.evaluation.prediction import (
+    build_ic_predictors,
+    spread_prediction_experiment,
+)
+from repro.evaluation.reporting import format_matrix, format_table
+from repro.evaluation.selection import seed_overlap_experiment
+
+METHODS = ["UN", "WC", "TV", "EM", "PT"]
+K = 10
+
+
+def main() -> None:
+    dataset = flixster_like("small")
+    train, _ = train_test_split(dataset.log)
+    print(f"dataset: {dataset.name}\n")
+
+    print(f"Experiment 1 — seed-set intersection (k = {K}):")
+    _, matrix = seed_overlap_experiment(
+        dataset.graph, train, methods=METHODS, k=K, num_simulations=30
+    )
+    print(format_matrix(METHODS, matrix))
+    print(
+        "\nExpected shape (Table 2): EM row nearly empty except against PT.\n"
+    )
+
+    print("Experiment 2 — spread prediction on held-out traces:")
+    predictors = build_ic_predictors(
+        dataset.graph, train, methods=METHODS, num_simulations=60
+    )
+    experiment = spread_prediction_experiment(
+        dataset.graph, dataset.log, predictors=predictors, max_test_traces=40
+    )
+    rows = [
+        [method, f"{rmse(experiment.pairs(method)):.1f}"]
+        for method in METHODS
+    ]
+    print(format_table(["method", "RMSE"], rows))
+    print(
+        "\nExpected shape (Figure 2): EM and PT nearly identical and far\n"
+        "below UN/TV/WC — ad-hoc probabilities mispredict real spreads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,418 @@
+"""Command-line interface for the reproduction.
+
+Gives shell access to the main workflows so the library can be driven
+without writing Python:
+
+* ``repro generate`` — synthesise a Flixster/Flickr-like dataset to TSV;
+* ``repro stats`` — Table-1 statistics of a dataset on disk;
+* ``repro split`` — the 80/20 train/test trace split;
+* ``repro maximize`` — influence maximization under any supported method;
+* ``repro predict`` — the Figure-3 spread-prediction experiment;
+* ``repro analyze`` — influencer analytics from the credit index
+  (leaderboard, per-user top influencers, seed-set explanation);
+* ``repro cover`` — seed minimization: the smallest greedy seed set
+  reaching a target spread;
+* ``repro budget`` — budgeted selection under per-user costs (the CEF
+  rule);
+* ``repro graphstats`` — structural statistics of the social graph
+  (degrees, clustering, cores, components);
+* ``repro learn`` — learn edge probabilities / LT weights from a
+  training log and persist them as a weighted edge list.
+
+Every subcommand reads/writes the TSV formats of :mod:`repro.data.io`.
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.data.datasets import flickr_like, flixster_like
+from repro.data.io import (
+    load_action_log,
+    load_graph,
+    save_action_log,
+    save_graph,
+)
+from repro.data.split import train_test_split
+from repro.evaluation.metrics import capture_curve, rmse
+from repro.evaluation.prediction import spread_prediction_experiment
+from repro.evaluation.reporting import format_table
+from repro.evaluation.selection import SeedSelector
+
+__all__ = ["main", "build_parser"]
+
+_DATASET_MAKERS = {"flixster": flixster_like, "flickr": flickr_like}
+_METHODS = [
+    "CD", "IC", "LT", "EM", "PT", "UN", "TV", "WC", "HighDegree", "PageRank",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Data-Based Approach to Social Influence "
+            "Maximization' (VLDB 2011)."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="synthesise a dataset and write it as TSV"
+    )
+    generate.add_argument("--dataset", choices=sorted(_DATASET_MAKERS),
+                          default="flixster")
+    generate.add_argument("--scale", choices=["mini", "small", "large"],
+                          default="small")
+    generate.add_argument("--seed", type=int, default=None,
+                          help="override the preset RNG seed")
+    generate.add_argument("--graph", required=True, help="output graph TSV")
+    generate.add_argument("--log", required=True, help="output action-log TSV")
+
+    stats = commands.add_parser("stats", help="Table-1 statistics of a dataset")
+    stats.add_argument("--graph", required=True)
+    stats.add_argument("--log", required=True)
+
+    split = commands.add_parser(
+        "split", help="80/20 train/test split by size-ranked traces"
+    )
+    split.add_argument("--log", required=True)
+    split.add_argument("--train", required=True, help="output training-log TSV")
+    split.add_argument("--test", required=True, help="output test-log TSV")
+    split.add_argument("--every", type=int, default=5)
+
+    maximize = commands.add_parser(
+        "maximize", help="select seeds by influence maximization"
+    )
+    maximize.add_argument("--graph", required=True)
+    maximize.add_argument("--log", required=True)
+    maximize.add_argument("--method", choices=_METHODS, default="CD")
+    maximize.add_argument("-k", type=int, default=10)
+    maximize.add_argument("--truncation", type=float, default=0.001)
+    maximize.add_argument("--simulations", type=int, default=100,
+                          help="MC simulations for celf backends")
+    maximize.add_argument(
+        "--ic-algorithm", choices=["pmia", "celf"], default="pmia"
+    )
+    maximize.add_argument(
+        "--lt-algorithm", choices=["ldag", "celf"], default="ldag"
+    )
+
+    predict = commands.add_parser(
+        "predict", help="spread-prediction experiment (Figure-3 protocol)"
+    )
+    predict.add_argument("--graph", required=True)
+    predict.add_argument("--log", required=True)
+    predict.add_argument("--max-traces", type=int, default=50)
+
+    analyze = commands.add_parser(
+        "analyze", help="influencer analytics from the credit index"
+    )
+    analyze.add_argument("--graph", required=True)
+    analyze.add_argument("--log", required=True)
+    analyze.add_argument("--truncation", type=float, default=0.001)
+    analyze.add_argument("--top", type=int, default=10,
+                         help="leaderboard size")
+    analyze.add_argument("--user", default=None,
+                         help="also report who influences this user")
+    analyze.add_argument("-k", type=int, default=0,
+                         help="if > 0, select k seeds and explain them")
+
+    cover = commands.add_parser(
+        "cover", help="smallest greedy seed set reaching a target spread"
+    )
+    cover.add_argument("--graph", required=True)
+    cover.add_argument("--log", required=True)
+    cover.add_argument("--truncation", type=float, default=0.001)
+    group = cover.add_mutually_exclusive_group(required=True)
+    group.add_argument("--target", type=float,
+                       help="absolute sigma_cd target")
+    group.add_argument(
+        "--target-fraction", type=float,
+        help="target as a fraction of the achievable ceiling (0..1]",
+    )
+    cover.add_argument("--max-seeds", type=int, default=None)
+
+    budget = commands.add_parser(
+        "budget", help="budgeted seed selection (CEF rule) under user costs"
+    )
+    budget.add_argument("--graph", required=True)
+    budget.add_argument("--log", required=True)
+    budget.add_argument("--truncation", type=float, default=0.001)
+    budget.add_argument("--budget", type=float, required=True)
+    budget.add_argument(
+        "--cost-scale", type=float, default=0.0,
+        help="cost(u) = 1 + activity(u) / SCALE; 0 means unit costs",
+    )
+
+    graphstats = commands.add_parser(
+        "graphstats", help="structural statistics of the social graph"
+    )
+    graphstats.add_argument("--graph", required=True)
+
+    learn = commands.add_parser(
+        "learn", help="learn edge probabilities / weights from a log"
+    )
+    learn.add_argument("--graph", required=True)
+    learn.add_argument("--log", required=True)
+    learn.add_argument(
+        "--model",
+        choices=["em", "bernoulli", "jaccard", "partial-credits", "lt"],
+        default="em",
+        help="em/bernoulli/jaccard/partial-credits give IC probabilities; "
+        "lt gives Linear Threshold weights",
+    )
+    learn.add_argument("--out", required=True, help="output edge-value TSV")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "stats": _cmd_stats,
+        "split": _cmd_split,
+        "maximize": _cmd_maximize,
+        "predict": _cmd_predict,
+        "analyze": _cmd_analyze,
+        "cover": _cmd_cover,
+        "budget": _cmd_budget,
+        "graphstats": _cmd_graphstats,
+        "learn": _cmd_learn,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    maker = _DATASET_MAKERS[args.dataset]
+    dataset = maker(args.scale) if args.seed is None else maker(
+        args.scale, seed=args.seed
+    )
+    save_graph(dataset.graph, args.graph)
+    save_action_log(dataset.log, args.log)
+    stats = dataset.stats()
+    print(
+        f"wrote {dataset.name}: {stats.num_nodes} nodes, "
+        f"{stats.num_edges} edges -> {args.graph}; "
+        f"{stats.num_propagations} propagations, "
+        f"{stats.num_tuples} tuples -> {args.log}"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    rows = [
+        ["#nodes", graph.num_nodes],
+        ["#edges", graph.num_edges],
+        ["avg degree", f"{graph.average_degree():.1f}"],
+        ["#propagations", log.num_actions],
+        ["#tuples", log.num_tuples],
+        ["#active users", log.num_users],
+    ]
+    print(format_table(["statistic", "value"], rows))
+    return 0
+
+
+def _cmd_split(args: argparse.Namespace) -> int:
+    log = load_action_log(args.log)
+    train, test = train_test_split(log, every=args.every)
+    save_action_log(train, args.train)
+    save_action_log(test, args.test)
+    print(
+        f"train: {train.num_actions} traces / {train.num_tuples} tuples; "
+        f"test: {test.num_actions} traces / {test.num_tuples} tuples"
+    )
+    return 0
+
+
+def _cmd_maximize(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    selector = SeedSelector(
+        graph,
+        log,
+        ic_algorithm=args.ic_algorithm,
+        lt_algorithm=args.lt_algorithm,
+        num_simulations=args.simulations,
+        truncation=args.truncation,
+    )
+    seeds = selector.seeds(args.method, args.k)
+    print(format_table(
+        ["rank", "seed", "activity"],
+        [[rank, seed, log.activity(seed)]
+         for rank, seed in enumerate(seeds, start=1)],
+        title=f"{args.method} seeds (k={args.k})",
+    ))
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    experiment = spread_prediction_experiment(
+        graph, log, max_test_traces=args.max_traces
+    )
+    thresholds = [5, 10, 20, 40]
+    rows = []
+    for method in experiment.methods:
+        pairs = experiment.pairs(method)
+        curve = dict(capture_curve(pairs, thresholds))
+        rows.append(
+            [method, f"{rmse(pairs):.1f}"]
+            + [f"{curve[t]:.2f}" for t in thresholds]
+        )
+    print(format_table(
+        ["method", "RMSE", *[f"cap@{t}" for t in thresholds]],
+        rows,
+        title=f"spread prediction over {experiment.num_test_traces} test traces",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.maximize import cd_maximize
+    from repro.core.queries import (
+        explain_spread,
+        most_influential,
+        top_influencers,
+    )
+    from repro.core.scan import scan_action_log
+
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    index = scan_action_log(graph, log, truncation=args.truncation)
+    print(format_table(
+        ["rank", "user", "total credit"],
+        [[rank, user, f"{score:.2f}"]
+         for rank, (user, score) in enumerate(
+             most_influential(index, limit=args.top), start=1)],
+        title=f"influencer leaderboard (top {args.top})",
+    ))
+    if args.user is not None:
+        # Node ids round-trip through TSV as strings.
+        ranked = top_influencers(index, args.user, limit=args.top)
+        print()
+        print(format_table(
+            ["rank", "influencer", "kappa"],
+            [[rank, user, f"{score:.3f}"]
+             for rank, (user, score) in enumerate(ranked, start=1)],
+            title=f"top influencers of user {args.user}",
+        ))
+    if args.k > 0:
+        result = cd_maximize(index, args.k, mutate=False)
+        breakdown = explain_spread(index, result.seeds)
+        print()
+        print(format_table(
+            ["seed", "solo influence"],
+            [[seed, f"{breakdown.per_seed[seed]:.2f}"]
+             for seed in result.seeds],
+            title=(
+                f"selected seeds (k={args.k}): sigma_cd = "
+                f"{breakdown.total:.2f}, redundancy = "
+                f"{breakdown.redundancy:.2f}"
+            ),
+        ))
+    return 0
+
+
+def _cmd_cover(args: argparse.Namespace) -> int:
+    from repro.core.coverage import cd_cover
+    from repro.core.maximize import cd_maximize
+    from repro.core.scan import scan_action_log
+
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    index = scan_action_log(graph, log, truncation=args.truncation)
+    if args.target is not None:
+        target = args.target
+    else:
+        if not 0.0 < args.target_fraction <= 1.0:
+            print("--target-fraction must be in (0, 1]", file=sys.stderr)
+            return 2
+        ceiling = cd_maximize(index, k=len(index.activity)).spread
+        target = ceiling * args.target_fraction
+    result = cd_cover(index, target=target, max_seeds=args.max_seeds)
+    print(format_table(
+        ["rank", "seed", "marginal gain"],
+        [[rank, seed, f"{gain:.2f}"]
+         for rank, (seed, gain) in enumerate(
+             zip(result.seeds, result.gains), start=1)],
+        title=(
+            f"cover for target {target:.1f}: {len(result.seeds)} seeds, "
+            f"sigma_cd = {result.spread:.1f}, "
+            f"reached = {'yes' if result.reached else 'NO'}"
+        ),
+    ))
+    return 0 if result.reached else 1
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    from repro.core.budget import cd_budget_maximize
+    from repro.core.scan import scan_action_log
+
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    index = scan_action_log(graph, log, truncation=args.truncation)
+    costs = None
+    if args.cost_scale > 0.0:
+        costs = {
+            user: 1.0 + index.activity[user] / args.cost_scale
+            for user in index.users()
+        }
+    result = cd_budget_maximize(index, budget=args.budget, costs=costs)
+    print(format_table(
+        ["rank", "seed", "cost", "marginal gain"],
+        [[rank, seed, f"{cost:.2f}", f"{gain:.2f}"]
+         for rank, (seed, cost, gain) in enumerate(
+             zip(result.seeds, result.costs, result.gains), start=1)],
+        title=(
+            f"budget {args.budget:.1f}: spent {result.spent:.1f} on "
+            f"{len(result.seeds)} seeds, sigma_cd = {result.spread:.1f} "
+            f"(winning rule: {result.rule})"
+        ),
+    ))
+    return 0
+
+
+def _cmd_graphstats(args: argparse.Namespace) -> int:
+    from repro.graphs.metrics import summarize_graph
+
+    graph = load_graph(args.graph)
+    summary = summarize_graph(graph)
+    print(format_table(
+        ["statistic", "value"], summary.as_rows(), title="graph structure"
+    ))
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from repro.data.io import save_edge_values
+    from repro.probabilities.em import learn_ic_probabilities_em
+    from repro.probabilities.goyal import learn_static_probabilities
+    from repro.probabilities.lt_weights import learn_lt_weights
+
+    graph = load_graph(args.graph)
+    log = load_action_log(args.log)
+    if args.model == "em":
+        values = learn_ic_probabilities_em(graph, log).probabilities
+    elif args.model == "lt":
+        values = learn_lt_weights(graph, log)
+    else:
+        values = learn_static_probabilities(graph, log, args.model)
+    save_edge_values(values, args.out)
+    print(
+        f"learned {len(values)} edge values with model '{args.model}' "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

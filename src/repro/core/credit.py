@@ -1,0 +1,100 @@
+"""Direct-credit assignment schemes: gamma_{v,u}(a).
+
+When user ``u`` performs action ``a``, every potential influencer
+``v in N_in(u, a)`` receives *direct credit* ``gamma_{v,u}(a)``, with the
+constraint that the credits a user hands out for one action sum to at
+most 1.  The paper proposes two schemes:
+
+* **uniform** (Section 4, "for ease of exposition"):
+  ``gamma_{v,u}(a) = 1 / d_in(u, a)``;
+* **time-decay / influenceability** (Eq. 9):
+
+      gamma_{v,u}(a) = infl(u) / |N_in(u, a)|
+                       * exp(-(t(u, a) - t(v, a)) / tau_{v,u})
+
+  where ``tau_{v,u}`` is the average time actions take to propagate from
+  ``v`` to ``u`` and ``infl(u)`` is the fraction of ``u``'s actions
+  performed under neighbour influence — both learned from the training
+  log (:mod:`repro.core.params`).
+
+Both schemes are exposed behind the tiny :class:`DirectCredit` protocol
+so the scan, the spread evaluator and the hardness-reduction tests can
+swap them freely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Protocol
+
+from repro.core.params import InfluenceabilityParams
+from repro.data.propagation import PropagationGraph
+
+__all__ = ["DirectCredit", "UniformCredit", "TimeDecayCredit"]
+
+User = Hashable
+
+
+class DirectCredit(Protocol):
+    """A direct-credit scheme: callable on (propagation graph, v, u)."""
+
+    def __call__(
+        self, propagation: PropagationGraph, influencer: User, influenced: User
+    ) -> float:
+        """Return ``gamma_{influencer, influenced}(propagation.action)``."""
+        ...
+
+
+class UniformCredit:
+    """Equal credit to every potential influencer: ``1 / d_in(u, a)``."""
+
+    def __call__(
+        self, propagation: PropagationGraph, influencer: User, influenced: User
+    ) -> float:
+        """``gamma_{v,u}(a) = 1 / |N_in(u, a)|``."""
+        return 1.0 / propagation.in_degree(influenced)
+
+    def __repr__(self) -> str:
+        return "UniformCredit()"
+
+
+class TimeDecayCredit:
+    """The Eq. 9 scheme: influenceability-weighted, exponentially decaying.
+
+    Parameters
+    ----------
+    params:
+        Learned ``tau_{v,u}`` and ``infl(u)``
+        (see :func:`repro.core.params.learn_influenceability`).
+    default_tau:
+        Fallback propagation time for (v, u) pairs never observed in
+        training — e.g. the training log's global average delay.  Must be
+        positive.
+    """
+
+    def __init__(
+        self, params: InfluenceabilityParams, default_tau: float | None = None
+    ) -> None:
+        self._params = params
+        fallback = params.average_tau if default_tau is None else default_tau
+        if not fallback > 0.0:
+            raise ValueError(f"default_tau must be positive, got {fallback!r}")
+        self._default_tau = fallback
+
+    def __call__(
+        self, propagation: PropagationGraph, influencer: User, influenced: User
+    ) -> float:
+        """Evaluate Eq. 9 for the pair (influencer, influenced)."""
+        delay = propagation.time_of(influenced) - propagation.time_of(influencer)
+        tau = self._params.tau.get((influencer, influenced), self._default_tau)
+        influenceability = self._params.infl.get(influenced, 0.0)
+        if influenceability <= 0.0:
+            return 0.0
+        base = influenceability / propagation.in_degree(influenced)
+        return base * math.exp(-delay / tau)
+
+    def __repr__(self) -> str:
+        return (
+            f"TimeDecayCredit(pairs={len(self._params.tau)}, "
+            f"default_tau={self._default_tau:.3f})"
+        )

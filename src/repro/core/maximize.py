@@ -1,0 +1,145 @@
+"""Algorithms 3-5: influence maximization under the CD model.
+
+Greedy with the CELF lazy-forward optimisation, where marginal gains
+come from Theorem 3 instead of Monte Carlo simulation:
+
+    sigma_cd(S + x) - sigma_cd(S)
+        = sum_a (1 - Gamma_{S,x}(a)) * sum_u (1/A_u) Gamma^{V-S}_{x,u}(a)
+
+The inner sum reads straight off the credit index (``UC[x][a]``); the
+``(1 - Gamma_{S,x}(a))`` factor reads off the seed credits (``SC``).
+When a node joins the seed set, Lemma 3 folds its credits into SC and
+Lemma 2 re-roots every remaining credit on paths avoiding it — both in
+time proportional to the credits touching the new seed, never by
+re-scanning the log.
+
+One deliberate correction to the paper's pseudocode (see DESIGN.md):
+Algorithm 4 as printed adds the self-credit term ``1/A_x`` only for
+actions where ``x`` has outgoing credit; consistency with Theorem 3 and
+with ``kappa_{S,u} = 1`` for seeds (used by the NP-hardness proof)
+requires it for *every* action ``x`` performed.  The corrected base term
+is ``1 - (sum_a Gamma_{S,x}(a)) / A_x``, and
+``tests/test_cd_maximize.py`` verifies the resulting gains against
+brute-force recomputation of ``sigma_cd``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable
+
+from repro.core.index import CreditIndex, SeedCredits
+from repro.maximization.greedy import GreedyResult
+from repro.utils.pqueue import LazyQueue
+from repro.utils.validation import require
+
+__all__ = ["cd_maximize", "marginal_gain"]
+
+User = Hashable
+
+
+def marginal_gain(index: CreditIndex, seed_credits: SeedCredits, node: User) -> float:
+    """Theorem-3 marginal gain of ``node`` w.r.t. the current seed set.
+
+    ``sum_{a in actions(x)} (1 - Gamma_{S,x}(a)) *
+    (1/A_x + sum_u UC[x][a][u] / A_u)`` — the ``1/A_x`` part summed in
+    closed form as ``1 - total_seed_credit(x) / A_x``.
+    """
+    activity = index.activity.get(node, 0)
+    if activity == 0:
+        return 0.0
+    gain = 1.0 - seed_credits.total(node) / activity
+    for action, targets in index.out.get(node, {}).items():
+        term = 0.0
+        for target, value in targets.items():
+            term += value / index.activity[target]
+        factor = 1.0 - seed_credits.get(node, action)
+        if factor > 0.0:
+            gain += factor * term
+    return gain
+
+
+def _absorb_seed(index: CreditIndex, seed_credits: SeedCredits, seed: User) -> None:
+    """Algorithm 5: fold ``seed`` into S, updating UC and SC in place."""
+    out_credits = index.out.get(seed, {})
+    # Lemma 3 first — it needs the pre-update credit values:
+    # Gamma_{S+x,u}(a) = Gamma_{S,u}(a) + Gamma^{V-S}_{x,u}(a) (1 - Gamma_{S,x}(a)).
+    for action, targets in out_credits.items():
+        factor = 1.0 - seed_credits.get(seed, action)
+        if factor <= 0.0:
+            continue
+        for target, value in targets.items():
+            seed_credits.add(target, action, value * factor)
+    # Lemma 2: remove, from every remaining pair, the credit that flowed
+    # through the new seed:
+    # Gamma^{W-x}_{v,u}(a) = Gamma^W_{v,u}(a) - Gamma^W_{v,x}(a) Gamma^W_{x,u}(a).
+    in_credits = index.inc.get(seed, {})
+    for action, targets in out_credits.items():
+        sources = in_credits.get(action)
+        if not sources:
+            continue
+        target_items = list(targets.items())
+        source_items = list(sources.items())
+        for target, seed_to_target in target_items:
+            for source, source_to_seed in source_items:
+                index.subtract_credit(
+                    source, action, target, source_to_seed * seed_to_target
+                )
+    # The seed leaves V - S: its remaining in/out credits are dead.
+    index.remove_user(seed)
+    seed_credits.drop_user(seed)
+
+
+def cd_maximize(
+    index: CreditIndex,
+    k: int,
+    mutate: bool = False,
+    time_log: list[tuple[int, float]] | None = None,
+) -> GreedyResult:
+    """Select ``k`` seeds under the CD model (Algorithm 3 + CELF).
+
+    Parameters
+    ----------
+    index:
+        The credit index produced by
+        :func:`repro.core.scan.scan_action_log`.
+    k:
+        Seed-set size.
+    mutate:
+        The algorithm consumes the index destructively.  By default it
+        works on a copy; pass ``mutate=True`` to save the copy when the
+        index is single-use (e.g. inside benchmarks).
+    time_log:
+        If given, ``(seed_count, elapsed_seconds)`` is appended whenever
+        a seed is selected (Figure-7 instrumentation).
+
+    Returns
+    -------
+    :class:`~repro.maximization.greedy.GreedyResult` whose ``spread`` is
+    ``sigma_cd`` of the selected set and whose ``oracle_calls`` counts
+    marginal-gain evaluations (the CELF efficiency metric).
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    started = time.perf_counter()
+    working = index if mutate else index.copy()
+    seed_credits = SeedCredits()
+    result = GreedyResult()
+    queue = LazyQueue()
+    for user in list(working.users()):
+        gain = marginal_gain(working, seed_credits, user)
+        result.oracle_calls += 1
+        queue.push(user, gain, iteration=0)
+    while len(result.seeds) < k and queue:
+        entry = queue.pop()
+        if entry.iteration == len(result.seeds):
+            result.seeds.append(entry.item)
+            result.gains.append(entry.gain)
+            result.spread += entry.gain
+            _absorb_seed(working, seed_credits, entry.item)
+            if time_log is not None:
+                time_log.append((len(result.seeds), time.perf_counter() - started))
+        else:
+            gain = marginal_gain(working, seed_credits, entry.item)
+            result.oracle_calls += 1
+            queue.push(entry.item, gain, iteration=len(result.seeds))
+    return result

@@ -1,0 +1,98 @@
+"""Learning the Eq. 9 parameters: tau_{v,u} and infl(u).
+
+Following the paper (Section 4, "Assigning Direct Credit", drawing on
+Goyal et al., WSDM 2010):
+
+* ``tau_{v,u}`` — the average time actions take to propagate from ``v``
+  to ``u``: the mean of ``t(u, a) - t(v, a)`` over the training actions
+  for which ``v`` is a potential influencer of ``u``;
+* ``infl(u)`` — user influenceability: the fraction of ``u``'s actions
+  performed "under the influence" of at least one neighbour ``v``,
+  meaning ``t(u, a) - t(v, a) <= tau_{v,u}``.
+
+Both are learned with two chronological passes over the training log
+(one to accumulate delays, one to count influenced actions), exactly the
+kind of preliminary scan Algorithm 2's description refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.graphs.digraph import SocialGraph
+
+__all__ = ["InfluenceabilityParams", "learn_influenceability"]
+
+User = Hashable
+Edge = tuple[User, User]
+
+
+@dataclass
+class InfluenceabilityParams:
+    """Learned time-decay and influenceability parameters.
+
+    Attributes
+    ----------
+    tau:
+        ``tau_{v,u}``: average observed propagation delay per (v, u) pair.
+    infl:
+        ``infl(u)``: fraction of u's actions performed under influence.
+    average_tau:
+        Global mean delay — the fallback for unobserved pairs.
+    """
+
+    tau: dict[Edge, float] = field(default_factory=dict)
+    infl: dict[User, float] = field(default_factory=dict)
+    average_tau: float = 1.0
+
+
+def learn_influenceability(
+    graph: SocialGraph, log: ActionLog
+) -> InfluenceabilityParams:
+    """Learn ``tau_{v,u}`` and ``infl(u)`` from the training ``log``.
+
+    Users that appear in the log but never follow a neighbour get
+    ``infl(u) = 0`` — under Eq. 9 they hand out no credit, reflecting
+    that the data shows no evidence of them being influenceable.
+    """
+    # Pass 1: accumulate propagation delays per (v, u) pair.
+    delay_sum: dict[Edge, float] = {}
+    delay_count: dict[Edge, int] = {}
+    propagations: list[PropagationGraph] = []
+    for action in log.actions():
+        propagation = PropagationGraph.build(graph, log, action)
+        propagations.append(propagation)
+        for user in propagation.nodes():
+            user_time = propagation.time_of(user)
+            for parent in propagation.parents(user):
+                pair = (parent, user)
+                delay = user_time - propagation.time_of(parent)
+                delay_sum[pair] = delay_sum.get(pair, 0.0) + delay
+                delay_count[pair] = delay_count.get(pair, 0) + 1
+    tau = {
+        pair: delay_sum[pair] / delay_count[pair] for pair in delay_sum
+    }
+    total_delay = sum(delay_sum.values())
+    total_count = sum(delay_count.values())
+    average_tau = (total_delay / total_count) if total_count else 1.0
+    if average_tau <= 0.0:
+        average_tau = 1.0
+
+    # Pass 2: count, per user, the actions performed under influence.
+    influenced_count: dict[User, int] = {}
+    for propagation in propagations:
+        for user in propagation.nodes():
+            user_time = propagation.time_of(user)
+            for parent in propagation.parents(user):
+                delay = user_time - propagation.time_of(parent)
+                if delay <= tau[(parent, user)]:
+                    influenced_count[user] = influenced_count.get(user, 0) + 1
+                    break
+    infl = {
+        user: influenced_count.get(user, 0) / log.activity(user)
+        for user in log.users()
+    }
+    return InfluenceabilityParams(tau=tau, infl=infl, average_tau=average_tau)

@@ -1,0 +1,67 @@
+"""Action-log data substrate.
+
+The paper's "data-based" perspective rests on one relation:
+
+    L(User, Action, Time)
+
+a tuple ``(u, a, t)`` meaning user ``u`` performed action ``a`` at time
+``t``.  This subpackage provides the relation itself
+(:class:`~repro.data.actionlog.ActionLog`), the per-action propagation
+DAGs derived from it (:class:`~repro.data.propagation.PropagationGraph`),
+the train/test trace split of Section 3 (:mod:`repro.data.split`), a
+ground-truth continuous-time cascade generator that synthesises logs with
+the statistical character of the Flixster/Flickr crawls
+(:mod:`repro.data.generator`), the dataset registry
+(:mod:`repro.data.datasets`) and TSV persistence (:mod:`repro.data.io`).
+"""
+
+from repro.data.actionlog import ActionLog
+from repro.data.datasets import (
+    Dataset,
+    DatasetStats,
+    flickr_like,
+    flixster_like,
+    toy_example,
+)
+from repro.data.generator import CascadeModel, generate_action_log
+from repro.data.io import (
+    load_action_log,
+    load_edge_values,
+    load_graph,
+    save_action_log,
+    save_edge_values,
+    save_graph,
+)
+from repro.data.propagation import PropagationGraph
+from repro.data.split import train_test_split
+from repro.data.temporal import (
+    activity_series,
+    inter_activation_delays,
+    restrict_to_window,
+    time_span,
+    traces_by_completion,
+)
+
+__all__ = [
+    "ActionLog",
+    "PropagationGraph",
+    "train_test_split",
+    "CascadeModel",
+    "generate_action_log",
+    "Dataset",
+    "DatasetStats",
+    "flixster_like",
+    "flickr_like",
+    "toy_example",
+    "save_graph",
+    "load_graph",
+    "save_action_log",
+    "load_action_log",
+    "save_edge_values",
+    "load_edge_values",
+    "time_span",
+    "restrict_to_window",
+    "traces_by_completion",
+    "activity_series",
+    "inter_activation_delays",
+]

@@ -1,0 +1,153 @@
+"""Per-action propagation graphs G(a).
+
+The propagation graph of an action ``a`` (paper Section 4, Data Model) has
+a node for every user who performed ``a`` and a directed edge ``(u, v)``
+whenever ``u`` and ``v`` are socially linked and ``u`` performed ``a``
+strictly before ``v``.  Time makes it a DAG.  ``N_in(u, a)`` — the
+*potential influencers* of ``u`` — is exactly the in-neighbourhood here,
+and users with in-degree zero are the *initiators* of the action, used as
+ground-truth seed sets in the spread-prediction experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+
+__all__ = ["PropagationGraph", "propagation_graphs"]
+
+User = Hashable
+
+
+class PropagationGraph:
+    """The DAG of one action's propagation through the social graph.
+
+    Example
+    -------
+    >>> g = SocialGraph.from_edges([(1, 2)])
+    >>> log = ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 3.0)])
+    >>> pg = PropagationGraph.build(g, log, "a")
+    >>> pg.parents(2)
+    [1]
+    >>> pg.initiators()
+    [1]
+    """
+
+    def __init__(
+        self,
+        action: Hashable,
+        chronology: list[tuple[User, float]],
+        parents: dict[User, list[User]],
+    ) -> None:
+        self.action = action
+        self._chronology = chronology
+        self._parents = parents
+        self._times = dict(chronology)
+
+    @classmethod
+    def build(
+        cls, graph: SocialGraph, log: ActionLog, action: Hashable
+    ) -> "PropagationGraph":
+        """Construct G(a) from the social graph and the log's trace of ``a``.
+
+        Users in the trace that are missing from the social graph are kept
+        as isolated nodes (they still count towards propagation size but
+        can neither give nor receive credit), matching the paper's
+        assumption that the log's users are *contained in* V.
+        """
+        chronology = list(log.trace(action))
+        active_times: dict[User, float] = {}
+        parents: dict[User, list[User]] = {}
+        for user, time in chronology:
+            if user in graph:
+                # Social in-neighbours that performed the action strictly
+                # earlier are the potential influencers N_in(u, a).
+                parents[user] = sorted(
+                    (
+                        neighbor
+                        for neighbor in graph.in_neighbors(user)
+                        if active_times.get(neighbor, float("inf")) < time
+                    ),
+                    key=lambda v: (active_times[v], _sort_key(v)),
+                )
+            else:
+                parents[user] = []
+            active_times[user] = time
+        return cls(action=action, chronology=chronology, parents=parents)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of users who performed the action: |V(a)|."""
+        return len(self._chronology)
+
+    def nodes(self) -> Iterator[User]:
+        """Users in chronological activation order."""
+        return (user for user, _ in self._chronology)
+
+    def chronology(self) -> list[tuple[User, float]]:
+        """``(user, time)`` pairs in ascending activation time."""
+        return self._chronology
+
+    def __contains__(self, user: User) -> bool:
+        return user in self._times
+
+    def time_of(self, user: User) -> float:
+        """Activation time of ``user`` for this action."""
+        try:
+            return self._times[user]
+        except KeyError as exc:
+            raise KeyError(
+                f"user {user!r} did not perform action {self.action!r}"
+            ) from exc
+
+    def parents(self, user: User) -> list[User]:
+        """``N_in(user, a)``: potential influencers, earliest-activated first."""
+        return self._parents[user]
+
+    def in_degree(self, user: User) -> int:
+        """``d_in(user, a) = |N_in(user, a)|``."""
+        return len(self._parents[user])
+
+    def initiators(self) -> list[User]:
+        """Users who performed the action before any of their neighbours.
+
+        These are the "seed sets" of the ground-truth propagations used by
+        the spread-prediction experiments (paper Section 3, Experiment 2).
+        """
+        return [user for user, _ in self._chronology if not self._parents[user]]
+
+    def edges(self) -> Iterator[tuple[User, User]]:
+        """All propagation edges ``(influencer, influenced)``."""
+        for user, parent_list in self._parents.items():
+            for parent in parent_list:
+                yield (parent, user)
+
+    @property
+    def num_edges(self) -> int:
+        """|E(a)|: total number of propagation edges."""
+        return sum(len(parent_list) for parent_list in self._parents.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationGraph(action={self.action!r}, "
+            f"num_nodes={self.num_nodes}, num_edges={self.num_edges})"
+        )
+
+
+def propagation_graphs(
+    graph: SocialGraph, log: ActionLog, actions: Iterable[Hashable] | None = None
+) -> Iterator[PropagationGraph]:
+    """Yield the propagation graph of every action in ``log`` (or ``actions``)."""
+    wanted = log.actions() if actions is None else actions
+    for action in wanted:
+        yield PropagationGraph.build(graph, log, action)
+
+
+def _sort_key(value: object) -> tuple[str, str]:
+    """Deterministic tie-break key for heterogeneous node ids."""
+    return (type(value).__name__, repr(value))

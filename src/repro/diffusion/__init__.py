@@ -1,0 +1,45 @@
+"""Classical propagation models: Independent Cascade and Linear Threshold.
+
+These are the probabilistic models of Kempe, Kleinberg and Tardos (KDD
+2003) that the paper's standard approach (Figure 1, light-blue path)
+relies on.  Estimating their spread is #P-hard, so in practice one runs
+Monte Carlo simulation — exactly what makes the standard approach slow
+and what the credit-distribution model avoids.
+
+Both simulators operate on a :class:`~repro.graphs.digraph.SocialGraph`
+plus a ``dict[(source, target) -> value]`` of edge probabilities (IC) or
+edge weights (LT).  :mod:`repro.diffusion.worlds` implements the
+possible-world semantics of Eq. (1)-(4), used both pedagogically and as
+a distributional test oracle for the simulators.
+"""
+
+from repro.diffusion.ctic import (
+    estimate_spread_ctic,
+    exponential_delays,
+    lognormal_delays,
+    simulate_ctic,
+)
+from repro.diffusion.ic import estimate_spread_ic, simulate_ic
+from repro.diffusion.lt import estimate_spread_lt, simulate_lt, validate_lt_weights
+from repro.diffusion.worlds import (
+    estimate_spread_via_worlds,
+    sample_world_ic,
+    sample_world_lt,
+    spread_in_world,
+)
+
+__all__ = [
+    "simulate_ic",
+    "estimate_spread_ic",
+    "simulate_lt",
+    "estimate_spread_lt",
+    "validate_lt_weights",
+    "sample_world_ic",
+    "sample_world_lt",
+    "spread_in_world",
+    "estimate_spread_via_worlds",
+    "simulate_ctic",
+    "estimate_spread_ctic",
+    "exponential_delays",
+    "lognormal_delays",
+]

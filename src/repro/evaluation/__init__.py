@@ -1,0 +1,107 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+* :mod:`~repro.evaluation.metrics` — binned RMSE (Figures 2-3), the
+  absolute-error capture curve (Figure 4), seed-set intersection
+  matrices (Table 2, Figure 5);
+* :mod:`~repro.evaluation.prediction` — spread-prediction experiments
+  (Figures 2, 3, 4);
+* :mod:`~repro.evaluation.selection` — seed-selection experiments
+  (Table 2, Figures 5, 6);
+* :mod:`~repro.evaluation.performance` — runtime, scalability,
+  training-size and truncation experiments (Figures 7-9, Table 4);
+* :mod:`~repro.evaluation.reporting` — ASCII rendering shared by the
+  benchmark suite.
+"""
+
+from repro.evaluation.export import (
+    export_matrix,
+    export_prediction_pairs,
+    export_series,
+    write_rows,
+)
+from repro.evaluation.metrics import (
+    binned_rmse,
+    capture_curve,
+    rmse,
+    seed_set_intersections,
+)
+from repro.evaluation.prediction import (
+    PredictionExperiment,
+    build_cd_predictor,
+    build_ic_predictors,
+    build_lt_predictor,
+    spread_prediction_experiment,
+)
+from repro.evaluation.performance import (
+    runtime_comparison,
+    scalability_experiment,
+    truncation_experiment,
+)
+from repro.evaluation.comparison import (
+    ComparisonResult,
+    ModelReport,
+    compare_models,
+)
+from repro.evaluation.groundtruth import (
+    ground_truth_evaluation,
+    true_spread,
+)
+from repro.evaluation.plots import ascii_line_chart, ascii_scatter
+from repro.evaluation.reporting import format_matrix, format_series, format_table
+from repro.evaluation.robustness import (
+    NoisePoint,
+    PerturbedCredit,
+    cd_noise_sweep,
+    ic_noise_sweep,
+)
+from repro.evaluation.significance import (
+    PairedComparison,
+    bootstrap_ci,
+    paired_bootstrap_test,
+    sign_test,
+)
+from repro.evaluation.selection import (
+    seed_overlap_experiment,
+    select_seeds_by_method,
+    spread_achieved_experiment,
+)
+
+__all__ = [
+    "rmse",
+    "binned_rmse",
+    "capture_curve",
+    "seed_set_intersections",
+    "PredictionExperiment",
+    "spread_prediction_experiment",
+    "build_ic_predictors",
+    "build_lt_predictor",
+    "build_cd_predictor",
+    "select_seeds_by_method",
+    "seed_overlap_experiment",
+    "spread_achieved_experiment",
+    "runtime_comparison",
+    "scalability_experiment",
+    "truncation_experiment",
+    "format_table",
+    "format_series",
+    "format_matrix",
+    "write_rows",
+    "export_prediction_pairs",
+    "export_series",
+    "export_matrix",
+    "ascii_line_chart",
+    "ascii_scatter",
+    "bootstrap_ci",
+    "PairedComparison",
+    "paired_bootstrap_test",
+    "sign_test",
+    "NoisePoint",
+    "PerturbedCredit",
+    "ic_noise_sweep",
+    "cd_noise_sweep",
+    "ModelReport",
+    "ComparisonResult",
+    "compare_models",
+    "true_spread",
+    "ground_truth_evaluation",
+]

@@ -1,0 +1,195 @@
+"""The model-comparison benchmark the paper's conclusion calls for.
+
+"These observations further highlight the need for devising techniques
+and benchmarks for comparing different influence models and the
+associated influence maximization methods."  This driver is that
+benchmark: given a dataset and a set of named spread predictors, it
+runs the held-out prediction protocol once and produces, per model,
+
+* RMSE with a bootstrap confidence interval;
+* the capture rate at a chosen error tolerance;
+* a pairwise significance matrix (paired bootstrap on the shared test
+  traces), marking which model orderings are statistically real and
+  which are small-sample noise.
+
+The result renders as a ready-to-print report, so a single call answers
+"which influence model should I trust on this data, and how sure am I?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Mapping
+
+from repro.data.actionlog import ActionLog
+from repro.evaluation.metrics import capture_curve, rmse
+from repro.evaluation.prediction import spread_prediction_experiment
+from repro.evaluation.reporting import format_table
+from repro.evaluation.significance import (
+    PairedComparison,
+    bootstrap_ci,
+    paired_bootstrap_test,
+)
+from repro.graphs.digraph import SocialGraph
+from repro.utils.validation import require
+
+__all__ = ["ModelReport", "ComparisonResult", "compare_models"]
+
+User = Hashable
+Predictor = Callable[[list[User]], float]
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Per-model accuracy summary.
+
+    Attributes
+    ----------
+    name:
+        The model's display name.
+    rmse, rmse_lower, rmse_upper:
+        Point estimate and bootstrap CI of the prediction RMSE.
+    capture_rate:
+        Fraction of test traces predicted within the tolerance.
+    """
+
+    name: str
+    rmse: float
+    rmse_lower: float
+    rmse_upper: float
+    capture_rate: float
+
+
+@dataclass
+class ComparisonResult:
+    """Everything :func:`compare_models` measures.
+
+    ``pairwise[(a, b)]`` holds the paired bootstrap comparison of model
+    ``a`` against model ``b`` (negative difference = ``a`` more
+    accurate); only ordered pairs with ``a != b`` are present.
+    """
+
+    reports: list[ModelReport] = field(default_factory=list)
+    pairwise: dict[tuple[str, str], PairedComparison] = field(
+        default_factory=dict
+    )
+    num_test_traces: int = 0
+    tolerance: float = 0.0
+
+    def ranking(self) -> list[str]:
+        """Model names by ascending RMSE (best first)."""
+        return [
+            report.name
+            for report in sorted(self.reports, key=lambda r: r.rmse)
+        ]
+
+    def significantly_better(self, first: str, second: str) -> bool:
+        """True iff ``first`` beats ``second`` with a CI excluding zero."""
+        comparison = self.pairwise[(first, second)]
+        return comparison.significant and comparison.difference < 0.0
+
+    def render(self) -> str:
+        """The printable report: accuracy table + significance matrix."""
+        accuracy_rows = [
+            [
+                report.name,
+                f"{report.rmse:.1f}",
+                f"[{report.rmse_lower:.1f}, {report.rmse_upper:.1f}]",
+                f"{report.capture_rate:.0%}",
+            ]
+            for report in sorted(self.reports, key=lambda r: r.rmse)
+        ]
+        accuracy = format_table(
+            ["model", "RMSE", "95% CI", f"captured (err<={self.tolerance:g})"],
+            accuracy_rows,
+            title=(
+                f"model comparison over {self.num_test_traces} held-out "
+                "traces (best first)"
+            ),
+        )
+        names = [report.name for report in self.reports]
+        verdict_rows = []
+        for first in names:
+            row: list[object] = [first]
+            for second in names:
+                if first == second:
+                    row.append("-")
+                    continue
+                comparison = self.pairwise[(first, second)]
+                if comparison.significant:
+                    row.append("<" if comparison.difference < 0 else ">")
+                else:
+                    row.append("~")
+            verdict_rows.append(row)
+        matrix = format_table(
+            ["", *names],
+            verdict_rows,
+            title=(
+                "pairwise verdicts (row vs column): '<' row better, "
+                "'>' column better, '~' not significant"
+            ),
+        )
+        return f"{accuracy}\n\n{matrix}"
+
+
+def compare_models(
+    graph: SocialGraph,
+    log: ActionLog,
+    predictors: Mapping[str, Predictor],
+    tolerance: float = 10.0,
+    max_test_traces: int | None = None,
+    confidence: float = 0.95,
+    num_resamples: int = 1000,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Run the full statistical model comparison.
+
+    Parameters mirror
+    :func:`repro.evaluation.prediction.spread_prediction_experiment`;
+    ``tolerance`` sets the capture-rate threshold and ``confidence`` /
+    ``num_resamples`` the bootstrap layer.
+    """
+    require(len(predictors) >= 2, "compare_models needs at least two models")
+    require(tolerance > 0.0, f"tolerance must be positive, got {tolerance}")
+    experiment = spread_prediction_experiment(
+        graph, log, predictors, max_test_traces=max_test_traces
+    )
+    result = ComparisonResult(
+        num_test_traces=experiment.num_test_traces, tolerance=tolerance
+    )
+    for name in predictors:
+        pairs = experiment.pairs(name)
+        point, lower, upper = bootstrap_ci(
+            pairs,
+            confidence=confidence,
+            num_resamples=max(100, num_resamples),
+            seed=seed,
+        )
+        result.reports.append(
+            ModelReport(
+                name=name,
+                rmse=point,
+                rmse_lower=lower,
+                rmse_upper=upper,
+                capture_rate=capture_curve(pairs, [tolerance])[0][1],
+            )
+        )
+    names = list(predictors)
+    actuals = [actual for actual, _ in experiment.pairs(names[0])]
+    predictions = {
+        name: [predicted for _, predicted in experiment.pairs(name)]
+        for name in names
+    }
+    for first in names:
+        for second in names:
+            if first == second:
+                continue
+            result.pairwise[(first, second)] = paired_bootstrap_test(
+                actuals,
+                predictions[first],
+                predictions[second],
+                confidence=confidence,
+                num_resamples=max(100, num_resamples),
+                seed=seed,
+            )
+    return result

@@ -1,0 +1,129 @@
+"""CSV export of experiment results.
+
+The benchmark harness prints ASCII tables; this module writes the same
+data as CSV files so the figures can be re-plotted with any tool
+(gnuplot, matplotlib, a spreadsheet).  One function per result family,
+all sharing a tiny writer that needs no third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Mapping, Sequence
+
+from repro.evaluation.prediction import PredictionExperiment
+
+__all__ = [
+    "write_rows",
+    "export_prediction_pairs",
+    "export_series",
+    "export_matrix",
+    "export_comparison",
+    "export_noise_points",
+]
+
+
+def write_rows(
+    path: str | os.PathLike[str],
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> None:
+    """Write ``rows`` (with ``header``) to ``path`` as CSV."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+
+
+def export_prediction_pairs(
+    experiment: PredictionExperiment, path: str | os.PathLike[str]
+) -> None:
+    """One row per (test trace, method): actual and predicted spread.
+
+    The raw data behind Figures 2-4; binned RMSE and capture curves can
+    be recomputed from it.
+    """
+    rows = []
+    for method in experiment.methods:
+        for actual, predicted in experiment.pairs(method):
+            rows.append([method, actual, predicted])
+    write_rows(path, ["method", "actual_spread", "predicted_spread"], rows)
+
+
+def export_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    path: str | os.PathLike[str],
+    x_label: str = "x",
+) -> None:
+    """Export named (x, y) series sharing an x grid (Figures 6-9 data)."""
+    names = list(series)
+    if not names:
+        write_rows(path, [x_label], [])
+        return
+    xs = [x for x, _ in series[names[0]]]
+    rows = []
+    for index, x in enumerate(xs):
+        rows.append([x, *[series[name][index][1] for name in names]])
+    write_rows(path, [x_label, *names], rows)
+
+
+def export_matrix(
+    names: Sequence[str],
+    matrix: Mapping[tuple[str, str], int],
+    path: str | os.PathLike[str],
+) -> None:
+    """Export a seed-overlap matrix (Table 2 / Figure 5 data)."""
+    rows = [
+        [first, *[matrix[(first, second)] for second in names]]
+        for first in names
+    ]
+    write_rows(path, ["method", *names], rows)
+
+
+def export_comparison(comparison, path: str | os.PathLike[str]) -> None:
+    """Export a :class:`~repro.evaluation.comparison.ComparisonResult`.
+
+    One row per model with its RMSE, CI and capture rate, followed by
+    one row per ordered model pair with the paired-bootstrap verdict.
+    """
+    rows: list[list[object]] = []
+    for report in comparison.reports:
+        rows.append(
+            [
+                "model",
+                report.name,
+                "",
+                report.rmse,
+                report.rmse_lower,
+                report.rmse_upper,
+                report.capture_rate,
+            ]
+        )
+    for (first, second), paired in comparison.pairwise.items():
+        rows.append(
+            [
+                "pair",
+                first,
+                second,
+                paired.difference,
+                paired.ci_lower,
+                paired.ci_upper,
+                int(paired.significant),
+            ]
+        )
+    write_rows(
+        path,
+        ["kind", "a", "b", "value", "ci_lower", "ci_upper", "extra"],
+        rows,
+    )
+
+
+def export_noise_points(points, path: str | os.PathLike[str]) -> None:
+    """Export a robustness sweep (list of
+    :class:`~repro.evaluation.robustness.NoisePoint`)."""
+    write_rows(
+        path,
+        ["noise", "overlap", "quality_ratio"],
+        [[point.noise, point.overlap, point.quality_ratio] for point in points],
+    )

@@ -1,0 +1,88 @@
+"""Evaluation metrics for spread prediction and seed selection.
+
+These are the exact quantities the paper plots:
+
+* **binned RMSE** (Figures 2a, 2c, 3): test propagations are grouped in
+  bins by actual spread; inside each bin the root-mean-squared error
+  between predicted and actual spread is reported;
+* **capture curve** (Figure 4): for each absolute-error threshold
+  ``x``, the fraction of test propagations predicted within ``x``;
+* **seed-set intersections** (Table 2, Figure 5): pairwise overlap
+  sizes between the seed sets chosen by different methods.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.utils.validation import require
+
+__all__ = ["rmse", "binned_rmse", "capture_curve", "seed_set_intersections"]
+
+
+def rmse(pairs: Iterable[tuple[float, float]]) -> float:
+    """Root mean squared error over ``(actual, predicted)`` pairs.
+
+    Raises ``ValueError`` on an empty input — an empty bin is a caller
+    bug, not a zero-error result.
+    """
+    total = 0.0
+    count = 0
+    for actual, predicted in pairs:
+        total += (predicted - actual) ** 2
+        count += 1
+    require(count > 0, "rmse of an empty collection is undefined")
+    return math.sqrt(total / count)
+
+
+def binned_rmse(
+    pairs: Iterable[tuple[float, float]], bin_width: float
+) -> list[tuple[float, float, int]]:
+    """RMSE per actual-spread bin.
+
+    Returns ``(bin_lower_edge, rmse, count)`` rows sorted by bin, with
+    bins of width ``bin_width`` (the paper uses multiples of 100 for
+    Flixster, 20 for Flickr).
+    """
+    require(bin_width > 0, f"bin_width must be positive, got {bin_width}")
+    bins: dict[int, list[tuple[float, float]]] = {}
+    for actual, predicted in pairs:
+        bins.setdefault(int(actual // bin_width), []).append((actual, predicted))
+    return [
+        (index * bin_width, rmse(members), len(members))
+        for index, members in sorted(bins.items())
+    ]
+
+
+def capture_curve(
+    pairs: Iterable[tuple[float, float]],
+    thresholds: Sequence[float],
+) -> list[tuple[float, float]]:
+    """Fraction of propagations with absolute error <= each threshold.
+
+    Returns ``(threshold, fraction)`` points — the Figure 4 curve.
+    """
+    errors = [abs(predicted - actual) for actual, predicted in pairs]
+    require(bool(errors), "capture_curve of an empty collection is undefined")
+    count = len(errors)
+    return [
+        (threshold, sum(1 for error in errors if error <= threshold) / count)
+        for threshold in thresholds
+    ]
+
+
+def seed_set_intersections(
+    seed_sets: Mapping[str, Iterable[Hashable]],
+) -> dict[tuple[str, str], int]:
+    """Pairwise intersection sizes between named seed sets.
+
+    Returns a symmetric mapping keyed by method-name pairs (both orders
+    present, plus the diagonal), matching the layout of Table 2.
+    """
+    as_sets = {name: set(seeds) for name, seeds in seed_sets.items()}
+    matrix: dict[tuple[str, str], int] = {}
+    for first, first_seeds in as_sets.items():
+        for second, second_seeds in as_sets.items():
+            matrix[(first, second)] = len(first_seeds & second_seeds)
+    return matrix

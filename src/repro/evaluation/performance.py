@@ -1,0 +1,229 @@
+"""Runtime, scalability, training-size and truncation experiments.
+
+Covers the paper's Figure 7 (runtime vs seed-set size for IC/LT/CD),
+Figure 8 (runtime and memory vs number of action-log tuples), Figure 9
+(solution quality vs number of tuples) and Table 4 (the truncation
+threshold sweep).
+
+Memory is reported as the credit index's entry-based estimate
+(:meth:`repro.core.index.CreditIndex.estimate_memory_bytes`) — the
+quantity the paper's Figure 8 (right) tracks, without OS-level RSS noise
+(a documented substitution, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from repro.core.credit import TimeDecayCredit
+from repro.core.maximize import cd_maximize
+from repro.core.params import learn_influenceability
+from repro.core.scan import scan_action_log
+from repro.core.spread import CDSpreadEvaluator
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.celf import celf_maximize
+from repro.maximization.oracle import ICSpreadOracle, LTSpreadOracle
+from repro.probabilities.em import learn_ic_probabilities_em
+from repro.probabilities.lt_weights import learn_lt_weights
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+__all__ = [
+    "RuntimeCurves",
+    "runtime_comparison",
+    "ScalabilityRow",
+    "scalability_experiment",
+    "TruncationRow",
+    "truncation_experiment",
+]
+
+User = Hashable
+
+
+@dataclass
+class RuntimeCurves:
+    """Figure-7 data: cumulative seconds to reach each seed count."""
+
+    curves: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+
+def runtime_comparison(
+    graph: SocialGraph,
+    train_log: ActionLog,
+    k: int = 50,
+    num_simulations: int = 100,
+    truncation: float = 0.001,
+    seed: int = 7,
+    methods: Sequence[str] = ("IC", "LT", "CD"),
+) -> RuntimeCurves:
+    """Time seed selection under IC (MC+CELF), LT (MC+CELF) and CD.
+
+    IC and LT use the standard approach — probabilities/weights learned
+    from data, then CELF greedy over Monte Carlo spread estimation.  CD
+    times include the Algorithm-2 scan (its dominant cost, per the
+    paper's Section 6 "Running Time" discussion).
+    """
+    result = RuntimeCurves()
+    if "IC" in methods:
+        with Timer() as learn_timer:
+            probabilities = learn_ic_probabilities_em(graph, train_log).probabilities
+        oracle = ICSpreadOracle(
+            graph, probabilities, num_simulations=num_simulations, seed=seed
+        )
+        time_log: list[tuple[int, float]] = []
+        celf_maximize(oracle, k, time_log=time_log)
+        result.curves["IC"] = [
+            (count, learn_timer.elapsed + elapsed) for count, elapsed in time_log
+        ]
+    if "LT" in methods:
+        with Timer() as learn_timer:
+            weights = learn_lt_weights(graph, train_log)
+        oracle = LTSpreadOracle(
+            graph, weights, num_simulations=num_simulations, seed=seed
+        )
+        time_log = []
+        celf_maximize(oracle, k, time_log=time_log)
+        result.curves["LT"] = [
+            (count, learn_timer.elapsed + elapsed) for count, elapsed in time_log
+        ]
+    if "CD" in methods:
+        with Timer() as scan_timer:
+            params = learn_influenceability(graph, train_log)
+            index = scan_action_log(
+                graph,
+                train_log,
+                credit=TimeDecayCredit(params),
+                truncation=truncation,
+            )
+        time_log = []
+        cd_maximize(index, k, mutate=True, time_log=time_log)
+        result.curves["CD"] = [
+            (count, scan_timer.elapsed + elapsed) for count, elapsed in time_log
+        ]
+    return result
+
+
+@dataclass
+class ScalabilityRow:
+    """One point of the Figures 8-9 sweeps."""
+
+    num_tuples: int
+    scan_seconds: float
+    select_seconds: float
+    total_seconds: float
+    index_entries: int
+    memory_bytes: int
+    seeds: list[User]
+    spread: float = 0.0
+    true_seed_overlap: int = 0
+
+
+def scalability_experiment(
+    graph: SocialGraph,
+    log: ActionLog,
+    tuple_counts: Iterable[int],
+    k: int = 50,
+    truncation: float = 0.001,
+) -> list[ScalabilityRow]:
+    """Figures 8 and 9: sweep the number of training tuples.
+
+    For each tuple budget, whole propagation traces are sampled until
+    the budget is reached (``ActionLog.head_tuples``), the CD pipeline
+    (parameter learning + scan + maximization) is timed, the index's
+    memory is recorded, and the selected seeds are scored against the
+    full log: spread under the full-log CD evaluator and overlap with
+    the "true seeds" — those selected using the complete action log.
+    """
+    counts = sorted(set(tuple_counts))
+    require(bool(counts), "tuple_counts must be non-empty")
+    rows: list[ScalabilityRow] = []
+    for count in counts:
+        sublog = log.head_tuples(count)
+        with Timer() as scan_timer:
+            params = learn_influenceability(graph, sublog)
+            index = scan_action_log(
+                graph, sublog, credit=TimeDecayCredit(params), truncation=truncation
+            )
+        entries = index.total_entries
+        memory = index.estimate_memory_bytes()
+        with Timer() as select_timer:
+            selection = cd_maximize(index, k, mutate=True)
+        rows.append(
+            ScalabilityRow(
+                num_tuples=sublog.num_tuples,
+                scan_seconds=scan_timer.elapsed,
+                select_seconds=select_timer.elapsed,
+                total_seconds=scan_timer.elapsed + select_timer.elapsed,
+                index_entries=entries,
+                memory_bytes=memory,
+                seeds=selection.seeds,
+            )
+        )
+    # Score every row against the full log (Figure 9).
+    full_params = learn_influenceability(graph, log)
+    evaluator = CDSpreadEvaluator(graph, log, credit=TimeDecayCredit(full_params))
+    full_index = scan_action_log(
+        graph, log, credit=TimeDecayCredit(full_params), truncation=truncation
+    )
+    true_seeds = set(cd_maximize(full_index, k, mutate=True).seeds)
+    for row in rows:
+        row.spread = evaluator.spread(row.seeds)
+        row.true_seed_overlap = len(true_seeds & set(row.seeds))
+    return rows
+
+
+@dataclass
+class TruncationRow:
+    """One row of Table 4."""
+
+    truncation: float
+    spread: float
+    true_seeds_discovered: int
+    memory_bytes: int
+    runtime_seconds: float
+    index_entries: int
+    seeds: list[User] = field(default_factory=list)
+
+
+def truncation_experiment(
+    graph: SocialGraph,
+    log: ActionLog,
+    truncations: Iterable[float],
+    k: int = 50,
+) -> list[TruncationRow]:
+    """Table 4: sweep the truncation threshold ``lambda``.
+
+    "True seeds" are, as in the paper, those obtained at the smallest
+    threshold in the sweep; spread is measured with the exact
+    (untruncated) CD evaluator so that quality differences reflect what
+    the truncated index *lost*.
+    """
+    lambdas = sorted(set(truncations), reverse=True)
+    require(bool(lambdas), "truncations must be non-empty")
+    params = learn_influenceability(graph, log)
+    credit = TimeDecayCredit(params)
+    evaluator = CDSpreadEvaluator(graph, log, credit=credit)
+    rows: list[TruncationRow] = []
+    for value in lambdas:
+        with Timer() as timer:
+            index = scan_action_log(graph, log, credit=credit, truncation=value)
+            entries = index.total_entries
+            memory = index.estimate_memory_bytes()
+            selection = cd_maximize(index, k, mutate=True)
+        rows.append(
+            TruncationRow(
+                truncation=value,
+                spread=evaluator.spread(selection.seeds),
+                true_seeds_discovered=0,
+                memory_bytes=memory,
+                runtime_seconds=timer.elapsed,
+                index_entries=entries,
+                seeds=selection.seeds,
+            )
+        )
+    reference = set(rows[-1].seeds)  # smallest lambda = highest fidelity
+    for row in rows:
+        row.true_seeds_discovered = len(reference & set(row.seeds))
+    return rows

@@ -1,0 +1,160 @@
+"""ASCII line charts and scatter plots for figure benchmarks.
+
+The tabular renderers in :mod:`repro.evaluation.reporting` show exact
+numbers; figures like the paper's RMSE curves (Figures 2-3), capture
+curves (Figure 4) and runtime plots (Figure 7) are easier to eyeball as
+actual *plots*.  These renderers draw them on a character grid —
+dependency-free, deterministic, and safe to assert on in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_line_chart", "ascii_scatter"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.4g}"
+    return f"{value:.3g}"
+
+
+def _scale(
+    value: float, low: float, high: float, cells: int
+) -> int:
+    """Map ``value`` in [low, high] onto a cell index in [0, cells - 1]."""
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(cells - 1, max(0, int(round(position * (cells - 1)))))
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Draw one or more (x, y) series on a character grid.
+
+    Each series gets its own marker (legend printed below).  ``log_y``
+    plots log10(y) — the scale of the paper's runtime figure (Figure 7).
+    Empty input yields just the title, so callers need no special case.
+    """
+    named = {name: list(points) for name, points in series.items() if points}
+    if not named:
+        return title
+    if log_y:
+        named = {
+            name: [(x, math.log10(y)) for x, y in points if y > 0]
+            for name, points in named.items()
+        }
+        named = {name: points for name, points in named.items() if points}
+        if not named:
+            return title
+    all_points = [point for points in named.values() for point in points]
+    x_low = min(x for x, _ in all_points)
+    x_high = max(x for x, _ in all_points)
+    y_low = min(y for _, y in all_points)
+    y_high = max(y for _, y in all_points)
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(named.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in points:
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    y_top = f"{_nice_number(10 ** y_high if log_y else y_high)}"
+    y_bottom = f"{_nice_number(10 ** y_low if log_y else y_low)}"
+    margin = max(len(y_top), len(y_bottom), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label.rjust(margin)}{' (log scale)' if log_y else ''}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = y_top.rjust(margin)
+        elif row_index == height - 1:
+            prefix = y_bottom.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(f"{' ' * margin}+{'-' * width}")
+    x_axis = (
+        f"{_nice_number(x_low)}"
+        f"{x_label.center(width - len(_nice_number(x_low)) - len(_nice_number(x_high)))}"
+        f"{_nice_number(x_high)}"
+    )
+    lines.append(f"{' ' * (margin + 1)}{x_axis}")
+    legend = "   ".join(
+        f"{_MARKERS[index % len(_MARKERS)]} {name}"
+        for index, name in enumerate(named)
+    )
+    lines.append(f"{' ' * (margin + 1)}legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 50,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "actual",
+    y_label: str = "predicted",
+    diagonal: bool = True,
+) -> str:
+    """Scatter plot with an optional y = x reference diagonal.
+
+    The layout of the paper's Figure 2(b): predicted vs actual spread,
+    where a perfect predictor hugs the diagonal.  Scatter markers (``*``)
+    overwrite diagonal markers (``.``) where they collide.
+    """
+    if not points:
+        return title
+    values = [value for point in points for value in point]
+    low = min(values)
+    high = max(values)
+    grid = [[" "] * width for _ in range(height)]
+    if diagonal:
+        steps = max(width, height) * 2
+        for step in range(steps + 1):
+            value = low + (high - low) * step / steps
+            column = _scale(value, low, high, width)
+            row = height - 1 - _scale(value, low, high, height)
+            grid[row][column] = "."
+    for x, y in points:
+        column = _scale(x, low, high, width)
+        row = height - 1 - _scale(y, low, high, height)
+        grid[row][column] = "*"
+    margin = max(len(_nice_number(high)), len(_nice_number(low)), len(y_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(y_label.rjust(margin))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = _nice_number(high).rjust(margin)
+        elif row_index == height - 1:
+            prefix = _nice_number(low).rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(f"{' ' * margin}+{'-' * width}")
+    lines.append(
+        f"{' ' * (margin + 1)}{_nice_number(low)}"
+        f"{x_label.center(width - len(_nice_number(low)) - len(_nice_number(high)))}"
+        f"{_nice_number(high)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,197 @@
+"""Spread-prediction experiments (Figures 2, 3 and 4).
+
+Protocol (paper Section 3, Experiment 2, reused in Section 6):
+
+1. split the action log 80/20 into training and test traces;
+2. fit every model on the training side only;
+3. for each test trace, take its *initiators* as the seed set and the
+   trace's size as the ground-truth "actual spread";
+4. ask each model to predict the spread of that seed set and score the
+   predictions (binned RMSE, error capture curve).
+
+The predictors:
+
+* **UN / TV / WC / EM / PT** — IC model with the respective edge
+  probabilities, spread estimated by Monte Carlo (Figure 2);
+* **IC** — IC with EM-learned probabilities (Figure 3);
+* **LT** — LT with weights learned per Section 6;
+* **CD** — ``sigma_cd`` over the training log with Eq. 9 credits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+from repro.core.credit import TimeDecayCredit
+from repro.core.params import learn_influenceability
+from repro.core.spread import CDSpreadEvaluator
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.data.split import train_test_split
+from repro.diffusion.ic import estimate_spread_ic
+from repro.diffusion.lt import estimate_spread_lt
+from repro.graphs.digraph import SocialGraph
+from repro.probabilities.em import learn_ic_probabilities_em
+from repro.probabilities.lt_weights import learn_lt_weights
+from repro.probabilities.perturb import perturb_probabilities
+from repro.probabilities.static import (
+    trivalency_probabilities,
+    uniform_probabilities,
+    weighted_cascade_probabilities,
+)
+
+__all__ = [
+    "PredictionExperiment",
+    "spread_prediction_experiment",
+    "build_ic_predictors",
+    "build_lt_predictor",
+    "build_cd_predictor",
+]
+
+User = Hashable
+Predictor = Callable[[list[User]], float]
+
+
+@dataclass
+class PredictionExperiment:
+    """Results of a spread-prediction run.
+
+    ``records[method]`` is a list of ``(actual, predicted)`` pairs, one
+    per test propagation.
+    """
+
+    methods: list[str] = field(default_factory=list)
+    records: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    num_test_traces: int = 0
+
+    def pairs(self, method: str) -> list[tuple[float, float]]:
+        """The ``(actual, predicted)`` pairs of one method."""
+        return self.records[method]
+
+
+def build_ic_predictors(
+    graph: SocialGraph,
+    train_log: ActionLog,
+    methods: Iterable[str] = ("UN", "TV", "WC", "EM", "PT"),
+    num_simulations: int = 200,
+    seed: int = 7,
+) -> dict[str, Predictor]:
+    """IC-model predictors for the requested probability-assignment methods.
+
+    ``EM``/``PT`` learn from ``train_log``; the others ignore it — which
+    is the point of the Section 3 comparison.
+    """
+    wanted = list(methods)
+    probability_maps: dict[str, Mapping[tuple[User, User], float]] = {}
+    for method in wanted:
+        if method == "UN":
+            probability_maps[method] = uniform_probabilities(graph)
+        elif method == "TV":
+            probability_maps[method] = trivalency_probabilities(graph, seed=seed)
+        elif method == "WC":
+            probability_maps[method] = weighted_cascade_probabilities(graph)
+        elif method in ("EM", "PT"):
+            if "EM" not in probability_maps:
+                em_result = learn_ic_probabilities_em(graph, train_log)
+                probability_maps["EM"] = em_result.probabilities
+            if method == "PT":
+                probability_maps["PT"] = perturb_probabilities(
+                    probability_maps["EM"], noise=0.2, seed=seed
+                )
+        else:
+            raise ValueError(f"unknown IC probability method {method!r}")
+
+    def make(probabilities: Mapping[tuple[User, User], float]) -> Predictor:
+        def predict(seeds: list[User]) -> float:
+            return estimate_spread_ic(
+                graph,
+                probabilities,
+                seeds,
+                num_simulations=num_simulations,
+                seed=seed,
+            )
+
+        return predict
+
+    return {method: make(probability_maps[method]) for method in wanted}
+
+
+def build_lt_predictor(
+    graph: SocialGraph,
+    train_log: ActionLog,
+    num_simulations: int = 200,
+    seed: int = 7,
+) -> Predictor:
+    """LT-model predictor with weights learned from the training log."""
+    weights = learn_lt_weights(graph, train_log)
+
+    def predict(seeds: list[User]) -> float:
+        return estimate_spread_lt(
+            graph, weights, seeds, num_simulations=num_simulations, seed=seed
+        )
+
+    return predict
+
+
+def build_cd_predictor(graph: SocialGraph, train_log: ActionLog) -> Predictor:
+    """CD-model predictor: ``sigma_cd`` with Eq. 9 credits on training data."""
+    params = learn_influenceability(graph, train_log)
+    evaluator = CDSpreadEvaluator(
+        graph, train_log, credit=TimeDecayCredit(params)
+    )
+    return evaluator.spread
+
+
+def spread_prediction_experiment(
+    graph: SocialGraph,
+    log: ActionLog,
+    predictors: Mapping[str, Predictor] | None = None,
+    max_test_traces: int | None = None,
+) -> PredictionExperiment:
+    """Run the prediction protocol end to end.
+
+    Parameters
+    ----------
+    graph, log:
+        The dataset.
+    predictors:
+        Mapping method name -> predictor.  Each predictor is built from
+        the *training* half; when omitted, the Figure-3 trio (IC, LT,
+        CD) is used.
+    max_test_traces:
+        Optional cap on evaluated test traces, to bound Monte Carlo time
+        in quick runs.  The cap samples the size ranking *stratified*
+        (every n-th trace of the ranking), so the evaluated subset keeps
+        the test set's propagation-size distribution — the paper
+        evaluates all test traces.
+    """
+    train_log, test_log = train_test_split(log)
+    if predictors is None:
+        ic = build_ic_predictors(graph, train_log, methods=("EM",))
+        predictors = {
+            "IC": ic["EM"],
+            "LT": build_lt_predictor(graph, train_log),
+            "CD": build_cd_predictor(graph, train_log),
+        }
+    experiment = PredictionExperiment(methods=list(predictors))
+    for method in predictors:
+        experiment.records[method] = []
+    test_actions = sorted(
+        test_log.actions(),
+        key=lambda action: -test_log.trace_size(action),
+    )
+    if max_test_traces is not None and max_test_traces < len(test_actions):
+        stride = len(test_actions) / max_test_traces
+        test_actions = [
+            test_actions[int(index * stride)] for index in range(max_test_traces)
+        ]
+    for action in test_actions:
+        propagation = PropagationGraph.build(graph, test_log, action)
+        seeds = propagation.initiators()
+        actual = float(propagation.num_nodes)
+        for method, predictor in predictors.items():
+            predicted = predictor(list(seeds))
+            experiment.records[method].append((actual, predicted))
+    experiment.num_test_traces = len(test_actions)
+    return experiment

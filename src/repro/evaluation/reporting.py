@@ -1,0 +1,83 @@
+"""ASCII rendering of experiment results.
+
+Every benchmark prints the table or figure series it reproduces, with
+the paper's reported numbers alongside where applicable, so a bench run
+reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_matrix"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    materialised = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[column]) for column, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialised:
+        lines.append(
+            "  ".join(value.ljust(widths[column]) for column, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    y_format: str = "{:.2f}",
+) -> str:
+    """Render several (x, y) series as one table with an x column.
+
+    All series must share the same x grid (the experiment drivers
+    guarantee this).
+    """
+    names = list(series)
+    if not names:
+        return title
+    xs = [x for x, _ in series[names[0]]]
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for name in names:
+            row.append(y_format.format(series[name][index][1]))
+        rows.append(row)
+    return format_table([x_label, *names], rows, title=title)
+
+
+def format_matrix(
+    names: Sequence[str],
+    matrix: Mapping[tuple[str, str], int],
+    title: str = "",
+) -> str:
+    """Render a pairwise intersection matrix (Table 2 / Figure 5 layout)."""
+    rows = []
+    for first in names:
+        row: list[object] = [first]
+        for second in names:
+            row.append(matrix[(first, second)])
+        rows.append(row)
+    return format_table(["", *names], rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

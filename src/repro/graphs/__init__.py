@@ -1,0 +1,57 @@
+"""Directed social-graph substrate.
+
+The paper's input is an *unweighted* directed social graph ``G = (V, E)``.
+This subpackage provides:
+
+* :class:`~repro.graphs.digraph.SocialGraph` — the adjacency-list digraph
+  used by every other subsystem;
+* random-graph generators used to synthesise Flixster/Flickr-like
+  networks (:mod:`repro.graphs.generators`);
+* label-propagation community detection standing in for the Graclus
+  clustering the paper uses to cut out "small" datasets
+  (:mod:`repro.graphs.clustering`);
+* PageRank, one of the two heuristic seed selectors of Figure 6
+  (:mod:`repro.graphs.pagerank`).
+"""
+
+from repro.graphs.clustering import extract_community, label_propagation
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    planted_partition_graph,
+    preferential_attachment_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.metrics import (
+    GraphSummary,
+    average_local_clustering,
+    core_numbers,
+    degree_histogram,
+    density,
+    global_clustering_coefficient,
+    reciprocity,
+    summarize_graph,
+)
+from repro.graphs.pagerank import pagerank
+from repro.graphs.sampling import forest_fire_sample, snowball_sample
+
+__all__ = [
+    "SocialGraph",
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+    "label_propagation",
+    "extract_community",
+    "pagerank",
+    "GraphSummary",
+    "summarize_graph",
+    "degree_histogram",
+    "density",
+    "reciprocity",
+    "global_clustering_coefficient",
+    "average_local_clustering",
+    "core_numbers",
+    "forest_fire_sample",
+    "snowball_sample",
+]

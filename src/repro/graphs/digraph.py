@@ -1,0 +1,225 @@
+"""Adjacency-list directed graph.
+
+:class:`SocialGraph` is the single graph type used throughout the
+library.  It stores both out- and in-adjacency so that diffusion models
+(which walk forwards) and the credit-distribution scan (which needs the
+*parents* of an activating user) are both O(degree).
+
+Nodes are arbitrary hashable identifiers; the synthetic datasets use
+contiguous integers.  Edges are unweighted here — influence probabilities
+and credits live in separate structures keyed by ``(source, target)``
+pairs, mirroring the paper's separation between the social graph and the
+models learned on top of it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Iterator
+
+__all__ = ["SocialGraph"]
+
+Node = Hashable
+
+
+class SocialGraph:
+    """A simple directed graph with O(1) edge queries.
+
+    Example
+    -------
+    >>> g = SocialGraph.from_edges([(1, 2), (2, 3)])
+    >>> sorted(g.out_neighbors(2))
+    [3]
+    >>> g.in_degree(2)
+    1
+    """
+
+    def __init__(self) -> None:
+        self._out: dict[Node, set[Node]] = {}
+        self._in: dict[Node, set[Node]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[Node, Node]], nodes: Iterable[Node] = ()
+    ) -> "SocialGraph":
+        """Build a graph from an edge list, plus optional isolated ``nodes``."""
+        graph = cls()
+        for node in nodes:
+            graph.add_node(node)
+        for source, target in edges:
+            graph.add_edge(source, target)
+        return graph
+
+    def add_node(self, node: Node) -> None:
+        """Add ``node`` if not already present (idempotent)."""
+        if node not in self._out:
+            self._out[node] = set()
+            self._in[node] = set()
+
+    def add_edge(self, source: Node, target: Node) -> None:
+        """Add the directed edge ``source -> target`` (idempotent).
+
+        Self-loops are rejected: a user does not influence themselves, and
+        allowing them would create cycles in propagation graphs.
+        """
+        if source == target:
+            raise ValueError(f"self-loop on node {source!r} is not allowed")
+        self.add_node(source)
+        self.add_node(target)
+        if target not in self._out[source]:
+            self._out[source].add(target)
+            self._in[target].add(source)
+            self._num_edges += 1
+
+    def remove_edge(self, source: Node, target: Node) -> None:
+        """Remove the directed edge ``source -> target``; raise if absent."""
+        try:
+            self._out[source].remove(target)
+            self._in[target].remove(source)
+        except KeyError as exc:
+            raise KeyError(f"edge {source!r} -> {target!r} not in graph") from exc
+        self._num_edges -= 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in insertion order."""
+        return iter(self._out)
+
+    def edges(self) -> Iterator[tuple[Node, Node]]:
+        """Iterate over directed edges as ``(source, target)`` pairs."""
+        for source, targets in self._out.items():
+            for target in targets:
+                yield (source, target)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self._out
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def has_edge(self, source: Node, target: Node) -> bool:
+        """Return True iff the directed edge ``source -> target`` exists."""
+        targets = self._out.get(source)
+        return targets is not None and target in targets
+
+    def out_neighbors(self, node: Node) -> set[Node]:
+        """Nodes ``u`` with an edge ``node -> u`` (a live view; do not mutate)."""
+        return self._out[node]
+
+    def in_neighbors(self, node: Node) -> set[Node]:
+        """Nodes ``u`` with an edge ``u -> node`` (a live view; do not mutate)."""
+        return self._in[node]
+
+    def out_degree(self, node: Node) -> int:
+        """Number of outgoing edges of ``node``."""
+        return len(self._out[node])
+
+    def in_degree(self, node: Node) -> int:
+        """Number of incoming edges of ``node``."""
+        return len(self._in[node])
+
+    def degree(self, node: Node) -> int:
+        """Total degree (in + out) of ``node``."""
+        return len(self._out[node]) + len(self._in[node])
+
+    def average_degree(self) -> float:
+        """Average out-degree (edges per node); 0.0 for the empty graph."""
+        if not self._out:
+            return 0.0
+        return self._num_edges / len(self._out)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "SocialGraph":
+        """Return a new graph with every edge direction flipped."""
+        reversed_graph = SocialGraph()
+        for node in self._out:
+            reversed_graph.add_node(node)
+        for source, target in self.edges():
+            reversed_graph.add_edge(target, source)
+        return reversed_graph
+
+    def subgraph(self, nodes: Iterable[Node]) -> "SocialGraph":
+        """Return the subgraph induced by ``nodes``.
+
+        Nodes absent from the graph are ignored, so callers can pass a
+        community label set directly.
+        """
+        keep = {node for node in nodes if node in self._out}
+        induced = SocialGraph()
+        for node in keep:
+            induced.add_node(node)
+        for node in keep:
+            for target in self._out[node]:
+                if target in keep:
+                    induced.add_edge(node, target)
+        return induced
+
+    def copy(self) -> "SocialGraph":
+        """Return an independent copy of this graph."""
+        duplicate = SocialGraph()
+        for node in self._out:
+            duplicate.add_node(node)
+        for source, target in self.edges():
+            duplicate.add_edge(source, target)
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def reachable_from(self, sources: Iterable[Node]) -> set[Node]:
+        """All nodes reachable from ``sources`` by directed paths (inclusive).
+
+        This is the possible-world reachability primitive behind Eq. (2)
+        of the paper: the spread in a deterministic world is
+        ``len(world.reachable_from(seeds))``.
+        """
+        frontier = deque(node for node in sources if node in self._out)
+        seen = set(frontier)
+        while frontier:
+            node = frontier.popleft()
+            for target in self._out[node]:
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+    def undirected_components(self) -> list[set[Node]]:
+        """Weakly connected components, largest first."""
+        seen: set[Node] = set()
+        components: list[set[Node]] = []
+        for start in self._out:
+            if start in seen:
+                continue
+            component = {start}
+            frontier = deque([start])
+            while frontier:
+                node = frontier.popleft()
+                for neighbor in self._out[node] | self._in[node]:
+                    if neighbor not in component:
+                        component.add(neighbor)
+                        frontier.append(neighbor)
+            seen |= component
+            components.append(component)
+        components.sort(key=len, reverse=True)
+        return components
+
+    def __repr__(self) -> str:
+        return f"SocialGraph(num_nodes={self.num_nodes}, num_edges={self.num_edges})"

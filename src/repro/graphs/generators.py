@@ -1,0 +1,215 @@
+"""Random social-graph generators.
+
+The paper's Flixster and Flickr graphs are crawls of real platforms; we
+cannot redistribute them, so the dataset registry
+(:mod:`repro.data.datasets`) synthesises structurally similar graphs from
+the generators below.  What matters for the experiments is:
+
+* heavy-tailed degree distributions (so High-Degree is a meaningful
+  baseline and hubs exist),
+* community structure (so the Graclus-style "small community" sampling
+  step of Section 3 has communities to find),
+* controllable density (Flixster-like: avg degree ~15; Flickr-like: ~80).
+
+All generators are deterministic given a seed and return
+:class:`~repro.graphs.digraph.SocialGraph` instances with integer nodes
+``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.digraph import SocialGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import require, require_probability
+
+__all__ = [
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "watts_strogatz_graph",
+    "planted_partition_graph",
+]
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    seed: int | random.Random | None = None,
+) -> SocialGraph:
+    """G(n, p): each ordered pair becomes an edge independently with prob p.
+
+    Used mainly in tests; real social graphs are not Poisson, but G(n, p)
+    gives clean null models for the statistical checks.
+    """
+    require(num_nodes >= 0, f"num_nodes must be non-negative, got {num_nodes}")
+    require_probability(edge_probability, "edge_probability")
+    rng = make_rng(seed)
+    graph = SocialGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    # Geometric skipping: O(expected edges) rather than O(n^2) for small p.
+    if edge_probability <= 0.0:
+        return graph
+    if edge_probability >= 1.0:
+        for source in range(num_nodes):
+            for target in range(num_nodes):
+                if source != target:
+                    graph.add_edge(source, target)
+        return graph
+    total_pairs = num_nodes * (num_nodes - 1)
+    index = -1
+    log_q = _log1m(edge_probability)
+    while True:
+        # Skip ahead a geometrically distributed number of non-edges.
+        gap = int(_log(rng.random()) / log_q)
+        index += gap + 1
+        if index >= total_pairs:
+            break
+        source, offset = divmod(index, num_nodes - 1)
+        target = offset if offset < source else offset + 1
+        graph.add_edge(source, target)
+    return graph
+
+
+def preferential_attachment_graph(
+    num_nodes: int,
+    out_degree: int,
+    seed: int | random.Random | None = None,
+    reciprocity: float = 0.3,
+) -> SocialGraph:
+    """Directed Barabási–Albert-style graph with heavy-tailed in-degrees.
+
+    Each new node attaches ``out_degree`` edges to existing nodes chosen
+    proportionally to their current degree (plus one, so isolated nodes
+    remain reachable).  With probability ``reciprocity`` each new edge is
+    reciprocated, modelling mutual follow relationships common on social
+    platforms.
+    """
+    require(num_nodes >= 1, f"num_nodes must be >= 1, got {num_nodes}")
+    require(out_degree >= 1, f"out_degree must be >= 1, got {out_degree}")
+    require_probability(reciprocity, "reciprocity")
+    rng = make_rng(seed)
+    graph = SocialGraph()
+    graph.add_node(0)
+    # Repeated-nodes list: node i appears degree(i)+1 times, giving the
+    # classic O(1) preferential sampling trick.
+    attachment_pool: list[int] = [0]
+    for node in range(1, num_nodes):
+        graph.add_node(node)
+        chosen: set[int] = set()
+        attempts = 0
+        want = min(out_degree, node)
+        while len(chosen) < want and attempts < 20 * out_degree:
+            candidate = attachment_pool[rng.randrange(len(attachment_pool))]
+            attempts += 1
+            if candidate != node:
+                chosen.add(candidate)
+        # Fall back to uniform sampling if the pool was too concentrated.
+        while len(chosen) < want:
+            candidate = rng.randrange(node)
+            chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(node, target)
+            attachment_pool.append(target)
+            if rng.random() < reciprocity:
+                graph.add_edge(target, node)
+                attachment_pool.append(node)
+        attachment_pool.append(node)
+    return graph
+
+
+def watts_strogatz_graph(
+    num_nodes: int,
+    ring_neighbors: int,
+    rewire_probability: float,
+    seed: int | random.Random | None = None,
+) -> SocialGraph:
+    """Directed small-world graph (ring lattice with random rewiring).
+
+    Each node points to its ``ring_neighbors`` clockwise successors; every
+    edge is rewired to a uniform random target with probability
+    ``rewire_probability``.
+    """
+    require(num_nodes >= 3, f"num_nodes must be >= 3, got {num_nodes}")
+    require(
+        1 <= ring_neighbors < num_nodes,
+        f"ring_neighbors must be in [1, num_nodes), got {ring_neighbors}",
+    )
+    require_probability(rewire_probability, "rewire_probability")
+    rng = make_rng(seed)
+    graph = SocialGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for node in range(num_nodes):
+        # Track chosen targets so every node ends with exactly
+        # ring_neighbors distinct out-edges even after rewiring.
+        used = {node}
+        for offset in range(1, ring_neighbors + 1):
+            target = (node + offset) % num_nodes
+            if rng.random() < rewire_probability or target in used:
+                target = rng.randrange(num_nodes)
+                while target in used:
+                    target = rng.randrange(num_nodes)
+            graph.add_edge(node, target)
+            used.add(target)
+    return graph
+
+
+def planted_partition_graph(
+    community_sizes: list[int],
+    in_probability: float,
+    out_probability: float,
+    seed: int | random.Random | None = None,
+) -> tuple[SocialGraph, dict[int, int]]:
+    """Stochastic block model with planted communities.
+
+    Returns ``(graph, membership)`` where ``membership[node]`` is the
+    community index.  Edges inside a community appear with
+    ``in_probability``; edges between communities with ``out_probability``.
+    This is the substrate for testing the Graclus-substitute clustering
+    (:func:`repro.graphs.clustering.label_propagation`).
+    """
+    require(bool(community_sizes), "community_sizes must be non-empty")
+    require(
+        all(size >= 1 for size in community_sizes),
+        "all community sizes must be >= 1",
+    )
+    require_probability(in_probability, "in_probability")
+    require_probability(out_probability, "out_probability")
+    rng = make_rng(seed)
+    membership: dict[int, int] = {}
+    node = 0
+    for community, size in enumerate(community_sizes):
+        for _ in range(size):
+            membership[node] = community
+            node += 1
+    num_nodes = node
+    graph = SocialGraph()
+    for node_id in range(num_nodes):
+        graph.add_node(node_id)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source == target:
+                continue
+            probability = (
+                in_probability
+                if membership[source] == membership[target]
+                else out_probability
+            )
+            if probability > 0.0 and rng.random() < probability:
+                graph.add_edge(source, target)
+    return graph, membership
+
+
+def _log(x: float) -> float:
+    import math
+
+    # rng.random() can return 0.0; clamp to avoid -inf blowing up skipping.
+    return math.log(x) if x > 0.0 else math.log(5e-324)
+
+
+def _log1m(p: float) -> float:
+    import math
+
+    return math.log1p(-p)

@@ -1,0 +1,73 @@
+"""CELF: lazy-forward greedy (Leskovec et al., KDD 2007).
+
+CELF exploits submodularity: a node's marginal gain can only shrink as
+the seed set grows, so a stale gain is an *upper bound*.  Keeping
+candidates in a max-queue keyed by their last-computed gain, we only
+recompute the top entry; if the recomputed gain still tops the queue the
+node is provably the argmax without touching anyone else.  The paper
+reports up to 700x speedups over plain greedy with an identical result —
+the test suite checks the "identical result" half on small instances.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Iterable
+
+from repro.maximization.greedy import GreedyResult
+from repro.maximization.oracle import SpreadOracle
+from repro.utils.pqueue import LazyQueue
+from repro.utils.validation import require
+
+__all__ = ["celf_maximize"]
+
+User = Hashable
+
+
+def celf_maximize(
+    oracle: SpreadOracle,
+    k: int,
+    candidates: Iterable[User] | None = None,
+    time_log: list[tuple[int, float]] | None = None,
+) -> GreedyResult:
+    """Select ``k`` seeds by greedy with the CELF lazy-forward optimisation.
+
+    Semantically identical to :func:`repro.maximization.greedy.greedy_maximize`
+    (for a deterministic oracle), but typically needs far fewer oracle
+    calls after the first iteration.
+
+    If ``time_log`` is given, ``(seed_count, elapsed_seconds)`` is
+    appended each time a seed is selected — the data behind the paper's
+    runtime-vs-k curves (Figure 7).
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    started = time.perf_counter()
+    pool = list(oracle.candidates() if candidates is None else candidates)
+    result = GreedyResult()
+    if k == 0 or not pool:
+        return result
+
+    queue = LazyQueue()
+    for node in pool:
+        gain = oracle.spread([node])
+        result.oracle_calls += 1
+        queue.push(node, gain, iteration=0)
+
+    selected: list[User] = []
+    current_spread = 0.0
+    while len(selected) < k and queue:
+        entry = queue.pop()
+        if entry.iteration == len(selected):
+            # Fresh gain: by submodularity no other node can beat it.
+            selected.append(entry.item)
+            current_spread += entry.gain
+            result.seeds.append(entry.item)
+            result.gains.append(entry.gain)
+            if time_log is not None:
+                time_log.append((len(selected), time.perf_counter() - started))
+        else:
+            new_gain = oracle.spread(selected + [entry.item]) - current_spread
+            result.oracle_calls += 1
+            queue.push(entry.item, new_gain, iteration=len(selected))
+    result.spread = current_spread
+    return result

@@ -1,0 +1,92 @@
+"""Algorithm 1: the plain greedy seed-selection algorithm.
+
+For a monotone submodular spread function with ``f(empty) = 0``, greedily
+adding the node with the largest marginal gain achieves a
+``(1 - 1/e)``-approximation of the optimum (Nemhauser et al. 1978) — the
+guarantee both the standard approach and the CD model inherit.
+
+This implementation evaluates every candidate in every iteration (k * n
+oracle calls); :mod:`repro.maximization.celf` is the drop-in replacement
+that avoids most of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+from repro.maximization.oracle import SpreadOracle
+from repro.utils.validation import require
+
+__all__ = ["GreedyResult", "greedy_maximize"]
+
+User = Hashable
+
+
+@dataclass
+class GreedyResult:
+    """Outcome of a greedy run.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seed nodes, in selection order.
+    gains:
+        Marginal spread gain of each seed at the time it was selected
+        (non-increasing, by submodularity).
+    spread:
+        Expected spread of the full seed set.
+    oracle_calls:
+        Number of spread evaluations performed.
+    """
+
+    seeds: list[User] = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float = 0.0
+    oracle_calls: int = 0
+
+    def seeds_at(self, k: int) -> list[User]:
+        """The first ``k`` selected seeds (greedy prefixes are nested)."""
+        return self.seeds[:k]
+
+
+def greedy_maximize(
+    oracle: SpreadOracle,
+    k: int,
+    candidates: Iterable[User] | None = None,
+) -> GreedyResult:
+    """Select ``k`` seeds by plain greedy (Algorithm 1).
+
+    Parameters
+    ----------
+    oracle:
+        The spread function ``sigma_m``.
+    k:
+        Seed-set size; capped at the number of candidates.
+    candidates:
+        Candidate universe; defaults to ``oracle.candidates()``.
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    pool = list(oracle.candidates() if candidates is None else candidates)
+    result = GreedyResult()
+    current_spread = 0.0
+    selected: set[User] = set()
+    for _ in range(min(k, len(pool))):
+        best_node = None
+        best_spread = float("-inf")
+        for node in pool:
+            if node in selected:
+                continue
+            candidate_spread = oracle.spread(list(selected) + [node])
+            result.oracle_calls += 1
+            if candidate_spread > best_spread:
+                best_spread = candidate_spread
+                best_node = node
+        if best_node is None:
+            break
+        selected.add(best_node)
+        result.seeds.append(best_node)
+        result.gains.append(best_spread - current_spread)
+        current_spread = best_spread
+    result.spread = current_spread
+    return result

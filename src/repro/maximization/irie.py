@@ -1,0 +1,143 @@
+"""IRIE: influence ranking + influence estimation for the IC model.
+
+IRIE (Jung, Heo, Chen; ICDM 2012) closes the scalable-heuristics line
+the paper's Section 2.1 surveys: instead of evaluating ``sigma(S + v)``
+per candidate, it solves one *global ranking* per iteration.  The rank
+``r(v)`` estimates each node's marginal influence through the
+fixed-point system
+
+    r(v) = (1 - ap(v)) * (1 + alpha * sum_{u in out(v)} p(v, u) * r(u))
+
+where ``alpha`` is a damping factor (the authors use 0.7) and ``ap(v)``
+is the probability that ``v`` is *already activated* by the current
+seed set — so nodes in the seeds' shadow contribute nothing new.  After
+each seed is picked, ``ap`` is re-estimated (the "IE" half) by an
+independent-arrival fixed point:
+
+    ap(u) = 1 - prod_{v in in(u)} (1 - ap(v) * p(v, u)),   ap(seed) = 1.
+
+Both fixed points are damped Jacobi iterations over the edge list —
+O(iterations * |E|) per seed, independent of Monte Carlo — making IRIE
+the cheapest quality-aware IC selector in the library (DegreeDiscount
+is cheaper but structure-only).  Tests compare its seed quality against
+CELF-with-MC on small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.graphs.digraph import SocialGraph
+from repro.utils.validation import require
+
+__all__ = ["irie_ranks", "irie_activation_probabilities", "irie_seeds"]
+
+User = Hashable
+Edge = tuple[User, User]
+
+
+def irie_ranks(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    activation: Mapping[User, float] | None = None,
+    alpha: float = 0.7,
+    iterations: int = 20,
+) -> dict[User, float]:
+    """Solve the IR fixed point; returns ``{node: rank}``.
+
+    ``activation`` is ``ap(.)`` for the current seed set (empty = no
+    seeds, all ranks start from 1).  Higher rank = larger estimated
+    marginal influence.
+    """
+    require(0.0 < alpha < 1.0, f"alpha must be in (0, 1), got {alpha}")
+    require(iterations >= 1, f"iterations must be >= 1, got {iterations}")
+    ap = activation or {}
+    ranks = {node: 1.0 - ap.get(node, 0.0) for node in graph.nodes()}
+    for _ in range(iterations):
+        updated = {}
+        for node in graph.nodes():
+            spread_term = sum(
+                probabilities.get((node, target), 0.0) * ranks[target]
+                for target in graph.out_neighbors(node)
+            )
+            updated[node] = (1.0 - ap.get(node, 0.0)) * (
+                1.0 + alpha * spread_term
+            )
+        ranks = updated
+    return ranks
+
+
+def irie_activation_probabilities(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    seeds: Iterable[User],
+    iterations: int = 20,
+) -> dict[User, float]:
+    """The IE fixed point: per-node activation probability given ``seeds``.
+
+    Treats in-neighbour activations as independent (exact on trees,
+    an approximation on general graphs — the same independence
+    assumption PMIA makes).
+    """
+    require(iterations >= 1, f"iterations must be >= 1, got {iterations}")
+    seed_set = {seed for seed in seeds if seed in graph}
+    ap = {node: (1.0 if node in seed_set else 0.0) for node in graph.nodes()}
+    for _ in range(iterations):
+        updated = {}
+        for node in graph.nodes():
+            if node in seed_set:
+                updated[node] = 1.0
+                continue
+            survive = 1.0
+            for source in graph.in_neighbors(node):
+                survive *= 1.0 - ap[source] * probabilities.get(
+                    (source, node), 0.0
+                )
+            updated[node] = 1.0 - survive
+        ap = updated
+    return ap
+
+
+def irie_seeds(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    k: int,
+    alpha: float = 0.7,
+    iterations: int = 20,
+) -> list[User]:
+    """Select ``k`` seeds by iterating rank-then-estimate.
+
+    Each round solves the IR system under the current activation
+    shadow, picks the top-ranked non-seed, and refreshes ``ap``.
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    seeds: list[User] = []
+    chosen: set[User] = set()
+    ap: dict[User, float] = {}
+    for _ in range(min(k, graph.num_nodes)):
+        ranks = irie_ranks(
+            graph, probabilities, ap, alpha=alpha, iterations=iterations
+        )
+        best = None
+        best_rank = float("-inf")
+        for node, rank in ranks.items():
+            if node in chosen:
+                continue
+            if rank > best_rank or (
+                rank == best_rank and _sort_key(node) < _sort_key(best)
+            ):
+                best = node
+                best_rank = rank
+        if best is None:
+            break
+        seeds.append(best)
+        chosen.add(best)
+        ap = irie_activation_probabilities(
+            graph, probabilities, seeds, iterations=iterations
+        )
+    return seeds
+
+
+def _sort_key(value: object) -> tuple[str, str]:
+    """Deterministic tie-break key for heterogeneous node ids."""
+    return (type(value).__name__, repr(value))

@@ -1,0 +1,192 @@
+"""Reverse-influence sampling (RIS) for the IC model.
+
+The possible-world identity behind the paper's Eq. (4) —
+``sigma(S) = sum_u Pr[path(S, u) = 1]`` — also powers the modern
+sampling line of IM algorithms (Borgs et al. SODA'14; Tang et al.'s
+TIM/IMM): the probability that a *random* node ``u`` in a *random*
+live-edge world is reachable from ``S`` equals ``sigma(S) / n``.
+Sampling **reverse reachable (RR) sets** — the set of nodes that reach a
+uniformly random target in one sampled world — turns influence
+maximization into maximum coverage:
+
+    sigma(S) ≈ n * (fraction of RR sets hit by S)
+
+and greedy max-coverage over the sampled RR sets gives a
+``(1 - 1/e - eps)`` guarantee with enough samples.  This module
+implements the fixed-sample-size variant as the natural "future work"
+bridge from the paper's possible-world analysis to the post-2011
+state of the art, and serves as an independent check of the library's
+Monte-Carlo IC machinery (the two estimate the same quantity by dual
+routes; tests compare them).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from repro.graphs.digraph import SocialGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "sample_rr_set",
+    "generate_rr_sets",
+    "RISResult",
+    "ris_spread",
+    "ris_maximize",
+]
+
+User = Hashable
+Edge = tuple[User, User]
+
+
+def sample_rr_set(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    target: User,
+    rng: random.Random,
+) -> frozenset[User]:
+    """One RR set: nodes reaching ``target`` in a freshly sampled world.
+
+    Edges are flipped lazily during a reverse BFS — each in-edge
+    ``(v, u)`` is live with probability ``p(v, u)``, independently —
+    which is equivalent to sampling the whole live-edge world up front
+    but touches only the reachable region.
+    """
+    reached = {target}
+    frontier = deque([target])
+    while frontier:
+        node = frontier.popleft()
+        for source in graph.in_neighbors(node):
+            if source in reached:
+                continue
+            probability = probabilities.get((source, node), 0.0)
+            if probability > 0.0 and rng.random() < probability:
+                reached.add(source)
+                frontier.append(source)
+    return frozenset(reached)
+
+
+def generate_rr_sets(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    count: int,
+    seed: int | random.Random | None = None,
+) -> list[frozenset[User]]:
+    """Sample ``count`` RR sets with uniformly random targets."""
+    require(count >= 1, f"count must be >= 1, got {count}")
+    rng = make_rng(seed)
+    nodes = list(graph.nodes())
+    if not nodes:
+        return []
+    return [
+        sample_rr_set(graph, probabilities, rng.choice(nodes), rng)
+        for _ in range(count)
+    ]
+
+
+def ris_spread(
+    graph: SocialGraph,
+    rr_sets: list[frozenset[User]],
+    seeds: Iterable[User],
+) -> float:
+    """Estimate ``sigma_IC(seeds)`` from sampled RR sets.
+
+    ``n * (covered RR sets) / (total RR sets)`` — an unbiased estimator
+    whose variance shrinks as 1/#samples.
+    """
+    if not rr_sets:
+        return 0.0
+    seed_set = set(seeds)
+    covered = sum(1 for rr in rr_sets if not seed_set.isdisjoint(rr))
+    return graph.num_nodes * covered / len(rr_sets)
+
+
+@dataclass
+class RISResult:
+    """Outcome of a RIS maximization run.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seeds in selection order.
+    gains:
+        Estimated marginal spread of each seed when selected.
+    spread:
+        Estimated spread of the full seed set (same estimator).
+    num_rr_sets:
+        Number of RR sets the estimate is based on.
+    """
+
+    seeds: list[User] = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float = 0.0
+    num_rr_sets: int = 0
+
+
+def ris_maximize(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    k: int,
+    num_rr_sets: int = 10_000,
+    seed: int | random.Random | None = None,
+    rr_sets: list[frozenset[User]] | None = None,
+) -> RISResult:
+    """Select ``k`` seeds by greedy maximum coverage over RR sets.
+
+    Pass precomputed ``rr_sets`` to amortise sampling across runs (e.g.
+    a k-sweep); otherwise ``num_rr_sets`` sets are sampled.  Greedy
+    coverage is implemented with exact cover-count bookkeeping, so it is
+    the true greedy on the sampled instance (no laziness needed: cover
+    counts update in O(total RR membership)).
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    if rr_sets is None:
+        rr_sets = generate_rr_sets(graph, probabilities, num_rr_sets, seed)
+    result = RISResult(num_rr_sets=len(rr_sets))
+    if k == 0 or not rr_sets:
+        return result
+
+    # node -> indices of RR sets containing it.
+    membership: dict[User, list[int]] = {}
+    for index, rr in enumerate(rr_sets):
+        for node in rr:
+            membership.setdefault(node, []).append(index)
+    cover_count = {node: len(indices) for node, indices in membership.items()}
+    covered = [False] * len(rr_sets)
+    scale = graph.num_nodes / len(rr_sets)
+    total_covered = 0
+    for _ in range(min(k, len(cover_count))):
+        best = None
+        gain = 0
+        for node, count in cover_count.items():
+            if count > gain or (
+                count == gain
+                and best is not None
+                and _node_sort_key(node) < _node_sort_key(best)
+            ):
+                best = node
+                gain = count
+        if best is None or gain <= 0:
+            break
+        result.seeds.append(best)
+        result.gains.append(gain * scale)
+        total_covered += gain
+        for index in membership[best]:
+            if covered[index]:
+                continue
+            covered[index] = True
+            for node in rr_sets[index]:
+                if node in cover_count:
+                    cover_count[node] -= 1
+        del cover_count[best]
+    result.spread = total_covered * scale
+    return result
+
+
+def _node_sort_key(value: object) -> tuple[str, str]:
+    """Deterministic tie-break key for heterogeneous node ids."""
+    return (type(value).__name__, repr(value))

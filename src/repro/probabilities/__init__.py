@@ -1,0 +1,42 @@
+"""Edge influence probabilities: ad-hoc assignments and data-driven learning.
+
+Section 3 of the paper compares five ways of obtaining the edge
+probabilities that the IC model needs:
+
+* **UN** — every edge gets a constant (0.01);
+* **TV** — trivalency: uniform choice from {0.1, 0.01, 0.001};
+* **WC** — weighted cascade: ``1 / in_degree(u)``;
+* **EM** — learned from real propagation traces by the EM method of
+  Saito et al. (KES 2008), adapted to continuous-time logs;
+* **PT** — EM probabilities perturbed by ±20% noise (robustness probe).
+
+plus the LT weight learning of Section 6 (``p(v,u) = A_{v2u} / N``).
+"""
+
+from repro.probabilities.em import learn_ic_probabilities_em
+from repro.probabilities.goyal import (
+    bernoulli_probabilities,
+    jaccard_probabilities,
+    learn_static_probabilities,
+    partial_credit_probabilities,
+)
+from repro.probabilities.lt_weights import learn_lt_weights
+from repro.probabilities.perturb import perturb_probabilities
+from repro.probabilities.static import (
+    trivalency_probabilities,
+    uniform_probabilities,
+    weighted_cascade_probabilities,
+)
+
+__all__ = [
+    "uniform_probabilities",
+    "trivalency_probabilities",
+    "weighted_cascade_probabilities",
+    "learn_ic_probabilities_em",
+    "learn_lt_weights",
+    "perturb_probabilities",
+    "bernoulli_probabilities",
+    "jaccard_probabilities",
+    "partial_credit_probabilities",
+    "learn_static_probabilities",
+]

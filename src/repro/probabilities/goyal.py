@@ -1,0 +1,142 @@
+"""Static influence-probability models of Goyal et al. (WSDM 2010).
+
+The paper's reference [7] — by the same authors — learns edge influence
+probabilities from the action log with simple frequentist estimators,
+the "static models" family.  They are the data-based alternative to the
+EM method of Saito et al. and complete the library's coverage of
+probability-learning techniques:
+
+* **Bernoulli** — maximum-likelihood success rate of the contact trials:
+
+      p(v, u) = A_{v2u} / A_v
+
+  where ``A_{v2u}`` counts actions that propagated from ``v`` to ``u``
+  and ``A_v`` counts actions ``v`` performed (each is a trial in which
+  ``v`` could have influenced ``u``).
+
+* **Jaccard** — normalises by either user acting, discounting pairs that
+  are merely both very active:
+
+      p(v, u) = A_{v2u} / A_{v|u}
+
+  with ``A_{v|u}`` the number of actions performed by ``v`` or ``u``.
+
+* **Partial credits (PC)** — when ``u`` had multiple potential
+  influencers for an action, each gets only a ``1 / d_in(u, a)`` share
+  of the observation instead of full credit (the same intuition the CD
+  model builds on):
+
+      p(v, u) = (sum_a credit_{v,u}(a)) / A_v
+
+All three produce sparse ``{(v, u): probability}`` maps over edges with
+at least one observed propagation, directly usable by the IC oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.graphs.digraph import SocialGraph
+
+__all__ = [
+    "bernoulli_probabilities",
+    "jaccard_probabilities",
+    "partial_credit_probabilities",
+    "learn_static_probabilities",
+]
+
+User = Hashable
+Edge = tuple[User, User]
+
+
+def _propagation_counts(
+    graph: SocialGraph, log: ActionLog, partial: bool
+) -> dict[Edge, float]:
+    """``A_{v2u}`` per edge — fractional ``1/d_in`` shares when ``partial``."""
+    counts: dict[Edge, float] = {}
+    for action in log.actions():
+        propagation = PropagationGraph.build(graph, log, action)
+        for user in propagation.nodes():
+            parents = propagation.parents(user)
+            if not parents:
+                continue
+            share = 1.0 / len(parents) if partial else 1.0
+            for parent in parents:
+                edge = (parent, user)
+                counts[edge] = counts.get(edge, 0.0) + share
+    return counts
+
+
+def _joint_activity(log: ActionLog, v: User, u: User) -> int:
+    """``A_{v|u}``: number of actions performed by ``v`` or ``u``.
+
+    By inclusion–exclusion: ``A_v + A_u - A_{v&u}``, with the
+    intersection counted over ``v``'s (typically shorter) action list.
+    """
+    both = sum(1 for action in log.actions_of(v) if log.performed(u, action))
+    return log.activity(v) + log.activity(u) - both
+
+
+def bernoulli_probabilities(
+    graph: SocialGraph, log: ActionLog
+) -> dict[Edge, float]:
+    """Bernoulli static model: ``p(v, u) = A_{v2u} / A_v``."""
+    counts = _propagation_counts(graph, log, partial=False)
+    probabilities: dict[Edge, float] = {}
+    for (source, target), count in counts.items():
+        trials = log.activity(source)
+        if trials > 0:
+            probabilities[(source, target)] = min(1.0, count / trials)
+    return probabilities
+
+
+def jaccard_probabilities(
+    graph: SocialGraph, log: ActionLog
+) -> dict[Edge, float]:
+    """Jaccard static model: ``p(v, u) = A_{v2u} / A_{v|u}``."""
+    counts = _propagation_counts(graph, log, partial=False)
+    probabilities: dict[Edge, float] = {}
+    for (source, target), count in counts.items():
+        union = _joint_activity(log, source, target)
+        if union > 0:
+            probabilities[(source, target)] = min(1.0, count / union)
+    return probabilities
+
+
+def partial_credit_probabilities(
+    graph: SocialGraph, log: ActionLog
+) -> dict[Edge, float]:
+    """Partial-credits Bernoulli: shared observations, ``A_v`` trials."""
+    counts = _propagation_counts(graph, log, partial=True)
+    probabilities: dict[Edge, float] = {}
+    for (source, target), count in counts.items():
+        trials = log.activity(source)
+        if trials > 0:
+            probabilities[(source, target)] = min(1.0, count / trials)
+    return probabilities
+
+
+_METHODS = {
+    "bernoulli": bernoulli_probabilities,
+    "jaccard": jaccard_probabilities,
+    "partial-credits": partial_credit_probabilities,
+}
+
+
+def learn_static_probabilities(
+    graph: SocialGraph, log: ActionLog, method: str = "bernoulli"
+) -> dict[Edge, float]:
+    """Dispatch to one of the static models by name.
+
+    ``method`` is ``"bernoulli"``, ``"jaccard"`` or ``"partial-credits"``.
+    """
+    try:
+        learner = _METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown static model {method!r}; "
+            f"expected one of {sorted(_METHODS)}"
+        ) from None
+    return learner(graph, log)

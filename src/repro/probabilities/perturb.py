@@ -1,0 +1,38 @@
+"""PT: noise injection on learned probabilities (paper Section 3).
+
+To probe the greedy algorithm's robustness against errors in the
+probability-learning phase, the paper perturbs each EM-learned
+probability by a percentage drawn uniformly from [-20%, +20%], rounding
+to 0 or 1 when the result leaves [0, 1].
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Mapping
+
+from repro.utils.rng import make_rng
+from repro.utils.validation import require
+
+__all__ = ["perturb_probabilities"]
+
+Edge = tuple[Hashable, Hashable]
+
+
+def perturb_probabilities(
+    probabilities: Mapping[Edge, float],
+    noise: float = 0.2,
+    seed: int | random.Random | None = None,
+) -> dict[Edge, float]:
+    """Return a copy of ``probabilities`` with ±``noise`` relative jitter.
+
+    Each value ``p`` becomes ``p * (1 + r)`` with ``r ~ U[-noise, noise]``,
+    clipped to [0, 1].
+    """
+    require(noise >= 0, f"noise must be non-negative, got {noise}")
+    rng = make_rng(seed)
+    perturbed: dict[Edge, float] = {}
+    for edge, probability in probabilities.items():
+        factor = 1.0 + rng.uniform(-noise, noise)
+        perturbed[edge] = min(1.0, max(0.0, probability * factor))
+    return perturbed

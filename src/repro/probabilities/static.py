@@ -1,0 +1,61 @@
+"""Ad-hoc edge probability assignments: UN, TV and WC.
+
+These are the probability "models" most pre-2010 influence-maximization
+literature assumed (see paper Section 1 and [10, 3, 2]).  They use no
+propagation data at all — which is exactly the practice the paper's
+Section 3 shows to be unreliable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.graphs.digraph import SocialGraph
+from repro.utils.rng import make_rng
+from repro.utils.validation import require, require_probability
+
+__all__ = [
+    "uniform_probabilities",
+    "trivalency_probabilities",
+    "weighted_cascade_probabilities",
+]
+
+Edge = tuple[Hashable, Hashable]
+
+
+def uniform_probabilities(
+    graph: SocialGraph, probability: float = 0.01
+) -> dict[Edge, float]:
+    """UN: assign the same ``probability`` to every edge (default 0.01)."""
+    require_probability(probability, "probability")
+    return {edge: probability for edge in graph.edges()}
+
+
+def trivalency_probabilities(
+    graph: SocialGraph,
+    seed: int | random.Random | None = None,
+    values: tuple[float, ...] = (0.1, 0.01, 0.001),
+) -> dict[Edge, float]:
+    """TV: pick each edge's probability uniformly from ``values``.
+
+    The default triple {0.1, 0.01, 0.001} is the trivalency model of
+    Chen et al. (KDD 2010).
+    """
+    require(bool(values), "values must be non-empty")
+    for value in values:
+        require_probability(value, "trivalency value")
+    rng = make_rng(seed)
+    return {edge: rng.choice(values) for edge in graph.edges()}
+
+
+def weighted_cascade_probabilities(graph: SocialGraph) -> dict[Edge, float]:
+    """WC: probability of edge ``(v, u)`` is ``1 / in_degree(u)``.
+
+    The weighted-cascade model of Kempe et al. (KDD 2003): every node is
+    influenced in total "one unit", split evenly over its in-neighbours.
+    """
+    probabilities: dict[Edge, float] = {}
+    for source, target in graph.edges():
+        probabilities[(source, target)] = 1.0 / graph.in_degree(target)
+    return probabilities

@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness, priority queues, timing, validation.
+
+These are small, dependency-free building blocks used across the library.
+They are exported here so that downstream code can write
+``from repro.utils import make_rng, LazyQueue`` without caring about the
+internal module layout.
+"""
+
+from repro.utils.pqueue import LazyQueue, QueueEntry
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "LazyQueue",
+    "QueueEntry",
+    "make_rng",
+    "spawn_rngs",
+    "Timer",
+    "require",
+    "require_non_negative",
+    "require_positive",
+    "require_probability",
+]

@@ -1,0 +1,76 @@
+"""A max-priority queue supporting the CELF "lazy forward" pattern.
+
+CELF (Leskovec et al., KDD 2007) keeps candidate seeds in a queue ordered
+by their *last computed* marginal gain, together with the iteration at
+which that gain was computed.  When an entry surfaces whose gain is stale,
+the gain is recomputed and the entry re-inserted; when a fresh entry
+surfaces it is guaranteed optimal by submodularity.
+
+:class:`LazyQueue` implements exactly that contract on top of ``heapq``
+(a min-heap, so priorities are negated internally).  Ties are broken by
+insertion order to keep runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["LazyQueue", "QueueEntry"]
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """A queue element: ``item`` with priority ``gain`` computed at ``iteration``."""
+
+    item: Any
+    gain: float
+    iteration: int
+
+
+class LazyQueue:
+    """Max-queue over ``(item, gain, iteration)`` entries.
+
+    Example
+    -------
+    >>> q = LazyQueue()
+    >>> q.push("a", 3.0, iteration=0)
+    >>> q.push("b", 5.0, iteration=0)
+    >>> q.pop().item
+    'b'
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, QueueEntry]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, item: Any, gain: float, iteration: int) -> None:
+        """Insert ``item`` with priority ``gain`` stamped at ``iteration``."""
+        entry = QueueEntry(item=item, gain=gain, iteration=iteration)
+        heapq.heappush(self._heap, (-gain, next(self._counter), entry))
+
+    def pop(self) -> QueueEntry:
+        """Remove and return the entry with the largest gain."""
+        if not self._heap:
+            raise IndexError("pop from an empty LazyQueue")
+        _, _, entry = heapq.heappop(self._heap)
+        return entry
+
+    def peek(self) -> QueueEntry:
+        """Return (without removing) the entry with the largest gain."""
+        if not self._heap:
+            raise IndexError("peek at an empty LazyQueue")
+        return self._heap[0][2]
+
+    def drain(self) -> Iterator[QueueEntry]:
+        """Yield entries in decreasing-gain order, emptying the queue."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,40 @@
+"""Small argument-validation helpers.
+
+The library validates inputs at public API boundaries and raises
+``ValueError`` with messages that name the offending parameter, per the
+"errors should never pass silently" principle.  Internal hot loops do not
+re-validate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value: float, name: str) -> None:
+    """Raise unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")

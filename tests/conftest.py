@@ -1,0 +1,54 @@
+"""Shared fixtures: tiny deterministic datasets reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.data.datasets import flickr_like, flixster_like, toy_example
+from repro.graphs.digraph import SocialGraph
+
+
+@pytest.fixture(scope="session")
+def toy():
+    """The paper's Figure-1 running example."""
+    return toy_example()
+
+
+@pytest.fixture(scope="session")
+def flixster_mini():
+    """A small deterministic Flixster-like dataset (~150 nodes)."""
+    return flixster_like("mini")
+
+
+@pytest.fixture(scope="session")
+def flickr_mini():
+    """A small deterministic Flickr-like dataset (~170 nodes)."""
+    return flickr_like("mini")
+
+
+@pytest.fixture()
+def diamond_graph():
+    """A 4-node diamond: 0 -> {1, 2} -> 3."""
+    return SocialGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture()
+def chain_graph():
+    """A 4-node directed chain 0 -> 1 -> 2 -> 3."""
+    return SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture()
+def two_trace_log():
+    """Two propagation traces over the diamond graph's nodes."""
+    return ActionLog.from_tuples(
+        [
+            (0, "a", 0.0),
+            (1, "a", 1.0),
+            (2, "a", 2.0),
+            (3, "a", 3.0),
+            (2, "b", 0.0),
+            (3, "b", 2.0),
+        ]
+    )

@@ -1,0 +1,214 @@
+"""Tests for repro.data.generator (the ground-truth cascade process)."""
+
+import random
+
+import pytest
+
+from repro.data.generator import (
+    CascadeModel,
+    generate_action_log,
+    simulate_cascade,
+    simulate_threshold_cascade,
+)
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import preferential_attachment_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(60, 3, seed=1)
+
+
+@pytest.fixture(scope="module")
+def model(graph):
+    return CascadeModel.random(graph, seed=2)
+
+
+class TestCascadeModel:
+    def test_every_edge_has_probability_and_delay(self, graph, model):
+        for edge in graph.edges():
+            assert edge in model.edge_probability
+            assert edge in model.edge_delay_mean
+
+    def test_probabilities_in_range(self, model):
+        assert all(0.0 <= p <= 0.8 for p in model.edge_probability.values())
+
+    def test_delays_in_range(self, model):
+        assert all(1.0 <= d <= 10.0 for d in model.edge_delay_mean.values())
+
+    def test_activity_weights_positive(self, model):
+        assert all(w > 0 for w in model.activity_weight.values())
+
+    def test_deterministic_under_seed(self, graph):
+        first = CascadeModel.random(graph, seed=5)
+        second = CascadeModel.random(graph, seed=5)
+        assert first.edge_probability == second.edge_probability
+
+    def test_invalid_max_probability_raises(self, graph):
+        with pytest.raises(ValueError):
+            CascadeModel.random(graph, max_probability=1.5)
+
+    def test_invalid_delays_raise(self, graph):
+        with pytest.raises(ValueError):
+            CascadeModel.random(graph, min_delay=5.0, max_delay=1.0)
+
+
+class TestSimulateCascade:
+    def test_initiators_always_activate(self, model):
+        rng = random.Random(3)
+        activations = simulate_cascade(model, [0, 1], rng)
+        users = {user for user, _ in activations}
+        assert {0, 1} <= users
+
+    def test_times_strictly_increasing_order(self, model):
+        rng = random.Random(4)
+        activations = simulate_cascade(model, [0], rng)
+        times = [time for _, time in activations]
+        assert times == sorted(times)
+
+    def test_no_duplicate_activations(self, model):
+        rng = random.Random(5)
+        activations = simulate_cascade(model, [0, 2, 5], rng)
+        users = [user for user, _ in activations]
+        assert len(users) == len(set(users))
+
+    def test_horizon_caps_activation_times(self, model):
+        rng = random.Random(6)
+        activations = simulate_cascade(model, [0], rng, start_time=0.0, horizon=5.0)
+        assert all(time <= 5.0 for _, time in activations)
+
+    def test_activations_follow_social_edges(self, graph, model):
+        rng = random.Random(7)
+        activations = simulate_cascade(model, [0], rng)
+        activated = {user for user, _ in activations}
+        times = dict(activations)
+        for user in activated - {0}:
+            earlier_neighbors = [
+                v
+                for v in graph.in_neighbors(user)
+                if v in activated and times[v] < times[user]
+            ]
+            assert earlier_neighbors, f"{user} activated without a cause"
+
+
+class TestDelaySampling:
+    def test_lognormal_mean_matches_configured_mean(self, graph):
+        model = CascadeModel.random(graph, seed=20, delay_sigma=1.5)
+        edge = next(iter(model.edge_delay_mean))
+        rng = random.Random(1)
+        samples = [model.sample_delay(edge, rng) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.edge_delay_mean[edge], rel=0.15)
+
+    def test_heavy_tail_median_below_mean(self, graph):
+        model = CascadeModel.random(graph, seed=21, delay_sigma=1.5)
+        edge = next(iter(model.edge_delay_mean))
+        rng = random.Random(2)
+        samples = sorted(model.sample_delay(edge, rng) for _ in range(5001))
+        assert samples[2500] < 0.6 * model.edge_delay_mean[edge]
+
+    def test_sigma_zero_gives_exponential(self, graph):
+        model = CascadeModel.random(graph, seed=22, delay_sigma=0.0)
+        edge = next(iter(model.edge_delay_mean))
+        rng = random.Random(3)
+        samples = [model.sample_delay(edge, rng) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(model.edge_delay_mean[edge], rel=0.1)
+
+
+class TestThresholdCascade:
+    def test_initiators_always_activate(self, model):
+        rng = random.Random(30)
+        activations = simulate_threshold_cascade(model, [0, 1], rng)
+        assert {0, 1} <= {user for user, _ in activations}
+
+    def test_times_sorted(self, model):
+        rng = random.Random(31)
+        activations = simulate_threshold_cascade(model, [0, 3], rng)
+        times = [time for _, time in activations]
+        assert times == sorted(times)
+
+    def test_social_proof_requires_more_exposure(self, graph):
+        """With tiny edge weights a single active friend rarely converts
+        anyone — unlike IC where one lucky coin flip suffices."""
+        model = CascadeModel.random(graph, seed=32, mean_influence=0.02)
+        rng = random.Random(33)
+        sizes = [
+            len(simulate_threshold_cascade(model, [0], rng)) for _ in range(200)
+        ]
+        assert sum(sizes) / len(sizes) < 2.0
+
+    def test_full_weight_chain_propagates(self):
+        chain = SocialGraph.from_edges([(0, 1), (1, 2)])
+        model = CascadeModel(
+            graph=chain,
+            edge_probability={(0, 1): 1.0, (1, 2): 1.0},
+            edge_delay_mean={(0, 1): 1.0, (1, 2): 1.0},
+            delay_sigma=0.0,
+        )
+        rng = random.Random(34)
+        activations = simulate_threshold_cascade(
+            model, [0], rng, horizon=1000.0
+        )
+        assert {user for user, _ in activations} == {0, 1, 2}
+
+    def test_generate_with_threshold_process(self, model):
+        log = generate_action_log(model, num_actions=10, seed=35,
+                                  process="threshold")
+        assert log.num_actions == 10
+
+
+class TestGenerateActionLog:
+    def test_action_count(self, model):
+        log = generate_action_log(model, num_actions=20, seed=8)
+        assert log.num_actions == 20
+
+    def test_deterministic_under_seed(self, model):
+        first = generate_action_log(model, num_actions=10, seed=9)
+        second = generate_action_log(model, num_actions=10, seed=9)
+        assert sorted(first.tuples()) == sorted(second.tuples())
+
+    def test_at_most_one_tuple_per_user_action(self, model):
+        log = generate_action_log(model, num_actions=30, seed=10)
+        seen = set()
+        for user, action, _ in log.tuples():
+            assert (user, action) not in seen
+            seen.add((user, action))
+
+    def test_action_names_prefixed(self, model):
+        log = generate_action_log(model, num_actions=3, seed=11, action_prefix="x")
+        assert sorted(log.actions()) == ["x0", "x1", "x2"]
+
+    def test_zero_actions(self, model):
+        log = generate_action_log(model, num_actions=0, seed=12)
+        assert log.num_tuples == 0
+
+    def test_background_noise_adds_tuples(self, model):
+        quiet = generate_action_log(
+            model, num_actions=40, seed=13, background_rate=0.0
+        )
+        noisy = generate_action_log(
+            model, num_actions=40, seed=13, background_rate=0.5
+        )
+        assert noisy.num_tuples > quiet.num_tuples
+
+    def test_cascade_sizes_heavy_tailed(self, model):
+        log = generate_action_log(model, num_actions=150, seed=14)
+        sizes = sorted((log.trace_size(a) for a in log.actions()), reverse=True)
+        # Most cascades are small; a few reach a large share of the graph.
+        assert sizes[len(sizes) // 2] <= 5
+        assert sizes[0] >= 10
+
+    def test_invalid_parameters_raise(self, model):
+        with pytest.raises(ValueError):
+            generate_action_log(model, num_actions=-1)
+        with pytest.raises(ValueError):
+            generate_action_log(model, 1, popularity_exponent=0.0)
+        with pytest.raises(ValueError):
+            generate_action_log(model, 1, max_initiator_fraction=2.0)
+        with pytest.raises(ValueError):
+            generate_action_log(model, 1, background_rate=-0.1)
+        with pytest.raises(ValueError):
+            generate_action_log(model, 1, virality_sigma=-0.5)
+        with pytest.raises(ValueError):
+            generate_action_log(model, 1, process="magic")

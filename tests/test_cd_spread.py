@@ -1,0 +1,88 @@
+"""Tests for repro.core.spread (exact sigma_cd evaluation)."""
+
+import pytest
+
+from repro.core.credit import TimeDecayCredit
+from repro.core.params import learn_influenceability
+from repro.core.spread import CDSpreadEvaluator, sigma_cd
+
+from tests.helpers import naive_sigma_cd, random_instance
+
+
+class TestPaperExample:
+    def test_single_seed_v(self, toy):
+        # kappa: v=1, w=1, t=0.5, z=0.5, u=0.75 (s unreachable) = 3.75.
+        assert sigma_cd(toy.graph, toy.log, ["v"]) == pytest.approx(3.75)
+
+    def test_seed_set_v_z(self, toy):
+        # Section 4 computes Gamma_{{v,z},u} = 0.875;
+        # total = v(1) + z(1) + w(1) + t(0.5) + u(0.875) = 4.375.
+        assert sigma_cd(toy.graph, toy.log, ["v", "z"]) == pytest.approx(4.375)
+
+    def test_kappa_values(self, toy):
+        evaluator = CDSpreadEvaluator(toy.graph, toy.log)
+        kappa = evaluator.kappa(["v", "z"])
+        assert kappa["u"] == pytest.approx(0.875)
+        assert kappa["t"] == pytest.approx(0.5)
+        assert kappa["v"] == 1.0
+        assert kappa["z"] == 1.0
+        assert "s" not in kappa  # no credit flows from the seed set to s
+
+    def test_empty_seed_set(self, toy):
+        assert sigma_cd(toy.graph, toy.log, []) == 0.0
+
+    def test_all_seeds(self, toy):
+        # Every log user as seed: spread = number of active users.
+        everyone = ["v", "s", "w", "t", "z", "u"]
+        assert sigma_cd(toy.graph, toy.log, everyone) == pytest.approx(6.0)
+
+
+class TestEvaluator:
+    def test_candidates_are_log_users(self, toy):
+        evaluator = CDSpreadEvaluator(toy.graph, toy.log)
+        assert set(evaluator.candidates()) == {"v", "s", "w", "t", "z", "u"}
+
+    def test_activity(self, toy):
+        evaluator = CDSpreadEvaluator(toy.graph, toy.log)
+        assert evaluator.activity("v") == 1
+        assert evaluator.activity("stranger") == 0
+
+    def test_seed_outside_log_contributes_zero(self, toy):
+        baseline = sigma_cd(toy.graph, toy.log, ["v"])
+        with_stranger = sigma_cd(toy.graph, toy.log, ["v", "stranger"])
+        assert with_stranger == pytest.approx(baseline)
+
+    def test_action_subset(self, flixster_mini):
+        actions = list(flixster_mini.log.actions())[:5]
+        evaluator = CDSpreadEvaluator(
+            flixster_mini.graph, flixster_mini.log, actions=actions
+        )
+        seeds = evaluator.candidates()[:3]
+        assert evaluator.spread(seeds) >= 0.0
+
+    def test_time_decay_credit_supported(self, flixster_mini):
+        params = learn_influenceability(flixster_mini.graph, flixster_mini.log)
+        evaluator = CDSpreadEvaluator(
+            flixster_mini.graph, flixster_mini.log, credit=TimeDecayCredit(params)
+        )
+        seeds = evaluator.candidates()[:5]
+        uniform = CDSpreadEvaluator(flixster_mini.graph, flixster_mini.log)
+        # Time-decayed credits are <= uniform credits pointwise.
+        assert evaluator.spread(seeds) <= uniform.spread(seeds) + 1e-9
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_naive_recursion(self, seed):
+        graph, log = random_instance(seed, num_nodes=7, num_actions=4)
+        seeds = [0, 3]
+        expected = naive_sigma_cd(graph, log, seeds)
+        assert sigma_cd(graph, log, seeds) == pytest.approx(expected, abs=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5, 9))
+    def test_monotone_on_random_instances(self, seed):
+        graph, log = random_instance(seed)
+        evaluator = CDSpreadEvaluator(graph, log)
+        small = evaluator.spread([0])
+        larger = evaluator.spread([0, 1])
+        assert larger >= small - 1e-12

@@ -1,0 +1,143 @@
+"""Tests for repro.maximization.celfpp.
+
+CELF++'s contract: identical selection to greedy/CELF for any
+deterministic monotone submodular oracle, with fewer recomputations
+after the (more expensive) first round.
+"""
+
+import pytest
+
+from repro.core.scan import scan_action_log
+from repro.core.maximize import cd_maximize
+from repro.maximization.celf import celf_maximize
+from repro.maximization.celfpp import celfpp_maximize
+from repro.maximization.greedy import greedy_maximize
+from repro.maximization.oracle import CountingOracle
+from tests.helpers import random_instance
+
+
+class CoverageOracle:
+    """Deterministic max-coverage oracle: spread = |union of covered sets|."""
+
+    def __init__(self, coverage: dict) -> None:
+        self._coverage = {node: frozenset(items) for node, items in coverage.items()}
+
+    def spread(self, seeds) -> float:
+        covered = set()
+        for seed in seeds:
+            covered |= self._coverage.get(seed, frozenset())
+        return float(len(covered))
+
+    def candidates(self) -> list:
+        return list(self._coverage)
+
+
+@pytest.fixture()
+def coverage_oracle():
+    return CoverageOracle(
+        {
+            "a": {1, 2, 3, 4},
+            "b": {3, 4, 5},
+            "c": {6, 7},
+            "d": {1, 2},
+            "e": {5, 6, 7, 8},
+        }
+    )
+
+
+class TestCorrectness:
+    def test_matches_greedy_on_coverage(self, coverage_oracle):
+        for k in (1, 2, 3, 5):
+            greedy = greedy_maximize(coverage_oracle, k)
+            celfpp = celfpp_maximize(coverage_oracle, k)
+            assert celfpp.spread == pytest.approx(greedy.spread)
+            assert set(celfpp.seeds) == set(greedy.seeds)
+
+    def test_matches_celf_on_coverage(self, coverage_oracle):
+        celf = celf_maximize(coverage_oracle, 3)
+        celfpp = celfpp_maximize(coverage_oracle, 3)
+        assert celfpp.seeds == celf.seeds
+        assert celfpp.spread == pytest.approx(celf.spread)
+
+    def test_gains_non_increasing(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 5)
+        assert result.gains == sorted(result.gains, reverse=True)
+
+    def test_spread_equals_gain_sum(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 4)
+        assert result.spread == pytest.approx(sum(result.gains))
+
+
+class TestEdgeCases:
+    def test_k_zero(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 0)
+        assert result.seeds == []
+        assert result.oracle_calls == 0
+
+    def test_k_exceeds_candidates(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 100)
+        assert len(result.seeds) == 5
+
+    def test_negative_k_raises(self, coverage_oracle):
+        with pytest.raises(ValueError):
+            celfpp_maximize(coverage_oracle, -1)
+
+    def test_empty_candidates(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 3, candidates=[])
+        assert result.seeds == []
+
+    def test_explicit_candidates_restrict_pool(self, coverage_oracle):
+        result = celfpp_maximize(coverage_oracle, 2, candidates=["c", "d"])
+        assert set(result.seeds) <= {"c", "d"}
+
+    def test_time_log_populated(self, coverage_oracle):
+        time_log: list[tuple[int, float]] = []
+        celfpp_maximize(coverage_oracle, 3, time_log=time_log)
+        assert [count for count, _ in time_log] == [1, 2, 3]
+
+
+class TestCallCounts:
+    def test_fewer_calls_than_plain_greedy(self):
+        # CELF++ pays ~2n calls up front, so the saving needs n >> k.
+        import random
+
+        rng = random.Random(0)
+        oracle = CoverageOracle(
+            {
+                f"n{i}": set(rng.sample(range(60), k=rng.randint(1, 12)))
+                for i in range(40)
+            }
+        )
+        counting_greedy = CountingOracle(oracle)
+        greedy_maximize(counting_greedy, 6)
+        counting_pp = CountingOracle(oracle)
+        celfpp_maximize(counting_pp, 6)
+        assert counting_pp.calls < counting_greedy.calls
+
+    def test_call_counter_matches_wrapper(self, coverage_oracle):
+        counting = CountingOracle(coverage_oracle)
+        result = celfpp_maximize(counting, 3)
+        assert result.oracle_calls == counting.calls
+
+
+class TestOnCreditDistribution:
+    def test_matches_cd_maximize_spread(self):
+        """CELF++ over the exact CD evaluator agrees with the CD maximizer."""
+        from repro.core.spread import CDSpreadEvaluator
+
+        graph, log = random_instance(seed=13, num_nodes=10, num_actions=8)
+
+        class CDOracle:
+            def __init__(self):
+                self._evaluator = CDSpreadEvaluator(graph, log)
+
+            def spread(self, seeds):
+                return self._evaluator.spread(seeds)
+
+            def candidates(self):
+                return list(log.users())
+
+        index = scan_action_log(graph, log, truncation=0.0)
+        expected = cd_maximize(index, k=3)
+        result = celfpp_maximize(CDOracle(), 3)
+        assert result.spread == pytest.approx(expected.spread, rel=1e-9)

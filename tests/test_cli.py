@@ -1,0 +1,304 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.io import load_action_log, load_graph, save_action_log, save_graph
+
+
+@pytest.fixture()
+def dataset_files(tmp_path, flixster_mini):
+    graph_path = tmp_path / "graph.tsv"
+    log_path = tmp_path / "log.tsv"
+    save_graph(flixster_mini.graph, graph_path)
+    save_action_log(flixster_mini.log, log_path)
+    return str(graph_path), str(log_path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dance"])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(
+            ["generate", "--graph", "g.tsv", "--log", "l.tsv"]
+        )
+        assert args.dataset == "flixster"
+        assert args.scale == "small"
+
+
+class TestGenerate:
+    def test_writes_both_files(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.tsv"
+        log_path = tmp_path / "l.tsv"
+        code = main(
+            [
+                "generate", "--dataset", "flixster", "--scale", "mini",
+                "--graph", str(graph_path), "--log", str(log_path),
+            ]
+        )
+        assert code == 0
+        assert "wrote flixster_mini" in capsys.readouterr().out
+        graph = load_graph(graph_path)
+        log = load_action_log(log_path)
+        assert graph.num_nodes > 0
+        assert log.num_tuples > 0
+
+    def test_seed_override_changes_data(self, tmp_path):
+        paths = [
+            (tmp_path / f"g{i}.tsv", tmp_path / f"l{i}.tsv") for i in (0, 1)
+        ]
+        for (graph_path, log_path), seed in zip(paths, ("1", "2")):
+            main(
+                [
+                    "generate", "--scale", "mini", "--seed", seed,
+                    "--graph", str(graph_path), "--log", str(log_path),
+                ]
+            )
+        first = load_action_log(paths[0][1])
+        second = load_action_log(paths[1][1])
+        assert sorted(map(repr, first.tuples())) != sorted(
+            map(repr, second.tuples())
+        )
+
+
+class TestStats:
+    def test_prints_table(self, dataset_files, capsys, flixster_mini):
+        graph_path, log_path = dataset_files
+        code = main(["stats", "--graph", graph_path, "--log", log_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert str(flixster_mini.graph.num_nodes) in output
+        assert "#tuples" in output
+
+
+class TestSplit:
+    def test_partitions_log(self, dataset_files, tmp_path, capsys, flixster_mini):
+        _, log_path = dataset_files
+        train_path = tmp_path / "train.tsv"
+        test_path = tmp_path / "test.tsv"
+        code = main(
+            [
+                "split", "--log", log_path,
+                "--train", str(train_path), "--test", str(test_path),
+            ]
+        )
+        assert code == 0
+        train = load_action_log(train_path)
+        test = load_action_log(test_path)
+        total = flixster_mini.log.num_actions
+        assert train.num_actions + test.num_actions == total
+
+
+class TestMaximize:
+    def test_cd_method(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            [
+                "maximize", "--graph", graph_path, "--log", log_path,
+                "--method", "CD", "-k", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "CD seeds (k=3)" in output
+        assert output.count("\n") >= 5  # title + header + 3 rows
+
+    def test_high_degree_method(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            [
+                "maximize", "--graph", graph_path, "--log", log_path,
+                "--method", "HighDegree", "-k", "2",
+            ]
+        )
+        assert code == 0
+        assert "HighDegree seeds" in capsys.readouterr().out
+
+
+class TestPredict:
+    def test_prints_rmse_table(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            [
+                "predict", "--graph", graph_path, "--log", log_path,
+                "--max-traces", "5",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "RMSE" in output
+        assert "CD" in output
+
+
+class TestAnalyze:
+    def test_leaderboard_printed(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["analyze", "--graph", graph_path, "--log", log_path, "--top", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "influencer leaderboard" in output
+        assert "total credit" in output
+
+    def test_user_report(self, dataset_files, capsys, flixster_mini):
+        graph_path, log_path = dataset_files
+        # Pick a user who definitely received influence: any non-initiator.
+        log = load_action_log(log_path)
+        graph = load_graph(graph_path)
+        from repro.core.scan import scan_action_log
+        from repro.core.queries import most_influential
+
+        index = scan_action_log(graph, log, truncation=0.001)
+        influencer = most_influential(index, limit=1)[0][0]
+        from repro.core.queries import influence_vector
+
+        target = next(iter(influence_vector(index, influencer)))
+        code = main(
+            [
+                "analyze", "--graph", graph_path, "--log", log_path,
+                "--user", str(target),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"top influencers of user {target}" in output
+
+    def test_seed_explanation(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["analyze", "--graph", graph_path, "--log", log_path, "-k", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "selected seeds (k=3)" in output
+        assert "redundancy" in output
+
+
+class TestCover:
+    def test_absolute_target(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["cover", "--graph", graph_path, "--log", log_path,
+             "--target", "5.0"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cover for target 5.0" in output
+        assert "reached = yes" in output
+
+    def test_fractional_target(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["cover", "--graph", graph_path, "--log", log_path,
+             "--target-fraction", "0.25"]
+        )
+        assert code == 0
+        assert "reached = yes" in capsys.readouterr().out
+
+    def test_fraction_out_of_range_rejected(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["cover", "--graph", graph_path, "--log", log_path,
+             "--target-fraction", "1.5"]
+        )
+        assert code == 2
+        assert "must be in (0, 1]" in capsys.readouterr().err
+
+    def test_unreachable_target_exit_code(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["cover", "--graph", graph_path, "--log", log_path,
+             "--target", "1e9", "--max-seeds", "2"]
+        )
+        assert code == 1
+        assert "reached = NO" in capsys.readouterr().out
+
+    def test_target_and_fraction_mutually_exclusive(self, dataset_files):
+        graph_path, log_path = dataset_files
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cover", "--graph", graph_path, "--log", log_path,
+                 "--target", "5", "--target-fraction", "0.5"]
+            )
+
+
+class TestBudget:
+    def test_unit_costs(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["budget", "--graph", graph_path, "--log", log_path,
+             "--budget", "3"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "budget 3.0" in output
+        assert "winning rule" in output
+
+    def test_activity_costs_respect_budget(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(
+            ["budget", "--graph", graph_path, "--log", log_path,
+             "--budget", "6", "--cost-scale", "5"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        spent = float(output.split("spent ")[1].split(" ")[0])
+        assert spent <= 6.0 + 1e-9
+
+
+class TestGraphStats:
+    def test_prints_structure_table(self, dataset_files, capsys):
+        graph_path, _ = dataset_files
+        code = main(["graphstats", "--graph", graph_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "graph structure" in output
+        assert "reciprocity" in output
+        assert "largest component" in output
+
+
+class TestLearn:
+    @pytest.mark.parametrize(
+        "model", ["em", "bernoulli", "jaccard", "partial-credits", "lt"]
+    )
+    def test_learn_writes_edge_values(
+        self, dataset_files, tmp_path, capsys, model
+    ):
+        graph_path, log_path = dataset_files
+        out_path = tmp_path / "learned.tsv"
+        code = main(
+            [
+                "learn", "--graph", graph_path, "--log", log_path,
+                "--model", model, "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"model '{model}'" in output
+        from repro.data.io import load_edge_values
+
+        values = load_edge_values(out_path)
+        assert values
+        assert all(0.0 <= value <= 1.0 for value in values.values())
+
+    def test_learned_values_lie_on_graph_edges(self, dataset_files, tmp_path):
+        graph_path, log_path = dataset_files
+        out_path = tmp_path / "learned.tsv"
+        main(
+            [
+                "learn", "--graph", graph_path, "--log", log_path,
+                "--model", "bernoulli", "--out", str(out_path),
+            ]
+        )
+        from repro.data.io import load_edge_values
+
+        graph = load_graph(graph_path)
+        for edge in load_edge_values(out_path):
+            assert graph.has_edge(*edge)

@@ -1,0 +1,75 @@
+"""Tests for repro.graphs.clustering (the Graclus substitute)."""
+
+import pytest
+
+from repro.graphs.clustering import extract_community, label_propagation
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import planted_partition_graph
+
+
+class TestLabelPropagation:
+    def test_every_node_gets_a_label(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        labels = label_propagation(graph, seed=1)
+        assert set(labels) == {1, 2, 3}
+
+    def test_labels_renumbered_largest_first(self):
+        graph, _ = planted_partition_graph([30, 10], 0.5, 0.0, seed=2)
+        labels = label_propagation(graph, seed=2)
+        sizes = {}
+        for label in labels.values():
+            sizes[label] = sizes.get(label, 0) + 1
+        ordered = sorted(sizes.items())
+        assert all(
+            sizes[label] >= sizes[next_label]
+            for (label, _), (next_label, _) in zip(ordered, ordered[1:])
+        )
+
+    def test_recovers_planted_partition(self):
+        graph, membership = planted_partition_graph([25, 25], 0.5, 0.005, seed=3)
+        labels = label_propagation(graph, seed=3)
+        # Nodes in the same planted community should mostly share a label.
+        agreement = 0
+        pairs = 0
+        nodes = list(graph.nodes())
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1 :]:
+                same_truth = membership[first] == membership[second]
+                same_label = labels[first] == labels[second]
+                pairs += 1
+                if same_truth == same_label:
+                    agreement += 1
+        assert agreement / pairs > 0.9
+
+    def test_isolated_nodes_keep_own_community(self):
+        graph = SocialGraph.from_edges([], nodes=[1, 2])
+        labels = label_propagation(graph, seed=1)
+        assert labels[1] != labels[2]
+
+    def test_deterministic_under_seed(self):
+        graph, _ = planted_partition_graph([15, 15], 0.4, 0.02, seed=5)
+        assert label_propagation(graph, seed=9) == label_propagation(graph, seed=9)
+
+
+class TestExtractCommunity:
+    def test_returns_subgraph_near_target_size(self):
+        graph, _ = planted_partition_graph([40, 20], 0.5, 0.005, seed=4)
+        community = extract_community(graph, target_size=20, seed=4)
+        assert 10 <= community.num_nodes <= 30
+
+    def test_subgraph_edges_are_internal(self):
+        graph, _ = planted_partition_graph([20, 20], 0.5, 0.01, seed=6)
+        community = extract_community(graph, target_size=20, seed=6)
+        members = set(community.nodes())
+        for source, target in community.edges():
+            assert source in members and target in members
+            assert graph.has_edge(source, target)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(ValueError):
+            extract_community(SocialGraph(), target_size=5)
+
+    def test_invalid_target_raises(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            extract_community(graph, target_size=0)

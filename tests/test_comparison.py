@@ -1,0 +1,87 @@
+"""Tests for repro.evaluation.comparison (statistical model comparison)."""
+
+import pytest
+
+from repro.evaluation.comparison import compare_models
+
+
+@pytest.fixture(scope="module")
+def comparison(flixster_mini):
+    """One comparison of a good model (CD) vs a bad one (constant)."""
+    from repro.data.split import train_test_split
+    from repro.evaluation.prediction import build_cd_predictor
+
+    train, _ = train_test_split(flixster_mini.log)
+    predictors = {
+        "CD": build_cd_predictor(flixster_mini.graph, train),
+        "constant-0": lambda seeds: 0.0,
+        "seed-count": lambda seeds: float(len(seeds)),
+    }
+    return compare_models(
+        flixster_mini.graph,
+        flixster_mini.log,
+        predictors,
+        tolerance=10.0,
+        max_test_traces=30,
+        num_resamples=300,
+    )
+
+
+class TestCompareModels:
+    def test_one_report_per_model(self, comparison):
+        assert {report.name for report in comparison.reports} == {
+            "CD",
+            "constant-0",
+            "seed-count",
+        }
+
+    def test_ci_brackets_point(self, comparison):
+        for report in comparison.reports:
+            assert report.rmse_lower <= report.rmse <= report.rmse_upper
+
+    def test_cd_ranks_first(self, comparison):
+        assert comparison.ranking()[0] == "CD"
+
+    def test_pairwise_antisymmetry(self, comparison):
+        forward = comparison.pairwise[("CD", "constant-0")]
+        backward = comparison.pairwise[("constant-0", "CD")]
+        assert forward.difference == pytest.approx(-backward.difference)
+
+    def test_cd_significantly_beats_constant(self, comparison):
+        assert comparison.significantly_better("CD", "constant-0")
+        assert not comparison.significantly_better("constant-0", "CD")
+
+    def test_capture_rates_are_fractions(self, comparison):
+        for report in comparison.reports:
+            assert 0.0 <= report.capture_rate <= 1.0
+
+    def test_render_contains_table_and_matrix(self, comparison):
+        text = comparison.render()
+        assert "model comparison over" in text
+        assert "pairwise verdicts" in text
+        assert "95% CI" in text
+        # Diagonal marker appears once per model row.
+        assert text.count(" -") >= 3
+
+    def test_render_marks_significant_win(self, comparison):
+        text = comparison.render()
+        assert "<" in text or ">" in text
+
+
+class TestValidation:
+    def test_needs_two_models(self, flixster_mini):
+        with pytest.raises(ValueError, match="at least two"):
+            compare_models(
+                flixster_mini.graph,
+                flixster_mini.log,
+                {"only": lambda seeds: 0.0},
+            )
+
+    def test_tolerance_positive(self, flixster_mini):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_models(
+                flixster_mini.graph,
+                flixster_mini.log,
+                {"a": lambda s: 0.0, "b": lambda s: 1.0},
+                tolerance=0.0,
+            )

@@ -1,0 +1,102 @@
+"""Tests for repro.core.credit (direct credit schemes)."""
+
+import math
+
+import pytest
+
+from repro.core.credit import TimeDecayCredit, UniformCredit
+from repro.core.params import InfluenceabilityParams
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.graphs.digraph import SocialGraph
+
+
+@pytest.fixture()
+def propagation(toy):
+    return PropagationGraph.build(toy.graph, toy.log, "a")
+
+
+class TestUniformCredit:
+    def test_reciprocal_in_degree(self, propagation):
+        credit = UniformCredit()
+        assert credit(propagation, "v", "u") == pytest.approx(0.25)
+        assert credit(propagation, "v", "w") == pytest.approx(1.0)
+        assert credit(propagation, "v", "t") == pytest.approx(0.5)
+
+    def test_credits_sum_to_one(self, propagation):
+        credit = UniformCredit()
+        total = sum(
+            credit(propagation, parent, "u") for parent in propagation.parents("u")
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_repr(self):
+        assert "UniformCredit" in repr(UniformCredit())
+
+
+class TestTimeDecayCredit:
+    @pytest.fixture()
+    def simple(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples([("v", "a", 0.0), ("u", "a", 2.0)])
+        return PropagationGraph.build(graph, log, "a")
+
+    def test_equation_nine(self, simple):
+        params = InfluenceabilityParams(
+            tau={("v", "u"): 4.0}, infl={"u": 0.8}, average_tau=4.0
+        )
+        credit = TimeDecayCredit(params)
+        expected = 0.8 / 1 * math.exp(-2.0 / 4.0)
+        assert credit(simple, "v", "u") == pytest.approx(expected)
+
+    def test_decays_with_delay(self):
+        graph = SocialGraph.from_edges([("v", "u"), ("v", "w")])
+        log = ActionLog.from_tuples(
+            [("v", "a", 0.0), ("u", "a", 1.0), ("w", "a", 10.0)]
+        )
+        propagation = PropagationGraph.build(graph, log, "a")
+        params = InfluenceabilityParams(
+            tau={("v", "u"): 3.0, ("v", "w"): 3.0},
+            infl={"u": 1.0, "w": 1.0},
+            average_tau=3.0,
+        )
+        credit = TimeDecayCredit(params)
+        assert credit(propagation, "v", "u") > credit(propagation, "v", "w")
+
+    def test_zero_influenceability_gives_zero_credit(self, simple):
+        params = InfluenceabilityParams(
+            tau={("v", "u"): 4.0}, infl={"u": 0.0}, average_tau=4.0
+        )
+        assert TimeDecayCredit(params)(simple, "v", "u") == 0.0
+
+    def test_unknown_user_gives_zero_credit(self, simple):
+        params = InfluenceabilityParams(tau={}, infl={}, average_tau=1.0)
+        assert TimeDecayCredit(params)(simple, "v", "u") == 0.0
+
+    def test_default_tau_fallback(self, simple):
+        params = InfluenceabilityParams(tau={}, infl={"u": 1.0}, average_tau=2.0)
+        credit = TimeDecayCredit(params)
+        assert credit(simple, "v", "u") == pytest.approx(math.exp(-1.0))
+
+    def test_explicit_default_tau_overrides(self, simple):
+        params = InfluenceabilityParams(tau={}, infl={"u": 1.0}, average_tau=2.0)
+        credit = TimeDecayCredit(params, default_tau=4.0)
+        assert credit(simple, "v", "u") == pytest.approx(math.exp(-0.5))
+
+    def test_invalid_default_tau_raises(self):
+        params = InfluenceabilityParams(tau={}, infl={}, average_tau=0.0)
+        with pytest.raises(ValueError):
+            TimeDecayCredit(params)
+
+    def test_credit_sum_bounded_by_one(self, toy):
+        """sum_v gamma_{v,u}(a) <= 1 — the model's core constraint."""
+        propagation = PropagationGraph.build(toy.graph, toy.log, "a")
+        params = InfluenceabilityParams(
+            tau={}, infl={node: 1.0 for node in toy.graph.nodes()}, average_tau=5.0
+        )
+        credit = TimeDecayCredit(params)
+        for user in propagation.nodes():
+            parents = propagation.parents(user)
+            if parents:
+                total = sum(credit(propagation, v, user) for v in parents)
+                assert total <= 1.0 + 1e-12

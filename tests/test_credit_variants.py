@@ -1,0 +1,184 @@
+"""Tests for repro.core.variants (additional direct-credit schemes)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import InfluenceabilityParams, learn_influenceability
+from repro.core.scan import scan_action_log
+from repro.core.spread import sigma_cd
+from repro.core.variants import (
+    LinearDecayCredit,
+    PairWeightedCredit,
+    PowerDecayCredit,
+)
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.graphs.digraph import SocialGraph
+from repro.probabilities.lt_weights import count_propagations
+from tests.helpers import random_instance
+
+
+@pytest.fixture()
+def simple_propagation():
+    """1 and 2 both precede 3 (delays 2.0 and 1.0)."""
+    graph = SocialGraph.from_edges([(1, 3), (2, 3)])
+    log = ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 1.0), (3, "a", 2.0)])
+    return graph, log, PropagationGraph.build(graph, log, "a")
+
+
+def _params(tau_value: float = 1.0) -> InfluenceabilityParams:
+    return InfluenceabilityParams(tau={}, infl={}, average_tau=tau_value)
+
+
+class TestLinearDecayCredit:
+    def test_zero_delay_full_share(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = LinearDecayCredit(_params(tau_value=10.0), horizon_factor=1.0)
+        # Delay 1.0 against horizon 10: (1 - 0.1) / 2 parents.
+        assert credit(propagation, 2, 3) == pytest.approx(0.9 / 2)
+
+    def test_beyond_horizon_is_zero(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = LinearDecayCredit(_params(tau_value=1.0), horizon_factor=1.0)
+        # Delay 2.0 >= horizon 1.0.
+        assert credit(propagation, 1, 3) == 0.0
+
+    def test_pair_specific_tau_used(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        params = InfluenceabilityParams(
+            tau={(1, 3): 100.0}, infl={}, average_tau=0.001
+        )
+        credit = LinearDecayCredit(params, horizon_factor=1.0)
+        assert credit(propagation, 1, 3) > 0.0  # uses tau = 100, not 0.001
+
+    def test_invalid_horizon_raises(self):
+        with pytest.raises(ValueError):
+            LinearDecayCredit(_params(), horizon_factor=0.0)
+
+    def test_invalid_default_tau_raises(self):
+        with pytest.raises(ValueError):
+            LinearDecayCredit(_params(), default_tau=-1.0)
+
+
+class TestPowerDecayCredit:
+    def test_value(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = PowerDecayCredit(_params(tau_value=1.0), alpha=1.0)
+        # Delay 1.0, tau 1.0: (1 + 1)^-1 / 2 parents.
+        assert credit(propagation, 2, 3) == pytest.approx(0.25)
+
+    def test_alpha_sharpens_decay(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        gentle = PowerDecayCredit(_params(), alpha=0.5)
+        sharp = PowerDecayCredit(_params(), alpha=3.0)
+        assert sharp(propagation, 1, 3) < gentle(propagation, 1, 3)
+
+    def test_decays_slower_than_exponential_at_large_delay(self):
+        """The design rationale: heavy tail beats exp for old influence."""
+        import math
+
+        graph = SocialGraph.from_edges([(1, 2)])
+        log = ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 50.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        power = PowerDecayCredit(_params(tau_value=1.0), alpha=1.0)
+        exponential = math.exp(-50.0)  # Eq. 9's decay term at delay 50
+        assert power(propagation, 1, 2) > exponential
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            PowerDecayCredit(_params(), alpha=0.0)
+
+
+class TestPairWeightedCredit:
+    def test_splits_by_evidence(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = PairWeightedCredit({(1, 3): 3, (2, 3): 1}, smoothing=0.0)
+        assert credit(propagation, 1, 3) == pytest.approx(0.75)
+        assert credit(propagation, 2, 3) == pytest.approx(0.25)
+
+    def test_unseen_pairs_share_smoothing(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = PairWeightedCredit({}, smoothing=0.5)
+        assert credit(propagation, 1, 3) == pytest.approx(0.5)
+
+    def test_zero_smoothing_all_unseen_gives_zero(self, simple_propagation):
+        graph, log, propagation = simple_propagation
+        credit = PairWeightedCredit({}, smoothing=0.0)
+        assert credit(propagation, 1, 3) == 0.0
+
+    def test_counts_from_training_log(self, simple_propagation):
+        graph, log, _ = simple_propagation
+        counts = count_propagations(graph, log)
+        credit = PairWeightedCredit(counts)
+        propagation = PropagationGraph.build(graph, log, "a")
+        total = credit(propagation, 1, 3) + credit(propagation, 2, 3)
+        assert total == pytest.approx(1.0)
+
+    def test_negative_smoothing_raises(self):
+        with pytest.raises(ValueError):
+            PairWeightedCredit({}, smoothing=-0.1)
+
+
+class TestConservationProperty:
+    """Every scheme keeps sum_v gamma_{v,u}(a) <= 1 — Theorem 2's premise."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_all_variants_conserve_credit(self, seed):
+        graph, log = random_instance(seed=seed, num_nodes=8, num_actions=5)
+        params = learn_influenceability(graph, log)
+        counts = count_propagations(graph, log)
+        schemes = [
+            LinearDecayCredit(params),
+            PowerDecayCredit(params),
+            PairWeightedCredit(counts),
+        ]
+        for action in log.actions():
+            propagation = PropagationGraph.build(graph, log, action)
+            for user in propagation.nodes():
+                for scheme in schemes:
+                    handed_out = sum(
+                        scheme(propagation, parent, user)
+                        for parent in propagation.parents(user)
+                    )
+                    assert handed_out <= 1.0 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_sigma_cd_monotone_under_variants(self, seed):
+        graph, log = random_instance(seed=seed, num_nodes=7, num_actions=4)
+        params = learn_influenceability(graph, log)
+        users = sorted(log.users(), key=repr)[:3]
+        for scheme in (LinearDecayCredit(params), PowerDecayCredit(params)):
+            previous = 0.0
+            for size in range(1, len(users) + 1):
+                current = sigma_cd(graph, log, users[:size], credit=scheme)
+                assert current >= previous - 1e-9
+                previous = current
+
+
+class TestScanIntegration:
+    def test_scan_accepts_every_variant(self):
+        graph, log = random_instance(seed=3, num_nodes=8, num_actions=5)
+        params = learn_influenceability(graph, log)
+        counts = count_propagations(graph, log)
+        for scheme in (
+            LinearDecayCredit(params),
+            PowerDecayCredit(params),
+            PairWeightedCredit(counts),
+        ):
+            index = scan_action_log(graph, log, credit=scheme, truncation=0.0)
+            assert index.total_entries >= 0
+
+    def test_index_matches_exact_evaluator(self):
+        """Scanned credits agree with the exact evaluator per variant."""
+        from repro.core.maximize import cd_maximize
+
+        graph, log = random_instance(seed=8, num_nodes=7, num_actions=4)
+        params = learn_influenceability(graph, log)
+        for scheme in (LinearDecayCredit(params), PowerDecayCredit(params)):
+            index = scan_action_log(graph, log, credit=scheme, truncation=0.0)
+            result = cd_maximize(index, k=1)
+            exact = sigma_cd(graph, log, result.seeds, credit=scheme)
+            assert result.spread == pytest.approx(exact, rel=1e-9)

@@ -1,0 +1,179 @@
+"""Tests for repro.diffusion.ctic (continuous-time IC)."""
+
+import math
+import random
+
+import pytest
+
+from repro.diffusion.ctic import (
+    estimate_spread_ctic,
+    exponential_delays,
+    lognormal_delays,
+    simulate_ctic,
+)
+from repro.diffusion.ic import estimate_spread_ic
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.probabilities.static import uniform_probabilities
+
+
+@pytest.fixture()
+def chain():
+    return SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+class TestDelaySamplers:
+    def test_exponential_global_mean(self):
+        sampler = exponential_delays(2.0)
+        rng = random.Random(0)
+        draws = [sampler(rng, (0, 1)) for _ in range(5000)]
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_exponential_per_edge(self):
+        sampler = exponential_delays({(0, 1): 10.0}, default=0.1)
+        rng = random.Random(1)
+        slow = sum(sampler(rng, (0, 1)) for _ in range(2000)) / 2000
+        fast = sum(sampler(rng, (5, 6)) for _ in range(2000)) / 2000
+        assert slow > fast * 10
+
+    def test_exponential_invalid_tau(self):
+        with pytest.raises(ValueError):
+            exponential_delays(0.0)
+
+    def test_lognormal_median(self):
+        sampler = lognormal_delays(median=3.0, sigma=1.0)
+        rng = random.Random(2)
+        draws = sorted(sampler(rng, (0, 1)) for _ in range(4001))
+        assert draws[2000] == pytest.approx(3.0, rel=0.15)
+
+    def test_lognormal_invalid_params(self):
+        with pytest.raises(ValueError):
+            lognormal_delays(median=0.0)
+        with pytest.raises(ValueError):
+            lognormal_delays(sigma=-1.0)
+
+    def test_delays_positive(self):
+        rng = random.Random(3)
+        for sampler in (exponential_delays(1.0), lognormal_delays()):
+            assert all(sampler(rng, (0, 1)) > 0 for _ in range(100))
+
+
+class TestSimulate:
+    def test_seeds_activate_at_zero(self, chain):
+        activation = simulate_ctic(chain, {}, [0], random.Random(0))
+        assert activation == {0: 0.0}
+
+    def test_deterministic_chain_activation_order(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        activation = simulate_ctic(
+            chain, probabilities, [0], random.Random(1)
+        )
+        assert set(activation) == {0, 1, 2, 3}
+        assert activation[0] < activation[1] < activation[2] < activation[3]
+
+    def test_horizon_truncates(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        sampler = exponential_delays(10.0)  # long mean delays
+        activation = simulate_ctic(
+            chain,
+            probabilities,
+            [0],
+            random.Random(2),
+            delay_sampler=sampler,
+            horizon=0.001,
+        )
+        # Virtually certain nothing beyond the seed fits in the window.
+        assert set(activation) == {0}
+
+    def test_zero_horizon_only_seeds(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        activation = simulate_ctic(
+            chain, probabilities, [0], random.Random(3), horizon=0.0
+        )
+        assert set(activation) == {0}
+
+    def test_earliest_contact_wins(self):
+        # Two paths to node 2; its activation time is the min delivery.
+        graph = SocialGraph.from_edges([(0, 2), (1, 2)])
+        probabilities = {(0, 2): 1.0, (1, 2): 1.0}
+        activation = simulate_ctic(
+            graph, probabilities, [0, 1], random.Random(4)
+        )
+        assert activation[2] > 0.0
+        assert len(activation) == 3
+
+    def test_unknown_seeds_ignored(self, chain):
+        activation = simulate_ctic(chain, {}, ["ghost"], random.Random(5))
+        assert activation == {}
+
+    def test_negative_horizon_raises(self, chain):
+        with pytest.raises(ValueError):
+            simulate_ctic(chain, {}, [0], random.Random(0), horizon=-1.0)
+
+
+class TestSpreadEstimation:
+    def test_unbounded_matches_discrete_ic(self):
+        """With T = inf, CTIC spread equals discrete IC spread."""
+        graph = erdos_renyi_graph(20, 0.15, seed=5)
+        probabilities = uniform_probabilities(graph, 0.3)
+        seeds = list(graph.nodes())[:2]
+        continuous = estimate_spread_ctic(
+            graph, probabilities, seeds, num_simulations=2500, seed=1
+        )
+        discrete = estimate_spread_ic(
+            graph, probabilities, seeds, num_simulations=2500, seed=2
+        )
+        assert continuous == pytest.approx(discrete, rel=0.1)
+
+    def test_spread_monotone_in_horizon(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        spreads = [
+            estimate_spread_ctic(
+                chain,
+                probabilities,
+                [0],
+                horizon=horizon,
+                num_simulations=400,
+                seed=3,
+            )
+            for horizon in (0.0, 0.5, 2.0, math.inf)
+        ]
+        assert spreads == sorted(spreads)
+        assert spreads[0] == pytest.approx(1.0)
+        assert spreads[-1] == pytest.approx(4.0)
+
+    def test_horizon_zero_counts_seeds_only(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        spread = estimate_spread_ctic(
+            chain, probabilities, [0, 2], horizon=0.0,
+            num_simulations=50, seed=0,
+        )
+        assert spread == pytest.approx(2.0)
+
+    def test_heavy_tail_slows_deadline_spread(self, chain):
+        """Lognormal delays put more mass past a tight deadline than
+        exponential delays with the same typical scale."""
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        exponential = estimate_spread_ctic(
+            chain,
+            probabilities,
+            [0],
+            horizon=1.0,
+            delay_sampler=exponential_delays(1.0),
+            num_simulations=2000,
+            seed=4,
+        )
+        heavy = estimate_spread_ctic(
+            chain,
+            probabilities,
+            [0],
+            horizon=1.0,
+            delay_sampler=lognormal_delays(median=1.0, sigma=2.0),
+            num_simulations=2000,
+            seed=5,
+        )
+        assert heavy < exponential
+
+    def test_invalid_simulations_raises(self, chain):
+        with pytest.raises(ValueError):
+            estimate_spread_ctic(chain, {}, [0], num_simulations=0)

@@ -1,0 +1,138 @@
+"""Tests for repro.maximization.degree_discount."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.maximization.degree_discount import (
+    degree_discount_ic_seeds,
+    single_discount_seeds,
+)
+
+
+@pytest.fixture()
+def two_stars():
+    """Two stars: hub 0 -> {1..5}, hub 10 -> {11..13}, bridge 0 -> 10."""
+    edges = [(0, leaf) for leaf in range(1, 6)]
+    edges += [(10, leaf) for leaf in range(11, 14)]
+    edges += [(0, 10)]
+    return SocialGraph.from_edges(edges)
+
+
+class TestSingleDiscount:
+    def test_picks_biggest_hub_first(self, two_stars):
+        seeds = single_discount_seeds(two_stars, 1)
+        assert seeds == [0]
+
+    def test_second_seed_is_discounted_hub(self, two_stars):
+        # Hub 10 has raw out-degree 3, but seed 0 points at it; its
+        # discounted degree 3 - 1 = 2 still beats every leaf (degree 0).
+        seeds = single_discount_seeds(two_stars, 2)
+        assert seeds == [0, 10]
+
+    def test_discount_changes_selection(self):
+        # 1 -> {2, 3, 4}; 5 -> {2, 3}; 6 -> {7, 8}.  After seeding 1,
+        # node 5's audience is exhausted... but SingleDiscount only
+        # discounts direct neighbours of the seed, so 5 keeps degree 2
+        # and ties with 6; insertion order breaks the tie.
+        graph = SocialGraph.from_edges(
+            [(1, 2), (1, 3), (1, 4), (5, 2), (5, 3), (6, 7), (6, 8)]
+        )
+        seeds = single_discount_seeds(graph, 2)
+        assert seeds[0] == 1
+        assert seeds[1] in (5, 6)
+
+    def test_k_zero(self, two_stars):
+        assert single_discount_seeds(two_stars, 0) == []
+
+    def test_k_exceeds_nodes(self, two_stars):
+        seeds = single_discount_seeds(two_stars, 100)
+        assert len(seeds) == two_stars.num_nodes
+        assert len(set(seeds)) == len(seeds)
+
+    def test_negative_k_raises(self, two_stars):
+        with pytest.raises(ValueError):
+            single_discount_seeds(two_stars, -2)
+
+    def test_candidates_restriction(self, two_stars):
+        seeds = single_discount_seeds(two_stars, 2, candidates=[1, 10])
+        assert set(seeds) == {1, 10}
+
+    def test_deterministic(self):
+        graph = erdos_renyi_graph(40, 0.1, seed=5)
+        assert single_discount_seeds(graph, 8) == single_discount_seeds(
+            graph, 8
+        )
+
+
+class TestDegreeDiscountIC:
+    def test_formula_discount(self):
+        """After seeding the hub, its neighbour's score follows dd(v)."""
+        # v has degree 3; one neighbour (the hub h) becomes a seed.
+        # dd(v) = 3 - 2*1 - (3 - 1)*1*p = 1 - 2p.
+        graph = SocialGraph.from_edges(
+            [("h", "v"), ("h", "x1"), ("h", "x2"), ("h", "x3"),
+             ("v", "y1"), ("v", "y2"), ("v", "y3"),
+             ("w", "z1"), ("w", "z2")]
+        )
+        # With p = 0.5: dd(v) = 1 - 1 = 0 < degree(w) = 2, so w is the
+        # second seed despite v's higher raw degree.
+        seeds = degree_discount_ic_seeds(graph, 2, probability=0.5)
+        assert seeds == ["h", "w"]
+
+    def test_low_probability_keeps_degree_order(self):
+        graph = SocialGraph.from_edges(
+            [("h", "v"), ("h", "x1"), ("h", "x2"), ("h", "x3"),
+             ("v", "y1"), ("v", "y2"), ("v", "y3"),
+             ("w", "z1"), ("w", "z2")]
+        )
+        # With p = 0.01: dd(v) = 3 - 2 - 2*0.01 = 0.98 ... still below
+        # w's 2.0 — the -2t term alone flips the order here.
+        seeds = degree_discount_ic_seeds(graph, 2, probability=0.01)
+        assert seeds == ["h", "w"]
+
+    def test_no_discount_without_adjacency(self):
+        # Disjoint stars: discounts never fire; pure degree order.
+        graph = SocialGraph.from_edges(
+            [(0, 1), (0, 2), (0, 3), (10, 11), (10, 12)]
+        )
+        assert degree_discount_ic_seeds(graph, 2) == [0, 10]
+
+    def test_invalid_probability_raises(self, two_stars):
+        with pytest.raises(ValueError):
+            degree_discount_ic_seeds(two_stars, 2, probability=1.5)
+
+    def test_negative_k_raises(self, two_stars):
+        with pytest.raises(ValueError):
+            degree_discount_ic_seeds(two_stars, -1)
+
+    def test_seeds_unique_and_bounded(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=2)
+        seeds = degree_discount_ic_seeds(graph, 10, probability=0.05)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_matches_single_discount_on_sparse_star(self, two_stars):
+        # On this instance both heuristics agree on the two hubs.
+        assert degree_discount_ic_seeds(two_stars, 2)[:2] == [0, 10]
+
+
+class TestQualityAgainstSpread:
+    def test_beats_random_tail_on_ic_spread(self):
+        """Discount seeds should out-spread an arbitrary low-degree pick."""
+        from repro.diffusion.ic import estimate_spread_ic
+        from repro.probabilities.static import uniform_probabilities
+
+        graph = erdos_renyi_graph(60, 0.08, seed=9)
+        probabilities = uniform_probabilities(graph, 0.2)
+        seeds = degree_discount_ic_seeds(graph, 3, probability=0.2)
+        low_degree = sorted(
+            graph.nodes(), key=lambda node: graph.out_degree(node)
+        )[:3]
+        good = estimate_spread_ic(
+            graph, probabilities, seeds, num_simulations=300, seed=1
+        )
+        poor = estimate_spread_ic(
+            graph, probabilities, low_degree, num_simulations=300, seed=1
+        )
+        assert good > poor

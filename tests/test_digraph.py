@@ -1,0 +1,154 @@
+"""Tests for repro.graphs.digraph.SocialGraph."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = SocialGraph()
+        assert graph.num_nodes == 0
+        assert graph.num_edges == 0
+
+    def test_from_edges(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 2
+
+    def test_from_edges_with_isolated_nodes(self):
+        graph = SocialGraph.from_edges([(1, 2)], nodes=[9])
+        assert 9 in graph
+        assert graph.num_nodes == 3
+
+    def test_add_node_idempotent(self):
+        graph = SocialGraph()
+        graph.add_node(1)
+        graph.add_node(1)
+        assert graph.num_nodes == 1
+
+    def test_add_edge_idempotent(self):
+        graph = SocialGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(1, 2)
+        assert graph.num_edges == 1
+
+    def test_add_edge_creates_nodes(self):
+        graph = SocialGraph()
+        graph.add_edge("a", "b")
+        assert "a" in graph and "b" in graph
+
+    def test_self_loop_rejected(self):
+        graph = SocialGraph()
+        with pytest.raises(ValueError, match="self-loop"):
+            graph.add_edge(1, 1)
+
+    def test_remove_edge(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        graph.remove_edge(1, 2)
+        assert graph.num_edges == 0
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_missing_edge_raises(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(2, 1)
+
+
+class TestQueries:
+    @pytest.fixture()
+    def graph(self):
+        return SocialGraph.from_edges([(1, 2), (1, 3), (2, 3), (3, 4)])
+
+    def test_has_edge_directedness(self, graph):
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_has_edge_unknown_node(self, graph):
+        assert not graph.has_edge(99, 1)
+
+    def test_out_neighbors(self, graph):
+        assert graph.out_neighbors(1) == {2, 3}
+
+    def test_in_neighbors(self, graph):
+        assert graph.in_neighbors(3) == {1, 2}
+
+    def test_degrees(self, graph):
+        assert graph.out_degree(1) == 2
+        assert graph.in_degree(3) == 2
+        assert graph.degree(3) == 3
+
+    def test_average_degree(self, graph):
+        assert graph.average_degree() == pytest.approx(4 / 4)
+
+    def test_average_degree_empty(self):
+        assert SocialGraph().average_degree() == 0.0
+
+    def test_edges_iteration(self, graph):
+        assert sorted(graph.edges()) == [(1, 2), (1, 3), (2, 3), (3, 4)]
+
+    def test_len_and_contains(self, graph):
+        assert len(graph) == 4
+        assert 1 in graph
+        assert 99 not in graph
+
+
+class TestDerivedGraphs:
+    def test_reverse_flips_edges(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        reversed_graph = graph.reverse()
+        assert reversed_graph.has_edge(2, 1)
+        assert reversed_graph.has_edge(3, 2)
+        assert reversed_graph.num_edges == 2
+
+    def test_reverse_keeps_isolated_nodes(self):
+        graph = SocialGraph.from_edges([], nodes=[5])
+        assert 5 in graph.reverse()
+
+    def test_subgraph_induces_edges(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        sub = graph.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(2, 3)
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        sub = graph.subgraph([1, 2, 99])
+        assert sub.num_nodes == 2
+
+    def test_copy_is_independent(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        duplicate = graph.copy()
+        duplicate.add_edge(2, 3)
+        assert graph.num_edges == 1
+        assert duplicate.num_edges == 2
+
+
+class TestTraversal:
+    def test_reachable_from_single_source(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (4, 5)])
+        assert graph.reachable_from([1]) == {1, 2, 3}
+
+    def test_reachable_from_multiple_sources(self):
+        graph = SocialGraph.from_edges([(1, 2), (4, 5)])
+        assert graph.reachable_from([1, 4]) == {1, 2, 4, 5}
+
+    def test_reachable_ignores_unknown_sources(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        assert graph.reachable_from([99]) == set()
+
+    def test_reachable_respects_direction(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        assert graph.reachable_from([2]) == {2}
+
+    def test_undirected_components(self):
+        graph = SocialGraph.from_edges([(1, 2), (3, 4), (4, 5)])
+        components = graph.undirected_components()
+        assert len(components) == 2
+        assert components[0] == {3, 4, 5}  # largest first
+        assert components[1] == {1, 2}
+
+    def test_repr_mentions_counts(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        assert "num_nodes=2" in repr(graph)

@@ -1,0 +1,159 @@
+"""Edge cases and failure injection across the pipeline.
+
+These tests exercise degenerate inputs — empty logs, isolated nodes,
+single-user traces, graphs without edges — which production data
+pipelines inevitably produce.
+"""
+
+import pytest
+
+from repro.core.maximize import cd_maximize
+from repro.core.params import learn_influenceability
+from repro.core.scan import scan_action_log
+from repro.core.spread import CDSpreadEvaluator, sigma_cd
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.data.split import train_test_split
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.celf import celf_maximize
+from repro.maximization.ldag import LDAGModel
+from repro.maximization.pmia import PMIAModel
+from repro.probabilities.em import learn_ic_probabilities_em
+from repro.probabilities.lt_weights import learn_lt_weights
+
+
+@pytest.fixture()
+def edgeless_graph():
+    return SocialGraph.from_edges([], nodes=[1, 2, 3])
+
+
+class TestEmptyLog:
+    def test_scan_empty_log(self, edgeless_graph):
+        index = scan_action_log(edgeless_graph, ActionLog())
+        assert index.total_entries == 0
+
+    def test_maximize_empty_index(self, edgeless_graph):
+        index = scan_action_log(edgeless_graph, ActionLog())
+        result = cd_maximize(index, k=5)
+        assert result.seeds == []
+        assert result.spread == 0.0
+
+    def test_sigma_cd_empty_log(self, edgeless_graph):
+        assert sigma_cd(edgeless_graph, ActionLog(), [1]) == 0.0
+
+    def test_params_empty_log(self, edgeless_graph):
+        params = learn_influenceability(edgeless_graph, ActionLog())
+        assert params.infl == {}
+
+
+class TestEdgelessGraph:
+    """No social ties: no influence can ever be observed."""
+
+    @pytest.fixture()
+    def log(self):
+        return ActionLog.from_tuples(
+            [(1, "a", 0.0), (2, "a", 1.0), (3, "b", 0.0)]
+        )
+
+    def test_no_credit_flows(self, edgeless_graph, log):
+        index = scan_action_log(edgeless_graph, log)
+        assert index.total_entries == 0
+
+    def test_spread_counts_only_seed_activity(self, edgeless_graph, log):
+        assert sigma_cd(edgeless_graph, log, [1]) == 1.0
+        assert sigma_cd(edgeless_graph, log, [1, 2]) == 2.0
+
+    def test_em_learns_nothing(self, edgeless_graph, log):
+        result = learn_ic_probabilities_em(edgeless_graph, log)
+        assert result.probabilities == {}
+
+    def test_lt_learns_nothing(self, edgeless_graph, log):
+        assert learn_lt_weights(edgeless_graph, log) == {}
+
+    def test_maximize_still_ranks_by_activity(self, edgeless_graph, log):
+        index = scan_action_log(edgeless_graph, log)
+        result = cd_maximize(index, k=2)
+        # Every user has spread exactly 1 (itself); any two users win.
+        assert len(result.seeds) == 2
+        assert result.spread == pytest.approx(2.0)
+
+
+class TestSingleUserTraces:
+    def test_propagation_graph_of_lone_performer(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        log = ActionLog.from_tuples([(1, "a", 0.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        assert propagation.initiators() == [1]
+        assert propagation.num_edges == 0
+
+    def test_split_single_trace(self):
+        log = ActionLog.from_tuples([(1, "a", 0.0)])
+        train, test = train_test_split(log)
+        assert train.num_actions + test.num_actions == 1
+
+
+class TestHeuristicModelsDegenerate:
+    def test_pmia_on_edgeless_graph(self, edgeless_graph):
+        model = PMIAModel(edgeless_graph, {})
+        assert model.spread([1]) == 1.0
+        assert len(model.select_seeds(2).seeds) == 2
+
+    def test_ldag_on_edgeless_graph(self, edgeless_graph):
+        model = LDAGModel(edgeless_graph, {})
+        assert model.spread([1]) == 1.0
+        assert len(model.select_seeds(2).seeds) == 2
+
+    def test_celf_with_empty_candidate_pool(self):
+        class NullOracle:
+            def candidates(self):
+                return []
+
+            def spread(self, seeds):
+                return 0.0
+
+        assert celf_maximize(NullOracle(), k=3).seeds == []
+
+
+class TestEvaluatorDegenerate:
+    def test_evaluator_unknown_seed_types(self, toy):
+        evaluator = CDSpreadEvaluator(toy.graph, toy.log)
+        # Seeds never seen in the log simply contribute nothing.
+        assert evaluator.spread([("weird", "tuple"), 42]) == 0.0
+
+    def test_duplicate_seeds_counted_once(self, toy):
+        evaluator = CDSpreadEvaluator(toy.graph, toy.log)
+        assert evaluator.spread(["v", "v"]) == evaluator.spread(["v"])
+
+    def test_maximize_k_equals_user_count(self, toy):
+        index = scan_action_log(toy.graph, toy.log, truncation=0.0)
+        result = cd_maximize(index, k=6)
+        assert sorted(result.seeds) == sorted(["v", "s", "w", "t", "z", "u"])
+        assert result.spread == pytest.approx(6.0)
+
+
+class TestDeterminism:
+    def test_full_cd_pipeline_deterministic(self, flixster_mini):
+        def run():
+            params = learn_influenceability(
+                flixster_mini.graph, flixster_mini.log
+            )
+            from repro.core.credit import TimeDecayCredit
+
+            index = scan_action_log(
+                flixster_mini.graph,
+                flixster_mini.log,
+                credit=TimeDecayCredit(params),
+            )
+            return cd_maximize(index, k=8)
+
+        first, second = run(), run()
+        assert first.seeds == second.seeds
+        assert first.spread == second.spread
+
+    def test_pmia_deterministic(self, flixster_mini):
+        from repro.probabilities.static import weighted_cascade_probabilities
+
+        probabilities = weighted_cascade_probabilities(flixster_mini.graph)
+        first = PMIAModel(flixster_mini.graph, probabilities).select_seeds(5)
+        second = PMIAModel(flixster_mini.graph, probabilities).select_seeds(5)
+        assert first.seeds == second.seeds

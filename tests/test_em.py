@@ -1,0 +1,129 @@
+"""Tests for repro.probabilities.em (Saito et al. EM learning)."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+from repro.probabilities.em import learn_ic_probabilities_em
+
+
+class TestEMBasics:
+    def test_single_edge_always_propagates(self):
+        # v performs 3 actions; u follows every time -> p(v, u) -> 1.
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 1.0),
+                ("v", "b", 0.0), ("u", "b", 1.0),
+                ("v", "c", 0.0), ("u", "c", 1.0),
+            ]
+        )
+        result = learn_ic_probabilities_em(graph, log)
+        assert result.probabilities[("v", "u")] == pytest.approx(1.0, abs=1e-6)
+
+    def test_half_propagation_rate(self):
+        # u follows v on 2 of 4 actions -> p ~ 0.5.
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 1.0),
+                ("v", "b", 0.0), ("u", "b", 1.0),
+                ("v", "c", 0.0),
+                ("v", "d", 0.0),
+            ]
+        )
+        result = learn_ic_probabilities_em(graph, log)
+        assert result.probabilities[("v", "u")] == pytest.approx(0.5, abs=1e-6)
+
+    def test_never_propagates_edge_absent(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples([("v", "a", 0.0), ("v", "b", 0.0)])
+        result = learn_ic_probabilities_em(graph, log)
+        assert ("v", "u") not in result.probabilities
+
+    def test_probabilities_in_unit_interval(self, flixster_mini):
+        result = learn_ic_probabilities_em(flixster_mini.graph, flixster_mini.log)
+        assert all(0.0 <= p <= 1.0 for p in result.probabilities.values())
+
+    def test_learned_edges_are_social_edges(self, flixster_mini):
+        result = learn_ic_probabilities_em(flixster_mini.graph, flixster_mini.log)
+        for source, target in result.probabilities:
+            assert flixster_mini.graph.has_edge(source, target)
+
+    def test_converged_flag(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples([("v", "a", 0.0), ("u", "a", 1.0)])
+        result = learn_ic_probabilities_em(graph, log, max_iterations=50)
+        assert result.converged
+        assert result.iterations <= 50
+
+
+class TestEMSharedCredit:
+    def test_competing_parents_share_responsibility(self):
+        # u always activates after both v and w; each propagates alone in
+        # other actions but never reaches u there (failures) -> the EM
+        # fixed point splits the credit.
+        graph = SocialGraph.from_edges([("v", "u"), ("w", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("w", "a", 0.5), ("u", "a", 1.0),
+                ("v", "b", 0.0), ("w", "b", 0.5), ("u", "b", 1.0),
+                ("v", "c", 0.0),
+                ("w", "d", 0.0),
+            ]
+        )
+        result = learn_ic_probabilities_em(graph, log)
+        p_v = result.probabilities[("v", "u")]
+        p_w = result.probabilities[("w", "u")]
+        assert p_v == pytest.approx(p_w, abs=1e-3)  # symmetric evidence
+        assert 0.3 < p_v < 0.9
+
+
+class TestEMPathology:
+    def test_single_action_viral_user_gets_probability_one(self):
+        """The Section-6 pathology: one action, followed by everyone.
+
+        EM assigns probability 1.0 to all out-edges of a user whose only
+        action propagated — maximum confidence at support 1.
+        """
+        graph = SocialGraph.from_edges(
+            [("rare", "f1"), ("rare", "f2"), ("rare", "f3")]
+        )
+        log = ActionLog.from_tuples(
+            [
+                ("rare", "a", 0.0),
+                ("f1", "a", 1.0),
+                ("f2", "a", 1.5),
+                ("f3", "a", 2.0),
+            ]
+        )
+        result = learn_ic_probabilities_em(graph, log)
+        for follower in ("f1", "f2", "f3"):
+            assert result.probabilities[("rare", follower)] == pytest.approx(
+                1.0, abs=1e-6
+            )
+
+
+class TestEMValidation:
+    def test_invalid_iterations_raise(self, flixster_mini):
+        with pytest.raises(ValueError):
+            learn_ic_probabilities_em(
+                flixster_mini.graph, flixster_mini.log, max_iterations=0
+            )
+
+    def test_invalid_tolerance_raises(self, flixster_mini):
+        with pytest.raises(ValueError):
+            learn_ic_probabilities_em(
+                flixster_mini.graph, flixster_mini.log, tolerance=0
+            )
+
+    def test_invalid_initial_probability_raises(self, flixster_mini):
+        with pytest.raises(ValueError):
+            learn_ic_probabilities_em(
+                flixster_mini.graph, flixster_mini.log, initial_probability=1.5
+            )
+
+    def test_empty_log(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        result = learn_ic_probabilities_em(graph, ActionLog())
+        assert result.probabilities == {}

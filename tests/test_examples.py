@@ -1,0 +1,133 @@
+"""Every example script must run to completion.
+
+Examples are executed in-process (import + main()) against reduced
+workloads where they expose knobs, or as-is when already fast.  To keep
+the suite quick, the heavyweight examples are monkeypatched onto the
+mini datasets.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def mini_everything(monkeypatch):
+    """Redirect the 'small' presets to 'mini' for fast example runs."""
+    from repro.data import datasets
+
+    real_flixster = datasets.flixster_like
+    real_flickr = datasets.flickr_like
+
+    def mini_flixster(scale="small", seed=11):
+        return real_flixster("mini", seed)
+
+    def mini_flickr(scale="small", seed=17):
+        return real_flickr("mini", seed)
+
+    monkeypatch.setattr("repro.data.datasets.flixster_like", mini_flixster)
+    monkeypatch.setattr("repro.data.datasets.flickr_like", mini_flickr)
+    monkeypatch.setattr("repro.flixster_like", mini_flixster)
+    monkeypatch.setattr("repro.flickr_like", mini_flickr)
+
+
+class TestExamplesRun:
+    def test_quickstart(self, mini_everything, capsys):
+        module = _load("quickstart")
+        module.main()
+        output = capsys.readouterr().out
+        assert "top-10 seeds" in output
+        assert "sigma_cd" in output
+
+    def test_movie_campaign(self, mini_everything, capsys):
+        module = _load("movie_campaign")
+        module.K = 5
+        module.main()
+        output = capsys.readouterr().out
+        assert "CD" in output and "PageRank" in output
+
+    def test_group_recommendation(self, mini_everything, capsys):
+        module = _load("group_recommendation")
+        module.main()
+        output = capsys.readouterr().out
+        assert "binned RMSE" in output
+
+    def test_why_data_matters(self, mini_everything, capsys):
+        module = _load("why_data_matters")
+        module.K = 5
+        module.main()
+        output = capsys.readouterr().out
+        assert "Experiment 1" in output and "Experiment 2" in output
+
+    def test_community_sampling(self, capsys):
+        module = _load("community_sampling")
+        module.main()
+        output = capsys.readouterr().out
+        assert "extracted community" in output
+
+    def test_streaming_updates(self, mini_everything, capsys):
+        module = _load("streaming_updates")
+        module.K = 4
+        module.main()
+        output = capsys.readouterr().out
+        assert "wave 1" in output
+        assert "seeds kept from the previous wave" in output
+
+    def test_influencer_analytics(self, mini_everything, capsys):
+        module = _load("influencer_analytics")
+        module.K = 3
+        module.main()
+        output = capsys.readouterr().out
+        assert "influencer leaderboard" in output
+        assert "selected seeds" in output
+
+    def test_deadline_campaign(self, mini_everything, capsys):
+        module = _load("deadline_campaign")
+        module.K = 3
+        module.DEADLINES = (0.5, 2.0)
+        module.NUM_SIMULATIONS = 30
+        module.main()
+        output = capsys.readouterr().out
+        assert "time-bounded spread" in output
+        assert "DegreeDiscount" in output
+
+    def test_model_comparison(self, mini_everything, capsys):
+        module = _load("model_comparison")
+        module.MAX_TEST_TRACES = 20
+        module.NUM_SIMULATIONS = 20
+        module.main()
+        output = capsys.readouterr().out
+        assert "model comparison over" in output
+        assert "pairwise verdicts" in output
+        assert "Best model by RMSE" in output
+
+    def test_campaign_planning(self, mini_everything, capsys):
+        module = _load("campaign_planning")
+        module.TARGET_FRACTIONS = (0.25, 0.5)
+        module.BUDGETS = (2.0, 6.0)
+        module.K_PER_TOPIC = 3
+        module.main()
+        output = capsys.readouterr().out
+        assert "seed bill vs target" in output
+        assert "budgeted selection" in output
+        assert "specialization score" in output
+
+    def test_algorithm_zoo(self, mini_everything, capsys):
+        module = _load("algorithm_zoo")
+        module.K = 4
+        module.main()
+        output = capsys.readouterr().out
+        assert "CD (this paper)" in output
+        assert "spread vs k" in output

@@ -1,0 +1,141 @@
+"""Tests for repro.evaluation.export (CSV output)."""
+
+import csv
+
+import pytest
+
+from repro.evaluation.export import (
+    export_matrix,
+    export_prediction_pairs,
+    export_series,
+    write_rows,
+)
+from repro.evaluation.prediction import PredictionExperiment
+
+
+def _read(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestWriteRows:
+    def test_header_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(path, ["a", "b"], [[1, 2], [3, 4]])
+        content = _read(path)
+        assert content == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(path, ["only"], [])
+        assert _read(path) == [["only"]]
+
+
+class TestExportPredictionPairs:
+    def test_round_trip(self, tmp_path):
+        experiment = PredictionExperiment(
+            methods=["CD", "IC"],
+            records={
+                "CD": [(10.0, 9.0), (20.0, 22.0)],
+                "IC": [(10.0, 14.0), (20.0, 18.0)],
+            },
+            num_test_traces=2,
+        )
+        path = tmp_path / "pairs.csv"
+        export_prediction_pairs(experiment, path)
+        content = _read(path)
+        assert content[0] == ["method", "actual_spread", "predicted_spread"]
+        assert ["CD", "10.0", "9.0"] in content
+        assert ["IC", "20.0", "18.0"] in content
+        assert len(content) == 5
+
+
+class TestExportSeries:
+    def test_shared_x_grid(self, tmp_path):
+        series = {"CD": [(1.0, 5.0), (2.0, 9.0)], "LT": [(1.0, 4.0), (2.0, 7.0)]}
+        path = tmp_path / "series.csv"
+        export_series(series, path, x_label="k")
+        content = _read(path)
+        assert content[0] == ["k", "CD", "LT"]
+        assert content[1] == ["1.0", "5.0", "4.0"]
+        assert content[2] == ["2.0", "9.0", "7.0"]
+
+    def test_empty_series(self, tmp_path):
+        path = tmp_path / "series.csv"
+        export_series({}, path, x_label="k")
+        assert _read(path) == [["k"]]
+
+
+class TestExportMatrix:
+    def test_layout(self, tmp_path):
+        matrix = {
+            ("A", "A"): 3, ("A", "B"): 1,
+            ("B", "A"): 1, ("B", "B"): 2,
+        }
+        path = tmp_path / "matrix.csv"
+        export_matrix(["A", "B"], matrix, path)
+        content = _read(path)
+        assert content == [
+            ["method", "A", "B"],
+            ["A", "3", "1"],
+            ["B", "1", "2"],
+        ]
+
+
+class TestExportComparison:
+    def test_round_trippable_rows(self, tmp_path):
+        import csv
+
+        from repro.evaluation.comparison import (
+            ComparisonResult,
+            ModelReport,
+        )
+        from repro.evaluation.export import export_comparison
+        from repro.evaluation.significance import PairedComparison
+
+        result = ComparisonResult(num_test_traces=10, tolerance=10.0)
+        result.reports.append(
+            ModelReport("CD", rmse=5.0, rmse_lower=4.0, rmse_upper=6.0,
+                        capture_rate=0.8)
+        )
+        result.reports.append(
+            ModelReport("IC", rmse=9.0, rmse_lower=7.0, rmse_upper=11.0,
+                        capture_rate=0.5)
+        )
+        result.pairwise[("CD", "IC")] = PairedComparison(
+            statistic_a=5.0, statistic_b=9.0, difference=-4.0,
+            ci_lower=-6.0, ci_upper=-2.0,
+        )
+        result.pairwise[("IC", "CD")] = PairedComparison(
+            statistic_a=9.0, statistic_b=5.0, difference=4.0,
+            ci_lower=2.0, ci_upper=6.0,
+        )
+        path = tmp_path / "comparison.csv"
+        export_comparison(result, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        kinds = [row[0] for row in rows[1:]]
+        assert kinds.count("model") == 2
+        assert kinds.count("pair") == 2
+        model_row = next(row for row in rows if row[:2] == ["model", "CD"])
+        assert float(model_row[3]) == 5.0
+
+
+class TestExportNoisePoints:
+    def test_rows_match_points(self, tmp_path):
+        import csv
+
+        from repro.evaluation.export import export_noise_points
+        from repro.evaluation.robustness import NoisePoint
+
+        points = [
+            NoisePoint(noise=0.0, overlap=10, quality_ratio=1.0),
+            NoisePoint(noise=0.2, overlap=8, quality_ratio=0.97),
+        ]
+        path = tmp_path / "noise.csv"
+        export_noise_points(points, path)
+        with open(path, newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["noise", "overlap", "quality_ratio"]
+        assert rows[1] == ["0.0", "10", "1.0"]
+        assert rows[2] == ["0.2", "8", "0.97"]

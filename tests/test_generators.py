@@ -1,0 +1,125 @@
+"""Tests for repro.graphs.generators."""
+
+import pytest
+
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    planted_partition_graph,
+    preferential_attachment_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        assert erdos_renyi_graph(50, 0.1, seed=1).num_nodes == 50
+
+    def test_deterministic_under_seed(self):
+        first = sorted(erdos_renyi_graph(30, 0.2, seed=5).edges())
+        second = sorted(erdos_renyi_graph(30, 0.2, seed=5).edges())
+        assert first == second
+
+    def test_zero_probability_gives_no_edges(self):
+        assert erdos_renyi_graph(20, 0.0, seed=1).num_edges == 0
+
+    def test_probability_one_gives_complete_digraph(self):
+        graph = erdos_renyi_graph(6, 1.0, seed=1)
+        assert graph.num_edges == 6 * 5
+
+    def test_edge_count_near_expectation(self):
+        graph = erdos_renyi_graph(100, 0.05, seed=3)
+        expected = 100 * 99 * 0.05
+        assert 0.6 * expected < graph.num_edges < 1.4 * expected
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_negative_nodes_raises(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(-1, 0.5)
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_graph(20, 0.5, seed=2)
+        assert all(source != target for source, target in graph.edges())
+
+
+class TestPreferentialAttachment:
+    def test_node_count(self):
+        assert preferential_attachment_graph(40, 3, seed=1).num_nodes == 40
+
+    def test_deterministic_under_seed(self):
+        first = sorted(preferential_attachment_graph(40, 3, seed=9).edges())
+        second = sorted(preferential_attachment_graph(40, 3, seed=9).edges())
+        assert first == second
+
+    def test_minimum_out_degree_of_late_nodes(self):
+        graph = preferential_attachment_graph(50, 3, seed=2, reciprocity=0.0)
+        # Every node after the first 3 attaches exactly 3 edges.
+        late = [node for node in graph.nodes() if node >= 3]
+        assert all(graph.out_degree(node) == 3 for node in late)
+
+    def test_heavy_tail_exists(self):
+        graph = preferential_attachment_graph(300, 3, seed=4)
+        max_in = max(graph.in_degree(node) for node in graph.nodes())
+        # Preferential attachment concentrates in-degree on hubs.
+        assert max_in >= 15
+
+    def test_reciprocity_creates_back_edges(self):
+        graph = preferential_attachment_graph(100, 3, seed=5, reciprocity=1.0)
+        back = sum(
+            1 for source, target in graph.edges() if graph.has_edge(target, source)
+        )
+        assert back > graph.num_edges * 0.9
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(0, 3)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, 0)
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_gives_ring(self):
+        graph = watts_strogatz_graph(10, 2, 0.0, seed=1)
+        assert graph.num_edges == 20
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(0, 2)
+
+    def test_rewiring_preserves_edge_count(self):
+        graph = watts_strogatz_graph(30, 3, 0.5, seed=2)
+        assert graph.num_edges == 90
+
+    def test_deterministic_under_seed(self):
+        first = sorted(watts_strogatz_graph(20, 2, 0.3, seed=7).edges())
+        second = sorted(watts_strogatz_graph(20, 2, 0.3, seed=7).edges())
+        assert first == second
+
+    def test_invalid_ring_neighbors_raise(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 10, 0.1)
+
+
+class TestPlantedPartition:
+    def test_membership_covers_all_nodes(self):
+        graph, membership = planted_partition_graph([10, 15], 0.4, 0.01, seed=1)
+        assert graph.num_nodes == 25
+        assert set(membership) == set(range(25))
+
+    def test_community_sizes(self):
+        _, membership = planted_partition_graph([10, 15], 0.4, 0.01, seed=1)
+        assert sum(1 for c in membership.values() if c == 0) == 10
+        assert sum(1 for c in membership.values() if c == 1) == 15
+
+    def test_intra_edges_dominate(self):
+        graph, membership = planted_partition_graph([20, 20], 0.5, 0.01, seed=3)
+        intra = sum(
+            1
+            for source, target in graph.edges()
+            if membership[source] == membership[target]
+        )
+        assert intra > graph.num_edges * 0.8
+
+    def test_empty_community_list_raises(self):
+        with pytest.raises(ValueError):
+            planted_partition_graph([], 0.5, 0.1)

@@ -1,0 +1,165 @@
+"""Tests for repro.graphs.metrics."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.metrics import (
+    average_local_clustering,
+    core_numbers,
+    degree_histogram,
+    density,
+    global_clustering_coefficient,
+    reciprocity,
+    summarize_graph,
+)
+
+
+@pytest.fixture()
+def triangle_plus_tail():
+    """Triangle {1,2,3} (undirected via both directions) with tail 3 -> 4."""
+    return SocialGraph.from_edges(
+        [(1, 2), (2, 1), (2, 3), (3, 2), (1, 3), (3, 1), (3, 4)]
+    )
+
+
+class TestDegreeHistogram:
+    def test_out_direction(self):
+        graph = SocialGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+        assert degree_histogram(graph, "out") == {2: 1, 1: 1, 0: 1}
+
+    def test_in_direction(self):
+        graph = SocialGraph.from_edges([(1, 2), (1, 3), (2, 3)])
+        assert degree_histogram(graph, "in") == {0: 1, 1: 1, 2: 1}
+
+    def test_total_direction(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        assert degree_histogram(graph, "total") == {1: 2}
+
+    def test_invalid_direction_raises(self):
+        with pytest.raises(ValueError, match="direction"):
+            degree_histogram(SocialGraph(), "sideways")
+
+    def test_histogram_counts_sum_to_node_count(self):
+        graph = erdos_renyi_graph(30, 0.2, seed=1)
+        histogram = degree_histogram(graph, "out")
+        assert sum(histogram.values()) == graph.num_nodes
+
+
+class TestDensityReciprocity:
+    def test_density_complete_digraph(self):
+        graph = SocialGraph.from_edges(
+            [(a, b) for a in range(3) for b in range(3) if a != b]
+        )
+        assert density(graph) == pytest.approx(1.0)
+
+    def test_density_single_node_is_zero(self):
+        graph = SocialGraph.from_edges([], nodes=[1])
+        assert density(graph) == 0.0
+
+    def test_reciprocity_all_mutual(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 1)])
+        assert reciprocity(graph) == pytest.approx(1.0)
+
+    def test_reciprocity_none_mutual(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        assert reciprocity(graph) == 0.0
+
+    def test_reciprocity_mixed(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 1), (1, 3)])
+        assert reciprocity(graph) == pytest.approx(2 / 3)
+
+    def test_reciprocity_empty_graph(self):
+        assert reciprocity(SocialGraph()) == 0.0
+
+
+class TestClustering:
+    def test_triangle_is_fully_clustered(self, triangle_plus_tail):
+        # Nodes 1, 2 have all neighbours adjacent; the tail dilutes node 3.
+        assert global_clustering_coefficient(triangle_plus_tail) == (
+            pytest.approx(3 * 1 / (1 + 1 + 3 + 0))
+        )
+
+    def test_no_triangles_zero(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert global_clustering_coefficient(graph) == 0.0
+
+    def test_empty_graph_zero(self):
+        assert global_clustering_coefficient(SocialGraph()) == 0.0
+
+    def test_average_local_matches_networkx(self):
+        import networkx as nx
+
+        graph = erdos_renyi_graph(25, 0.25, seed=7)
+        undirected = nx.Graph()
+        undirected.add_nodes_from(graph.nodes())
+        undirected.add_edges_from(graph.edges())
+        ours = average_local_clustering(graph)
+        theirs = nx.average_clustering(undirected)
+        assert ours == pytest.approx(theirs)
+
+    def test_global_matches_networkx_transitivity(self):
+        import networkx as nx
+
+        graph = erdos_renyi_graph(25, 0.25, seed=11)
+        undirected = nx.Graph()
+        undirected.add_nodes_from(graph.nodes())
+        undirected.add_edges_from(graph.edges())
+        assert global_clustering_coefficient(graph) == pytest.approx(
+            nx.transitivity(undirected)
+        )
+
+
+class TestCoreNumbers:
+    def test_chain_is_one_core(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (3, 4)])
+        assert core_numbers(graph) == {1: 1, 2: 1, 3: 1, 4: 1}
+
+    def test_triangle_with_tail(self, triangle_plus_tail):
+        cores = core_numbers(triangle_plus_tail)
+        assert cores[1] == cores[2] == cores[3] == 2
+        assert cores[4] == 1
+
+    def test_isolated_node_core_zero(self):
+        graph = SocialGraph.from_edges([(1, 2)], nodes=[3])
+        assert core_numbers(graph)[3] == 0
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        graph = erdos_renyi_graph(40, 0.15, seed=3)
+        undirected = nx.Graph()
+        undirected.add_nodes_from(graph.nodes())
+        undirected.add_edges_from(graph.edges())
+        assert core_numbers(graph) == nx.core_number(undirected)
+
+    def test_empty_graph(self):
+        assert core_numbers(SocialGraph()) == {}
+
+
+class TestSummary:
+    def test_summary_fields(self, triangle_plus_tail):
+        summary = summarize_graph(triangle_plus_tail)
+        assert summary.num_nodes == 4
+        assert summary.num_edges == 7
+        assert summary.max_core == 2
+        assert summary.num_components == 1
+        assert summary.largest_component_fraction == pytest.approx(1.0)
+
+    def test_summary_empty_graph(self):
+        summary = summarize_graph(SocialGraph())
+        assert summary.num_nodes == 0
+        assert summary.density == 0.0
+        assert summary.largest_component_fraction == 0.0
+
+    def test_as_rows_covers_every_field(self, triangle_plus_tail):
+        rows = summarize_graph(triangle_plus_tail).as_rows()
+        labels = [label for label, _ in rows]
+        assert "nodes" in labels and "reciprocity" in labels
+        assert len(rows) == 11
+
+    def test_two_components_counted(self):
+        graph = SocialGraph.from_edges([(1, 2), (3, 4)])
+        summary = summarize_graph(graph)
+        assert summary.num_components == 2
+        assert summary.largest_component_fraction == pytest.approx(0.5)

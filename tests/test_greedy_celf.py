@@ -1,0 +1,131 @@
+"""Tests for repro.maximization.greedy and repro.maximization.celf.
+
+CELF must select exactly the same seeds as plain greedy for any
+deterministic oracle (the Leskovec et al. guarantee), with fewer oracle
+calls.
+"""
+
+import pytest
+
+from repro.maximization.celf import celf_maximize
+from repro.maximization.greedy import greedy_maximize
+from repro.maximization.oracle import CountingOracle
+
+
+class SetCoverOracle:
+    """Deterministic submodular oracle: spread = size of covered union."""
+
+    def __init__(self, coverage: dict):
+        self._coverage = coverage
+
+    def candidates(self):
+        return list(self._coverage)
+
+    def spread(self, seeds):
+        covered = set()
+        for seed in seeds:
+            covered |= self._coverage.get(seed, set())
+        return float(len(covered))
+
+
+@pytest.fixture()
+def cover_oracle():
+    # Marginal gains are distinct at every greedy stage, so greedy and
+    # CELF have a unique optimal trajectory (no tie-break ambiguity).
+    return SetCoverOracle(
+        {
+            "a": {1, 2, 3, 4},
+            "b": {5, 6, 7},
+            "c": {8, 9},
+            "d": {10},
+            "e": {1, 5, 8},
+        }
+    )
+
+
+class TestGreedy:
+    def test_selects_best_first(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=1)
+        assert result.seeds == ["a"]
+        assert result.spread == 4.0
+
+    def test_marginal_gains_non_increasing(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=5)
+        assert result.gains == sorted(result.gains, reverse=True)
+
+    def test_respects_k(self, cover_oracle):
+        assert len(greedy_maximize(cover_oracle, k=3).seeds) == 3
+
+    def test_k_larger_than_candidates(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=100)
+        assert len(result.seeds) == 5
+
+    def test_k_zero(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=0)
+        assert result.seeds == []
+        assert result.spread == 0.0
+
+    def test_negative_k_raises(self, cover_oracle):
+        with pytest.raises(ValueError):
+            greedy_maximize(cover_oracle, k=-1)
+
+    def test_explicit_candidate_pool(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=2, candidates=["c", "d"])
+        assert set(result.seeds) == {"c", "d"}
+
+    def test_spread_matches_oracle(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=3)
+        assert result.spread == cover_oracle.spread(result.seeds)
+
+    def test_oracle_calls_counted(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=2)
+        assert result.oracle_calls == 5 + 4
+
+    def test_seeds_at_prefix(self, cover_oracle):
+        result = greedy_maximize(cover_oracle, k=3)
+        assert result.seeds_at(2) == result.seeds[:2]
+
+
+class TestCELF:
+    def test_matches_greedy_seeds(self, cover_oracle):
+        greedy = greedy_maximize(cover_oracle, k=4)
+        celf = celf_maximize(cover_oracle, k=4)
+        assert celf.seeds == greedy.seeds
+
+    def test_matches_greedy_gains(self, cover_oracle):
+        greedy = greedy_maximize(cover_oracle, k=4)
+        celf = celf_maximize(cover_oracle, k=4)
+        assert celf.gains == pytest.approx(greedy.gains)
+
+    def test_fewer_or_equal_oracle_calls(self, cover_oracle):
+        greedy = greedy_maximize(cover_oracle, k=4)
+        celf = celf_maximize(cover_oracle, k=4)
+        assert celf.oracle_calls <= greedy.oracle_calls
+
+    def test_matches_greedy_on_cd_instance(self, flixster_mini):
+        """CELF == greedy on a real sigma_cd oracle."""
+        from repro.core.spread import CDSpreadEvaluator
+
+        evaluator = CDSpreadEvaluator(flixster_mini.graph, flixster_mini.log)
+        greedy = greedy_maximize(evaluator, k=3)
+        celf = celf_maximize(evaluator, k=3)
+        assert celf.seeds == greedy.seeds
+
+    def test_k_zero(self, cover_oracle):
+        assert celf_maximize(cover_oracle, k=0).seeds == []
+
+    def test_negative_k_raises(self, cover_oracle):
+        with pytest.raises(ValueError):
+            celf_maximize(cover_oracle, k=-2)
+
+    def test_time_log_records_each_seed(self, cover_oracle):
+        times = []
+        celf_maximize(cover_oracle, k=3, time_log=times)
+        assert [count for count, _ in times] == [1, 2, 3]
+        elapsed = [t for _, t in times]
+        assert elapsed == sorted(elapsed)
+
+    def test_counting_oracle_integration(self, cover_oracle):
+        counting = CountingOracle(cover_oracle)
+        result = celf_maximize(counting, k=3)
+        assert counting.calls == result.oracle_calls

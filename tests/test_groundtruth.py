@@ -1,0 +1,115 @@
+"""Tests for repro.evaluation.groundtruth (oracle evaluation)."""
+
+import pytest
+
+from repro.data.datasets import Dataset, flixster_like
+from repro.evaluation.groundtruth import ground_truth_evaluation, true_spread
+
+
+@pytest.fixture(scope="module")
+def mini():
+    return flixster_like("mini")
+
+
+class TestTrueSpread:
+    def test_seed_always_counts_itself(self, mini):
+        node = next(iter(mini.graph.nodes()))
+        spread = true_spread(mini.model, [node], num_simulations=20, seed=0)
+        assert spread >= 1.0
+
+    def test_empty_seed_set(self, mini):
+        assert true_spread(mini.model, [], num_simulations=10, seed=0) == 0.0
+
+    def test_unknown_seeds_ignored(self, mini):
+        assert true_spread(
+            mini.model, ["ghost"], num_simulations=10, seed=0
+        ) == 0.0
+
+    def test_monotone_in_seeds(self, mini):
+        nodes = list(mini.graph.nodes())[:4]
+        small = true_spread(mini.model, nodes[:1], num_simulations=150, seed=1)
+        large = true_spread(mini.model, nodes, num_simulations=150, seed=1)
+        assert large >= small
+
+    def test_deterministic_with_seed(self, mini):
+        nodes = list(mini.graph.nodes())[:2]
+        first = true_spread(mini.model, nodes, num_simulations=30, seed=5)
+        second = true_spread(mini.model, nodes, num_simulations=30, seed=5)
+        assert first == second
+
+    def test_all_processes_supported(self, mini):
+        nodes = list(mini.graph.nodes())[:2]
+        for process in ("ic", "threshold", "mixed"):
+            spread = true_spread(
+                mini.model, nodes, process=process,
+                num_simulations=20, seed=0,
+            )
+            assert spread >= len(nodes)
+
+    def test_threshold_spreads_less_than_ic(self, mini):
+        """Social proof needs cumulative exposure; a single seed
+        penetrates less than under independent contagion."""
+        node = max(
+            mini.graph.nodes(), key=lambda n: mini.graph.out_degree(n)
+        )
+        ic = true_spread(
+            mini.model, [node], process="ic", num_simulations=300, seed=2
+        )
+        threshold = true_spread(
+            mini.model, [node], process="threshold",
+            num_simulations=300, seed=2,
+        )
+        assert threshold <= ic
+
+    def test_invalid_process_raises(self, mini):
+        with pytest.raises(ValueError, match="process"):
+            true_spread(mini.model, [0], process="magic")
+
+    def test_invalid_simulations_raises(self, mini):
+        with pytest.raises(ValueError):
+            true_spread(mini.model, [0], num_simulations=0)
+
+
+class TestGroundTruthEvaluation:
+    def test_scores_every_method(self, mini):
+        nodes = list(mini.graph.nodes())
+        scores = ground_truth_evaluation(
+            mini,
+            {"first": nodes[:2], "second": nodes[2:4]},
+            num_simulations=20,
+        )
+        assert set(scores) == {"first", "second"}
+        assert all(score >= 2.0 for score in scores.values())
+
+    def test_requires_hidden_model(self, mini):
+        stripped = Dataset(name="no-truth", graph=mini.graph, log=mini.log)
+        with pytest.raises(ValueError, match="no hidden ground-truth"):
+            ground_truth_evaluation(stripped, {"m": []})
+
+    def test_uses_dataset_process(self, mini):
+        """The dataset's recorded process drives the simulation."""
+        assert mini.process == "ic"
+        nodes = list(mini.graph.nodes())[:2]
+        via_dataset = ground_truth_evaluation(
+            mini, {"m": nodes}, num_simulations=25, seed=3
+        )["m"]
+        direct = true_spread(
+            mini.model, nodes, process="ic", num_simulations=25, seed=3
+        )
+        assert via_dataset == direct
+
+    def test_good_seeds_beat_random_tail(self, mini):
+        """An end-to-end sanity check of the oracle: CD-selected seeds
+        out-spread the least-active users under the hidden truth."""
+        from repro.core.maximize import cd_maximize
+        from repro.core.scan import scan_action_log
+
+        index = scan_action_log(mini.graph, mini.log, truncation=0.001)
+        good = cd_maximize(index, k=3).seeds
+        poor = sorted(
+            mini.graph.nodes(), key=lambda n: mini.log.activity(n)
+        )[:3]
+        scores = ground_truth_evaluation(
+            mini, {"CD": good, "inactive": poor}, num_simulations=150
+        )
+        assert scores["CD"] > scores["inactive"]

@@ -1,0 +1,66 @@
+"""Tests for repro.maximization.heuristics (High-Degree, PageRank)."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.heuristics import high_degree_seeds, pagerank_seeds
+
+
+@pytest.fixture()
+def star_graph():
+    # Node 0 points at everyone; node 9 is pointed at by everyone.
+    graph = SocialGraph()
+    for node in range(1, 9):
+        graph.add_edge(0, node)
+        graph.add_edge(node, 9)
+    return graph
+
+
+class TestHighDegree:
+    def test_out_degree_default(self, star_graph):
+        assert high_degree_seeds(star_graph, 1) == [0]
+
+    def test_in_degree(self, star_graph):
+        assert high_degree_seeds(star_graph, 1, direction="in") == [9]
+
+    def test_total_degree(self, star_graph):
+        seeds = high_degree_seeds(star_graph, 2, direction="total")
+        assert set(seeds) == {0, 9}
+
+    def test_k_zero(self, star_graph):
+        assert high_degree_seeds(star_graph, 0) == []
+
+    def test_k_exceeds_nodes(self, star_graph):
+        assert len(high_degree_seeds(star_graph, 100)) == star_graph.num_nodes
+
+    def test_deterministic_tie_break(self):
+        graph = SocialGraph.from_edges([(1, 2), (3, 4)])
+        assert high_degree_seeds(graph, 2) == high_degree_seeds(graph, 2)
+
+    def test_invalid_direction_raises(self, star_graph):
+        with pytest.raises(ValueError):
+            high_degree_seeds(star_graph, 1, direction="sideways")
+
+    def test_negative_k_raises(self, star_graph):
+        with pytest.raises(ValueError):
+            high_degree_seeds(star_graph, -1)
+
+
+class TestPageRankSeeds:
+    def test_top_node_is_rank_sink(self, star_graph):
+        assert pagerank_seeds(star_graph, 1) == [9]
+
+    def test_k_respected(self, star_graph):
+        assert len(pagerank_seeds(star_graph, 3)) == 3
+
+    def test_seeds_ordered_by_score(self, star_graph):
+        from repro.graphs.pagerank import pagerank
+
+        scores = pagerank(star_graph)
+        seeds = pagerank_seeds(star_graph, 4)
+        seed_scores = [scores[s] for s in seeds]
+        assert seed_scores == sorted(seed_scores, reverse=True)
+
+    def test_negative_k_raises(self, star_graph):
+        with pytest.raises(ValueError):
+            pagerank_seeds(star_graph, -1)

@@ -1,0 +1,131 @@
+"""Tests for repro.core.index (the UC/SC sparse credit structures)."""
+
+import pytest
+
+from repro.core.index import CreditIndex, SeedCredits
+
+
+class TestCreditIndex:
+    def test_set_and_get(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        assert index.credit("v", "a", "u") == 0.5
+
+    def test_missing_credit_is_zero(self):
+        assert CreditIndex().credit("v", "a", "u") == 0.0
+
+    def test_mirrors_consistent_after_set(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        assert index.out["v"]["a"]["u"] == 0.5
+        assert index.inc["u"]["a"]["v"] == 0.5
+
+    def test_overwrite_does_not_double_count_entries(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        index.set_credit("v", "a", "u", 0.7)
+        assert index.total_entries == 1
+        assert index.credit("v", "a", "u") == 0.7
+
+    def test_subtract_credit(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        index.subtract_credit("v", "a", "u", 0.2)
+        assert index.credit("v", "a", "u") == pytest.approx(0.3)
+        assert index.inc["u"]["a"]["v"] == pytest.approx(0.3)
+
+    def test_subtract_to_zero_removes_entry(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        index.subtract_credit("v", "a", "u", 0.5)
+        assert index.total_entries == 0
+        assert "v" not in index.out
+
+    def test_subtract_missing_entry_is_noop(self):
+        index = CreditIndex()
+        index.subtract_credit("v", "a", "u", 0.5)  # must not raise
+        assert index.total_entries == 0
+
+    def test_remove_user_clears_both_directions(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "x", 0.5)   # into x
+        index.set_credit("x", "a", "u", 0.4)   # from x
+        index.set_credit("v", "a", "u", 0.3)   # unrelated
+        index.remove_user("x")
+        assert index.credit("v", "a", "x") == 0.0
+        assert index.credit("x", "a", "u") == 0.0
+        assert index.credit("v", "a", "u") == 0.3
+        assert index.total_entries == 1
+
+    def test_record_activity(self):
+        index = CreditIndex()
+        index.record_activity("v")
+        index.record_activity("v")
+        assert index.activity["v"] == 2
+
+    def test_users_iterates_active_users(self):
+        index = CreditIndex()
+        index.record_activity("v")
+        index.record_activity("u")
+        assert sorted(index.users()) == ["u", "v"]
+
+    def test_copy_is_deep(self):
+        index = CreditIndex(truncation=0.01)
+        index.record_activity("v")
+        index.set_credit("v", "a", "u", 0.5)
+        duplicate = index.copy()
+        duplicate.subtract_credit("v", "a", "u", 0.5)
+        duplicate.record_activity("v")
+        assert index.credit("v", "a", "u") == 0.5
+        assert index.activity["v"] == 1
+        assert duplicate.truncation == 0.01
+
+    def test_memory_estimate_scales_with_entries(self):
+        index = CreditIndex()
+        assert index.estimate_memory_bytes() == 0
+        index.set_credit("v", "a", "u", 0.5)
+        one = index.estimate_memory_bytes()
+        index.set_credit("v", "a", "w", 0.5)
+        assert index.estimate_memory_bytes() == 2 * one
+
+    def test_negative_truncation_raises(self):
+        with pytest.raises(ValueError):
+            CreditIndex(truncation=-0.1)
+
+    def test_repr(self):
+        index = CreditIndex()
+        index.record_activity("v")
+        assert "users=1" in repr(index)
+
+
+class TestSeedCredits:
+    def test_default_zero(self):
+        assert SeedCredits().get("x", "a") == 0.0
+
+    def test_add_accumulates(self):
+        credits = SeedCredits()
+        credits.add("x", "a", 0.25)
+        credits.add("x", "a", 0.25)
+        assert credits.get("x", "a") == pytest.approx(0.5)
+
+    def test_total_sums_across_actions(self):
+        credits = SeedCredits()
+        credits.add("x", "a", 0.25)
+        credits.add("x", "b", 0.5)
+        assert credits.total("x") == pytest.approx(0.75)
+
+    def test_by_action_view(self):
+        credits = SeedCredits()
+        credits.add("x", "a", 0.25)
+        assert credits.by_action("x") == {"a": 0.25}
+        assert credits.by_action("unknown") == {}
+
+    def test_drop_user(self):
+        credits = SeedCredits()
+        credits.add("x", "a", 0.25)
+        credits.drop_user("x")
+        assert credits.get("x", "a") == 0.0
+        assert credits.total("x") == 0.0
+
+    def test_drop_unknown_user_is_noop(self):
+        SeedCredits().drop_user("nobody")

@@ -1,0 +1,121 @@
+"""Tests for repro.data.io (TSV persistence)."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.data.io import load_action_log, load_graph, save_action_log, save_graph
+from repro.graphs.digraph import SocialGraph
+
+
+class TestGraphIO:
+    def test_round_trip(self, tmp_path):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)], nodes=[9])
+        path = tmp_path / "graph.tsv"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert sorted(loaded.edges()) == sorted(graph.edges())
+        assert 9 in loaded
+
+    def test_string_node_ids_survive(self, tmp_path):
+        graph = SocialGraph.from_edges([("alice", "bob")])
+        path = tmp_path / "graph.tsv"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.has_edge("alice", "bob")
+
+    def test_integer_ids_parsed_back_to_int(self, tmp_path):
+        graph = SocialGraph.from_edges([(1, 2)])
+        path = tmp_path / "graph.tsv"
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.has_edge(1, 2)
+        assert not loaded.has_edge("1", "2")
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("# comment\n\n1\t2\n")
+        loaded = load_graph(path)
+        assert loaded.has_edge(1, 2)
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "graph.tsv"
+        path.write_text("1\t2\t3\t4\n")
+        with pytest.raises(ValueError, match=":1"):
+            load_graph(path)
+
+
+class TestActionLogIO:
+    def test_round_trip(self, tmp_path):
+        log = ActionLog.from_tuples(
+            [(1, "a", 0.5), (2, "a", 1.25), ("bob", "b", 3.0)]
+        )
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path)
+        loaded = load_action_log(path)
+        assert sorted(map(repr, loaded.tuples())) == sorted(map(repr, log.tuples()))
+
+    def test_times_preserved_exactly(self, tmp_path):
+        log = ActionLog.from_tuples([(1, "a", 0.1234567890123)])
+        path = tmp_path / "log.tsv"
+        save_action_log(log, path)
+        loaded = load_action_log(path)
+        assert loaded.time_of(1, "a") == 0.1234567890123
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "log.tsv"
+        path.write_text("1\ta\n")
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_action_log(path)
+
+    def test_dataset_round_trip(self, tmp_path, flixster_mini):
+        graph_path = tmp_path / "g.tsv"
+        log_path = tmp_path / "l.tsv"
+        save_graph(flixster_mini.graph, graph_path)
+        save_action_log(flixster_mini.log, log_path)
+        graph = load_graph(graph_path)
+        log = load_action_log(log_path)
+        assert graph.num_edges == flixster_mini.graph.num_edges
+        assert log.num_tuples == flixster_mini.log.num_tuples
+        assert sorted(log.actions()) == sorted(flixster_mini.log.actions())
+
+
+class TestEdgeValues:
+    def test_round_trip(self, tmp_path):
+        from repro.data.io import load_edge_values, save_edge_values
+
+        values = {(1, 2): 0.25, (2, 3): 0.001, ("u", "v"): 1.0}
+        path = tmp_path / "values.tsv"
+        save_edge_values(values, path)
+        assert load_edge_values(path) == values
+
+    def test_empty_round_trip(self, tmp_path):
+        from repro.data.io import load_edge_values, save_edge_values
+
+        path = tmp_path / "values.tsv"
+        save_edge_values({}, path)
+        assert load_edge_values(path) == {}
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        from repro.data.io import load_edge_values
+
+        path = tmp_path / "values.tsv"
+        path.write_text("# header\n\n1\t2\t0.5\n")
+        assert load_edge_values(path) == {(1, 2): 0.5}
+
+    def test_malformed_line_raises(self, tmp_path):
+        from repro.data.io import load_edge_values
+
+        path = tmp_path / "values.tsv"
+        path.write_text("1\t2\n")
+        import pytest
+
+        with pytest.raises(ValueError, match="expected 3 fields"):
+            load_edge_values(path)
+
+    def test_precision_preserved(self, tmp_path):
+        from repro.data.io import load_edge_values, save_edge_values
+
+        values = {(1, 2): 0.1 + 0.2}  # repr round-trips floats exactly
+        path = tmp_path / "values.tsv"
+        save_edge_values(values, path)
+        assert load_edge_values(path)[(1, 2)] == values[(1, 2)]

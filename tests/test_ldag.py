@@ -1,0 +1,116 @@
+"""Tests for repro.maximization.ldag (the LDAG heuristic for LT).
+
+On a graph that is already a DAG where every node's local DAG captures
+all ancestors, LT activation probabilities are *exact* and linear, so we
+check against brute-force live-edge enumeration.
+"""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.ldag import LDAGModel
+
+from tests.helpers import exact_lt_spread
+
+
+@pytest.fixture()
+def dag_graph():
+    return SocialGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture()
+def dag_weights():
+    return {(0, 1): 0.8, (0, 2): 0.5, (1, 3): 0.4, (2, 3): 0.6}
+
+
+class TestSpreadExactOnDAGs:
+    def test_single_seed(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights, theta=1e-9)
+        exact = exact_lt_spread(dag_graph, dag_weights, [0])
+        assert model.spread([0]) == pytest.approx(exact, abs=1e-9)
+
+    def test_mid_seed(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights, theta=1e-9)
+        exact = exact_lt_spread(dag_graph, dag_weights, [1])
+        assert model.spread([1]) == pytest.approx(exact, abs=1e-9)
+
+    def test_multiple_seeds(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights, theta=1e-9)
+        exact = exact_lt_spread(dag_graph, dag_weights, [1, 2])
+        assert model.spread([1, 2]) == pytest.approx(exact, abs=1e-9)
+
+    def test_chain_exact(self, chain_graph):
+        weights = {(0, 1): 0.9, (1, 2): 0.5, (2, 3): 0.2}
+        model = LDAGModel(chain_graph, weights, theta=1e-9)
+        exact = exact_lt_spread(chain_graph, weights, [0])
+        assert model.spread([0]) == pytest.approx(exact, abs=1e-9)
+
+    def test_empty_seed_set(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights)
+        assert model.spread([]) == 0.0
+
+
+class TestLocalDAGs:
+    def test_theta_bounds_dag_membership(self, chain_graph):
+        weights = {(0, 1): 0.5, (1, 2): 0.5, (2, 3): 0.5}
+        wide = LDAGModel(chain_graph, weights, theta=1e-9)
+        narrow = LDAGModel(chain_graph, weights, theta=0.3)
+        # With theta=0.3, node 0 (influence 0.125 on node 3) is excluded.
+        assert narrow.spread([0]) < wide.spread([0])
+
+    def test_invalid_theta_raises(self, dag_graph, dag_weights):
+        with pytest.raises(ValueError):
+            LDAGModel(dag_graph, dag_weights, theta=0)
+
+    def test_cyclic_graph_supported(self):
+        # The *social* graph may have cycles; each local DAG must not.
+        graph = SocialGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        weights = {(0, 1): 0.5, (1, 0): 0.5, (1, 2): 0.9}
+        model = LDAGModel(graph, weights, theta=1e-9)
+        spread = model.spread([0])
+        assert 1.0 < spread <= 3.0
+
+
+class TestSelectSeeds:
+    def test_gains_match_spread(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights, theta=1e-9)
+        result = model.select_seeds(2)
+        assert result.spread == pytest.approx(model.spread(result.seeds), abs=1e-9)
+
+    def test_first_seed_maximizes_single_spread(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights, theta=1e-9)
+        result = model.select_seeds(1)
+        best = max(dag_graph.nodes(), key=lambda node: model.spread([node]))
+        assert result.seeds == [best]
+
+    def test_incremental_gains_match_recomputed_spread(self, flixster_mini):
+        from repro.probabilities.lt_weights import learn_lt_weights
+
+        weights = learn_lt_weights(flixster_mini.graph, flixster_mini.log)
+        model = LDAGModel(flixster_mini.graph, weights)
+        result = model.select_seeds(5)
+        assert result.spread == pytest.approx(model.spread(result.seeds), rel=1e-9)
+
+    def test_gains_non_increasing(self, flixster_mini):
+        from repro.probabilities.lt_weights import learn_lt_weights
+
+        weights = learn_lt_weights(flixster_mini.graph, flixster_mini.log)
+        model = LDAGModel(flixster_mini.graph, weights)
+        result = model.select_seeds(8)
+        for earlier, later in zip(result.gains, result.gains[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_k_zero(self, dag_graph, dag_weights):
+        assert LDAGModel(dag_graph, dag_weights).select_seeds(0).seeds == []
+
+    def test_seeds_distinct(self, flickr_mini):
+        from repro.probabilities.lt_weights import learn_lt_weights
+
+        weights = learn_lt_weights(flickr_mini.graph, flickr_mini.log)
+        model = LDAGModel(flickr_mini.graph, weights)
+        seeds = model.select_seeds(10).seeds
+        assert len(seeds) == len(set(seeds))
+
+    def test_candidates(self, dag_graph, dag_weights):
+        model = LDAGModel(dag_graph, dag_weights)
+        assert set(model.candidates()) == set(dag_graph.nodes())

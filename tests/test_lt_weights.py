@@ -1,0 +1,81 @@
+"""Tests for repro.probabilities.lt_weights."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.diffusion.lt import validate_lt_weights
+from repro.graphs.digraph import SocialGraph
+from repro.probabilities.lt_weights import count_propagations, learn_lt_weights
+
+
+@pytest.fixture()
+def graph():
+    return SocialGraph.from_edges([("v", "u"), ("w", "u"), ("v", "w")])
+
+
+@pytest.fixture()
+def log():
+    return ActionLog.from_tuples(
+        [
+            ("v", "a", 0.0), ("w", "a", 1.0), ("u", "a", 2.0),
+            ("v", "b", 0.0), ("u", "b", 1.0),
+            ("w", "c", 0.0), ("u", "c", 1.0),
+        ]
+    )
+
+
+class TestCountPropagations:
+    def test_counts_match_traces(self, graph, log):
+        counts = count_propagations(graph, log)
+        # v -> u in actions a and b; w -> u in a and c; v -> w in a.
+        assert counts[("v", "u")] == 2
+        assert counts[("w", "u")] == 2
+        assert counts[("v", "w")] == 1
+
+    def test_no_propagation_no_entry(self, graph):
+        log = ActionLog.from_tuples([("u", "a", 0.0), ("v", "a", 1.0)])
+        counts = count_propagations(graph, log)
+        assert ("v", "u") not in counts  # v acted after u
+
+    def test_requires_social_edge(self, log):
+        graph = SocialGraph.from_edges([("v", "u")])  # no (w, u) edge
+        counts = count_propagations(graph, log)
+        assert ("w", "u") not in counts
+
+
+class TestLearnWeights:
+    def test_oversubscribed_node_rescaled_onto_simplex(self, graph, log):
+        # u performed 3 actions but received 4 propagations; the
+        # normaliser max(A_u, sum A_v2u) = 4 caps the incoming sum at 1.
+        weights = learn_lt_weights(graph, log)
+        incoming_u = weights[("v", "u")] + weights[("w", "u")]
+        assert incoming_u == pytest.approx(1.0)
+
+    def test_base_weight_is_fraction_of_target_activity(self, graph, log):
+        # w performed 2 actions, 1 of which propagated from v:
+        # p(v, w) = A_{v2w} / A_w = 1/2 (no rescaling needed).
+        weights = learn_lt_weights(graph, log)
+        assert weights[("v", "w")] == pytest.approx(0.5)
+
+    def test_proportional_to_counts(self, graph, log):
+        weights = learn_lt_weights(graph, log)
+        assert weights[("v", "u")] == pytest.approx(0.5)
+        assert weights[("w", "u")] == pytest.approx(0.5)
+
+    def test_incoming_sums_at_most_one(self, flixster_mini):
+        weights = learn_lt_weights(flixster_mini.graph, flixster_mini.log)
+        incoming: dict = {}
+        for (_, target), weight in weights.items():
+            incoming[target] = incoming.get(target, 0.0) + weight
+        assert all(total <= 1.0 + 1e-9 for total in incoming.values())
+
+    def test_valid_for_lt_model(self, flixster_mini):
+        weights = learn_lt_weights(flixster_mini.graph, flixster_mini.log)
+        validate_lt_weights(flixster_mini.graph, weights)
+
+    def test_empty_log_gives_no_weights(self, graph):
+        assert learn_lt_weights(graph, ActionLog()) == {}
+
+    def test_weights_positive(self, flixster_mini):
+        weights = learn_lt_weights(flixster_mini.graph, flixster_mini.log)
+        assert all(w > 0 for w in weights.values())

@@ -1,0 +1,99 @@
+"""Tests for repro.evaluation.metrics."""
+
+import math
+
+import pytest
+
+from repro.evaluation.metrics import (
+    binned_rmse,
+    capture_curve,
+    rmse,
+    seed_set_intersections,
+)
+
+
+class TestRMSE:
+    def test_perfect_prediction(self):
+        assert rmse([(10.0, 10.0), (5.0, 5.0)]) == 0.0
+
+    def test_known_value(self):
+        assert rmse([(0.0, 3.0), (0.0, 4.0)]) == pytest.approx(
+            math.sqrt((9 + 16) / 2)
+        )
+
+    def test_symmetric_in_sign_of_error(self):
+        assert rmse([(10.0, 12.0)]) == rmse([(10.0, 8.0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([])
+
+
+class TestBinnedRMSE:
+    def test_bins_by_actual_value(self):
+        pairs = [(5.0, 6.0), (15.0, 15.0), (25.0, 20.0)]
+        rows = binned_rmse(pairs, bin_width=10)
+        assert [row[0] for row in rows] == [0.0, 10.0, 20.0]
+
+    def test_counts(self):
+        pairs = [(5.0, 6.0), (7.0, 6.0), (15.0, 15.0)]
+        rows = binned_rmse(pairs, bin_width=10)
+        assert rows[0][2] == 2
+        assert rows[1][2] == 1
+
+    def test_rmse_within_bin(self):
+        pairs = [(5.0, 8.0), (6.0, 2.0)]  # errors 3 and -4
+        rows = binned_rmse(pairs, bin_width=10)
+        assert rows[0][1] == pytest.approx(math.sqrt((9 + 16) / 2))
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            binned_rmse([(1.0, 1.0)], bin_width=0)
+
+    def test_boundary_value_goes_to_upper_bin(self):
+        rows = binned_rmse([(10.0, 10.0)], bin_width=10)
+        assert rows[0][0] == 10.0
+
+
+class TestCaptureCurve:
+    def test_monotone_non_decreasing(self):
+        pairs = [(10.0, 12.0), (10.0, 30.0), (10.0, 10.5)]
+        curve = capture_curve(pairs, thresholds=[0, 1, 2, 5, 25])
+        fractions = [fraction for _, fraction in curve]
+        assert fractions == sorted(fractions)
+
+    def test_exact_fractions(self):
+        pairs = [(10.0, 11.0), (10.0, 15.0), (10.0, 50.0)]
+        curve = dict(capture_curve(pairs, thresholds=[1, 5, 100]))
+        assert curve[1] == pytest.approx(1 / 3)
+        assert curve[5] == pytest.approx(2 / 3)
+        assert curve[100] == pytest.approx(1.0)
+
+    def test_zero_threshold_counts_exact_hits(self):
+        pairs = [(10.0, 10.0), (10.0, 11.0)]
+        curve = dict(capture_curve(pairs, thresholds=[0]))
+        assert curve[0] == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            capture_curve([], thresholds=[1])
+
+
+class TestSeedSetIntersections:
+    def test_diagonal_is_set_size(self):
+        matrix = seed_set_intersections({"A": [1, 2, 3], "B": [3, 4]})
+        assert matrix[("A", "A")] == 3
+        assert matrix[("B", "B")] == 2
+
+    def test_symmetric(self):
+        matrix = seed_set_intersections({"A": [1, 2, 3], "B": [3, 4]})
+        assert matrix[("A", "B")] == matrix[("B", "A")] == 1
+
+    def test_disjoint_sets(self):
+        matrix = seed_set_intersections({"A": [1], "B": [2]})
+        assert matrix[("A", "B")] == 0
+
+    def test_duplicates_ignored(self):
+        matrix = seed_set_intersections({"A": [1, 1, 2], "B": [1]})
+        assert matrix[("A", "A")] == 2
+        assert matrix[("A", "B")] == 1

@@ -1,0 +1,69 @@
+"""Tests for repro.maximization.oracle."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.oracle import CountingOracle, ICSpreadOracle, LTSpreadOracle
+
+
+@pytest.fixture()
+def graph():
+    return SocialGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+class TestICOracle:
+    def test_candidates_are_all_nodes(self, graph):
+        oracle = ICSpreadOracle(graph, {}, num_simulations=1)
+        assert sorted(oracle.candidates()) == [0, 1, 2]
+
+    def test_spread_deterministic_per_seed_set(self, graph):
+        probabilities = {edge: 0.5 for edge in graph.edges()}
+        oracle = ICSpreadOracle(graph, probabilities, num_simulations=50, seed=1)
+        assert oracle.spread([0]) == oracle.spread([0])
+
+    def test_spread_independent_of_seed_order(self, graph):
+        probabilities = {edge: 0.5 for edge in graph.edges()}
+        oracle = ICSpreadOracle(graph, probabilities, num_simulations=50, seed=1)
+        assert oracle.spread([0, 1]) == oracle.spread([1, 0])
+
+    def test_different_base_seeds_differ(self, graph):
+        probabilities = {edge: 0.5 for edge in graph.edges()}
+        first = ICSpreadOracle(graph, probabilities, num_simulations=20, seed=1)
+        second = ICSpreadOracle(graph, probabilities, num_simulations=20, seed=2)
+        # Not guaranteed different, but overwhelmingly likely.
+        assert first.spread([0]) != second.spread([0])
+
+    def test_invalid_simulations_raise(self, graph):
+        with pytest.raises(ValueError):
+            ICSpreadOracle(graph, {}, num_simulations=0)
+
+
+class TestLTOracle:
+    def test_spread_of_seed_only(self, graph):
+        oracle = LTSpreadOracle(graph, {}, num_simulations=10, seed=1)
+        assert oracle.spread([0]) == 1.0
+
+    def test_full_weight_chain(self):
+        chain = SocialGraph.from_edges([(0, 1), (1, 2)])
+        oracle = LTSpreadOracle(
+            chain, {(0, 1): 1.0, (1, 2): 1.0}, num_simulations=10, seed=1
+        )
+        assert oracle.spread([0]) == 3.0
+
+
+class TestCountingOracle:
+    def test_counts_calls(self, graph):
+        inner = ICSpreadOracle(graph, {}, num_simulations=1, seed=1)
+        counting = CountingOracle(inner)
+        counting.spread([0])
+        counting.spread([1])
+        assert counting.calls == 2
+
+    def test_delegates_value(self, graph):
+        inner = ICSpreadOracle(graph, {}, num_simulations=1, seed=1)
+        counting = CountingOracle(inner)
+        assert counting.spread([0]) == inner.spread([0])
+
+    def test_delegates_candidates(self, graph):
+        inner = ICSpreadOracle(graph, {}, num_simulations=1, seed=1)
+        assert CountingOracle(inner).candidates() == inner.candidates()

@@ -1,0 +1,65 @@
+"""Tests for repro.graphs.pagerank."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.pagerank import pagerank
+
+
+class TestPageRank:
+    def test_scores_sum_to_one(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert pagerank(SocialGraph()) == {}
+
+    def test_symmetric_cycle_is_uniform(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3), (3, 1)])
+        scores = pagerank(graph)
+        assert scores[1] == pytest.approx(scores[2])
+        assert scores[2] == pytest.approx(scores[3])
+
+    def test_sink_receives_more_than_source(self):
+        # Star pointing at node 0: node 0 should dominate.
+        graph = SocialGraph.from_edges([(1, 0), (2, 0), (3, 0)])
+        scores = pagerank(graph)
+        assert scores[0] > scores[1]
+
+    def test_dangling_mass_redistributed(self):
+        # 1 -> 2, node 2 dangles; scores must still sum to 1.
+        graph = SocialGraph.from_edges([(1, 2)])
+        scores = pagerank(graph)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores[2] > scores[1]
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (0, 3)]
+        graph = SocialGraph.from_edges(edges)
+        ours = pagerank(graph, damping=0.85, tolerance=1e-12)
+        theirs = nx.pagerank(nx.DiGraph(edges), alpha=0.85, tol=1e-12)
+        for node in graph.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-6)
+
+    def test_damping_zero_gives_uniform(self):
+        graph = SocialGraph.from_edges([(1, 2), (3, 2)])
+        scores = pagerank(graph, damping=0.0)
+        assert all(score == pytest.approx(1 / 3) for score in scores.values())
+
+    def test_invalid_damping_raises(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            pagerank(graph, damping=1.5)
+
+    def test_invalid_tolerance_raises(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        with pytest.raises(ValueError):
+            pagerank(graph, tolerance=0)
+
+    def test_isolated_node_uniform_share(self):
+        graph = SocialGraph.from_edges([], nodes=[1, 2, 3])
+        scores = pagerank(graph)
+        assert all(score == pytest.approx(1 / 3) for score in scores.values())

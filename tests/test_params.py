@@ -1,0 +1,98 @@
+"""Tests for repro.core.params (learning tau and infl)."""
+
+import pytest
+
+from repro.core.params import learn_influenceability
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+
+
+class TestTau:
+    def test_average_delay_per_pair(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 2.0),
+                ("v", "b", 0.0), ("u", "b", 4.0),
+            ]
+        )
+        params = learn_influenceability(graph, log)
+        assert params.tau[("v", "u")] == pytest.approx(3.0)
+
+    def test_unobserved_pair_absent(self):
+        graph = SocialGraph.from_edges([("v", "u"), ("x", "y")])
+        log = ActionLog.from_tuples([("v", "a", 0.0), ("u", "a", 1.0)])
+        params = learn_influenceability(graph, log)
+        assert ("x", "y") not in params.tau
+
+    def test_average_tau_global_mean(self):
+        graph = SocialGraph.from_edges([("v", "u"), ("w", "u")])
+        log = ActionLog.from_tuples(
+            [("v", "a", 0.0), ("w", "a", 1.0), ("u", "a", 3.0)]
+        )
+        params = learn_influenceability(graph, log)
+        # Delays: v->u = 3, w->u = 2; global mean 2.5.
+        assert params.average_tau == pytest.approx(2.5)
+
+    def test_empty_log_defaults(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        params = learn_influenceability(graph, ActionLog())
+        assert params.tau == {}
+        assert params.average_tau == 1.0
+
+
+class TestInfl:
+    def test_always_influenced_user(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 1.0),
+                ("v", "b", 0.0), ("u", "b", 1.0),
+            ]
+        )
+        params = learn_influenceability(graph, log)
+        # Every u action follows v within tau (tau = mean delay = 1).
+        assert params.infl["u"] == pytest.approx(1.0)
+
+    def test_never_influenced_initiator(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples([("v", "a", 0.0), ("u", "a", 1.0)])
+        params = learn_influenceability(graph, log)
+        assert params.infl["v"] == 0.0
+
+    def test_partially_influenced_user(self):
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 1.0),   # influenced
+                ("u", "b", 0.0),                      # independent
+            ]
+        )
+        params = learn_influenceability(graph, log)
+        assert params.infl["u"] == pytest.approx(0.5)
+
+    def test_influence_window_respects_tau(self):
+        # u follows v once quickly (delay 1) and once slowly (delay 9);
+        # tau = 5, so only the quick action counts as influenced.
+        graph = SocialGraph.from_edges([("v", "u")])
+        log = ActionLog.from_tuples(
+            [
+                ("v", "a", 0.0), ("u", "a", 1.0),
+                ("v", "b", 0.0), ("u", "b", 9.0),
+            ]
+        )
+        params = learn_influenceability(graph, log)
+        assert params.tau[("v", "u")] == pytest.approx(5.0)
+        assert params.infl["u"] == pytest.approx(0.5)
+
+    def test_values_in_unit_interval(self, flixster_mini):
+        params = learn_influenceability(flixster_mini.graph, flixster_mini.log)
+        assert all(0.0 <= value <= 1.0 for value in params.infl.values())
+
+    def test_every_log_user_has_infl(self, flixster_mini):
+        params = learn_influenceability(flixster_mini.graph, flixster_mini.log)
+        assert set(params.infl) == set(flixster_mini.log.users())
+
+    def test_tau_positive(self, flixster_mini):
+        params = learn_influenceability(flixster_mini.graph, flixster_mini.log)
+        assert all(tau > 0 for tau in params.tau.values())

@@ -1,0 +1,49 @@
+"""Tests for repro.probabilities.perturb (the PT method)."""
+
+import pytest
+
+from repro.probabilities.perturb import perturb_probabilities
+
+
+class TestPerturb:
+    def test_within_twenty_percent(self):
+        probabilities = {(1, 2): 0.5, (2, 3): 0.1}
+        perturbed = perturb_probabilities(probabilities, noise=0.2, seed=1)
+        for edge, original in probabilities.items():
+            assert abs(perturbed[edge] - original) <= 0.2 * original + 1e-12
+
+    def test_clipped_to_unit_interval(self):
+        probabilities = {(1, 2): 1.0, (2, 3): 0.95}
+        perturbed = perturb_probabilities(probabilities, noise=0.2, seed=2)
+        assert all(0.0 <= p <= 1.0 for p in perturbed.values())
+
+    def test_zero_noise_is_identity(self):
+        probabilities = {(1, 2): 0.42}
+        assert perturb_probabilities(probabilities, noise=0.0, seed=3) == probabilities
+
+    def test_deterministic_under_seed(self):
+        probabilities = {(1, 2): 0.5, (3, 4): 0.7}
+        first = perturb_probabilities(probabilities, seed=4)
+        second = perturb_probabilities(probabilities, seed=4)
+        assert first == second
+
+    def test_original_not_mutated(self):
+        probabilities = {(1, 2): 0.5}
+        perturb_probabilities(probabilities, seed=5)
+        assert probabilities[(1, 2)] == 0.5
+
+    def test_zero_probability_stays_zero(self):
+        perturbed = perturb_probabilities({(1, 2): 0.0}, seed=6)
+        assert perturbed[(1, 2)] == 0.0
+
+    def test_negative_noise_raises(self):
+        with pytest.raises(ValueError):
+            perturb_probabilities({}, noise=-0.1)
+
+    def test_actually_changes_values(self):
+        probabilities = {(i, i + 1): 0.5 for i in range(50)}
+        perturbed = perturb_probabilities(probabilities, noise=0.2, seed=7)
+        changed = sum(
+            1 for edge in probabilities if perturbed[edge] != probabilities[edge]
+        )
+        assert changed > 40

@@ -1,0 +1,101 @@
+"""Tests for repro.evaluation.plots (ASCII chart rendering)."""
+
+import pytest
+
+from repro.evaluation.plots import ascii_line_chart, ascii_scatter
+
+
+class TestLineChart:
+    def test_contains_legend_and_markers(self):
+        chart = ascii_line_chart(
+            {"CD": [(0, 1.0), (10, 2.0)], "IC": [(0, 3.0), (10, 4.0)]},
+            title="demo",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "* CD" in chart
+        assert "o IC" in chart
+
+    def test_empty_series_returns_title(self):
+        assert ascii_line_chart({}, title="nothing") == "nothing"
+        assert ascii_line_chart({"CD": []}, title="nothing") == "nothing"
+
+    def test_extremes_on_grid(self):
+        chart = ascii_line_chart({"s": [(0, 0.0), (1, 10.0)]}, width=20, height=5)
+        lines = chart.splitlines()
+        grid_rows = [line for line in lines if "|" in line]
+        # Max value plotted on the top row, min on the bottom row.
+        assert "*" in grid_rows[0]
+        assert "*" in grid_rows[-1]
+
+    def test_axis_labels_present(self):
+        chart = ascii_line_chart(
+            {"s": [(1, 2.0), (5, 7.0)]}, x_label="seeds", y_label="spread"
+        )
+        assert "spread" in chart
+        assert "seeds" in chart
+
+    def test_log_scale(self):
+        chart = ascii_line_chart(
+            {"fast": [(1, 0.1), (2, 0.2)], "slow": [(1, 100.0), (2, 200.0)]},
+            log_y=True,
+        )
+        assert "(log scale)" in chart
+
+    def test_log_scale_drops_nonpositive(self):
+        chart = ascii_line_chart({"s": [(1, 0.0)]}, log_y=True, title="t")
+        assert chart == "t"
+
+    def test_constant_series_renders(self):
+        chart = ascii_line_chart({"flat": [(0, 5.0), (1, 5.0), (2, 5.0)]})
+        assert "*" in chart
+
+    def test_deterministic(self):
+        series = {"a": [(0, 1.0), (1, 4.0), (2, 2.0)]}
+        assert ascii_line_chart(series) == ascii_line_chart(series)
+
+    def test_width_respected(self):
+        chart = ascii_line_chart({"s": [(0, 1.0), (9, 2.0)]}, width=30)
+        grid_rows = [line for line in chart.splitlines() if "|" in line]
+        assert all(len(line.split("|", 1)[1]) <= 30 for line in grid_rows)
+
+
+class TestScatter:
+    def test_empty_returns_title(self):
+        assert ascii_scatter([], title="empty") == "empty"
+
+    def test_diagonal_drawn(self):
+        chart = ascii_scatter([(0.0, 0.0), (10.0, 7.0)], diagonal=True)
+        assert "." in chart
+
+    def test_no_diagonal(self):
+        chart = ascii_scatter([(1.0, 9.0)], diagonal=False, width=10, height=5)
+        assert "." not in chart.replace("0.", "").replace("9.", "")
+
+    def test_points_overwrite_diagonal(self):
+        # A perfect prediction sits on the diagonal; the * must win.
+        chart = ascii_scatter([(0.0, 0.0), (10.0, 10.0)], diagonal=True)
+        assert "*" in chart
+
+    def test_labels(self):
+        chart = ascii_scatter(
+            [(1.0, 2.0)], x_label="actual", y_label="predicted"
+        )
+        assert "actual" in chart
+        assert "predicted" in chart
+
+    def test_overprediction_above_diagonal(self):
+        chart = ascii_scatter(
+            [(2.0, 9.0), (0.0, 0.0), (10.0, 10.0)], width=22, height=11
+        )
+        rows = [line.split("|", 1)[1] for line in chart.splitlines() if "|" in line]
+        # The overpredicted point's * must appear in the upper-left
+        # region (above the diagonal): find a row above the middle whose
+        # star is left of the diagonal's dot in that row.
+        found = False
+        for row in rows[: len(rows) // 2]:
+            star = row.find("*")
+            dot = row.find(".")
+            if star != -1 and dot != -1 and star < dot:
+                found = True
+        assert found

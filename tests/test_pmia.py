@@ -1,0 +1,136 @@
+"""Tests for repro.maximization.pmia (the PMIA heuristic for IC).
+
+PMIA restricts influence to maximum-influence-path arborescences; on a
+graph that *is* a tree with a single path between any pair, the PMIA
+activation probabilities are exact, so we can check against brute-force
+world enumeration.
+"""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.pmia import PMIAModel
+
+from tests.helpers import exact_ic_spread
+
+
+@pytest.fixture()
+def tree_graph():
+    # An out-tree rooted at 0: unique paths everywhere.
+    return SocialGraph.from_edges([(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)])
+
+
+@pytest.fixture()
+def tree_probabilities(tree_graph):
+    return {
+        (0, 1): 0.6,
+        (0, 2): 0.4,
+        (1, 3): 0.5,
+        (1, 4): 0.7,
+        (2, 5): 0.9,
+    }
+
+
+class TestSpreadExactOnTrees:
+    def test_single_seed(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        exact = exact_ic_spread(tree_graph, tree_probabilities, [0])
+        assert model.spread([0]) == pytest.approx(exact, abs=1e-9)
+
+    def test_multiple_seeds(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        exact = exact_ic_spread(tree_graph, tree_probabilities, [1, 2])
+        assert model.spread([1, 2]) == pytest.approx(exact, abs=1e-9)
+
+    def test_leaf_seed(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        assert model.spread([5]) == pytest.approx(1.0)
+
+    def test_empty_seed_set(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        assert model.spread([]) == 0.0
+
+
+class TestArborescences:
+    def test_theta_truncates_long_paths(self, tree_graph, tree_probabilities):
+        # theta above 0.6*0.5=0.3 drops node 0 from MIIA(3).
+        model = PMIAModel(tree_graph, tree_probabilities, theta=0.35)
+        # Seeding 0 then cannot influence 3 at all under this model.
+        spread_with_root = model.spread([0])
+        full_model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        assert spread_with_root < full_model.spread([0])
+
+    def test_probability_one_edges_handled(self):
+        # EM often learns p = 1.0; distance ties must not break the DP.
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        probabilities = {edge: 1.0 for edge in graph.edges()}
+        model = PMIAModel(graph, probabilities, theta=1e-6)
+        assert model.spread([0]) == pytest.approx(4.0)
+
+    def test_zero_probability_edges_ignored(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        model = PMIAModel(graph, {(0, 1): 0.5, (1, 2): 0.0}, theta=1e-6)
+        assert model.spread([0]) == pytest.approx(1.5)
+
+    def test_invalid_theta_raises(self, tree_graph, tree_probabilities):
+        with pytest.raises(ValueError):
+            PMIAModel(tree_graph, tree_probabilities, theta=0.0)
+        with pytest.raises(ValueError):
+            PMIAModel(tree_graph, tree_probabilities, theta=1.5)
+
+
+class TestSelectSeeds:
+    def test_gains_match_spread(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        result = model.select_seeds(3)
+        assert result.spread == pytest.approx(model.spread(result.seeds), abs=1e-9)
+
+    def test_first_seed_maximizes_single_spread(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities, theta=1e-6)
+        result = model.select_seeds(1)
+        best = max(tree_graph.nodes(), key=lambda node: model.spread([node]))
+        assert result.seeds == [best]
+
+    def test_gains_non_increasing(self, flixster_mini):
+        from repro.probabilities.em import learn_ic_probabilities_em
+
+        probabilities = learn_ic_probabilities_em(
+            flixster_mini.graph, flixster_mini.log
+        ).probabilities
+        model = PMIAModel(flixster_mini.graph, probabilities)
+        result = model.select_seeds(8)
+        for earlier, later in zip(result.gains, result.gains[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_incremental_gains_match_recomputed_spread(self, flixster_mini):
+        """The alpha-based incremental updates must telescope to spread(S)."""
+        from repro.probabilities.em import learn_ic_probabilities_em
+
+        probabilities = learn_ic_probabilities_em(
+            flixster_mini.graph, flixster_mini.log
+        ).probabilities
+        model = PMIAModel(flixster_mini.graph, probabilities)
+        result = model.select_seeds(5)
+        assert result.spread == pytest.approx(
+            model.spread(result.seeds), rel=1e-9
+        )
+
+    def test_k_zero(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities)
+        assert model.select_seeds(0).seeds == []
+
+    def test_k_exceeds_nodes(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities)
+        assert len(model.select_seeds(100).seeds) == tree_graph.num_nodes
+
+    def test_seeds_distinct(self, flickr_mini):
+        from repro.probabilities.static import weighted_cascade_probabilities
+
+        probabilities = weighted_cascade_probabilities(flickr_mini.graph)
+        model = PMIAModel(flickr_mini.graph, probabilities)
+        seeds = model.select_seeds(10).seeds
+        assert len(seeds) == len(set(seeds))
+
+    def test_candidates(self, tree_graph, tree_probabilities):
+        model = PMIAModel(tree_graph, tree_probabilities)
+        assert set(model.candidates()) == set(tree_graph.nodes())

@@ -1,0 +1,120 @@
+"""Tests for repro.evaluation.prediction (Figures 2-4 drivers)."""
+
+import pytest
+
+from repro.data.split import train_test_split
+from repro.evaluation.prediction import (
+    build_cd_predictor,
+    build_ic_predictors,
+    build_lt_predictor,
+    spread_prediction_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data.datasets import flixster_like
+
+    return flixster_like("mini")
+
+
+@pytest.fixture(scope="module")
+def split(dataset):
+    return train_test_split(dataset.log)
+
+
+class TestBuildPredictors:
+    def test_ic_predictors_cover_requested_methods(self, dataset, split):
+        train, _ = split
+        predictors = build_ic_predictors(
+            dataset.graph, train, methods=("UN", "WC"), num_simulations=10
+        )
+        assert set(predictors) == {"UN", "WC"}
+
+    def test_pt_implies_em_learning(self, dataset, split):
+        train, _ = split
+        predictors = build_ic_predictors(
+            dataset.graph, train, methods=("PT",), num_simulations=10
+        )
+        assert set(predictors) == {"PT"}
+
+    def test_unknown_method_raises(self, dataset, split):
+        train, _ = split
+        with pytest.raises(ValueError, match="unknown"):
+            build_ic_predictors(dataset.graph, train, methods=("XX",))
+
+    def test_predictors_return_floats(self, dataset, split):
+        train, _ = split
+        predictors = build_ic_predictors(
+            dataset.graph, train, methods=("UN", "EM"), num_simulations=10
+        )
+        seeds = list(dataset.graph.nodes())[:3]
+        for predictor in predictors.values():
+            value = predictor(seeds)
+            assert isinstance(value, float)
+            assert value >= len(seeds) - 1e-9  # seeds always count
+
+    def test_lt_predictor(self, dataset, split):
+        train, _ = split
+        predictor = build_lt_predictor(dataset.graph, train, num_simulations=10)
+        seeds = list(dataset.graph.nodes())[:2]
+        assert predictor(seeds) >= 2.0 - 1e-9
+
+    def test_cd_predictor(self, dataset, split):
+        train, _ = split
+        predictor = build_cd_predictor(dataset.graph, train)
+        value = predictor(list(train.users())[:2])
+        assert value >= 0.0
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self, dataset):
+        return spread_prediction_experiment(
+            dataset.graph,
+            dataset.log,
+            predictors=None,  # default IC/LT/CD trio
+            max_test_traces=8,
+        )
+
+    def test_default_methods(self, experiment):
+        assert set(experiment.methods) == {"IC", "LT", "CD"}
+
+    def test_one_record_per_test_trace(self, experiment):
+        for method in experiment.methods:
+            assert len(experiment.pairs(method)) == experiment.num_test_traces
+
+    def test_actuals_identical_across_methods(self, experiment):
+        actuals = {
+            method: [actual for actual, _ in experiment.pairs(method)]
+            for method in experiment.methods
+        }
+        reference = actuals["CD"]
+        assert all(values == reference for values in actuals.values())
+
+    def test_actuals_are_trace_sizes(self, experiment, dataset):
+        _, test = train_test_split(dataset.log)
+        sizes = {float(test.trace_size(action)) for action in test.actions()}
+        actuals = {actual for actual, _ in experiment.pairs("CD")}
+        assert actuals <= sizes
+
+    def test_stratified_cap_keeps_largest_trace(self, experiment, dataset):
+        _, test = train_test_split(dataset.log)
+        largest = max(test.trace_size(action) for action in test.actions())
+        actuals = [actual for actual, _ in experiment.pairs("CD")]
+        assert float(largest) in actuals
+
+    def test_predictions_non_negative(self, experiment):
+        for method in experiment.methods:
+            assert all(
+                predicted >= 0.0 for _, predicted in experiment.pairs(method)
+            )
+
+    def test_max_test_traces_cap(self, dataset):
+        experiment = spread_prediction_experiment(
+            dataset.graph,
+            dataset.log,
+            predictors={"CD": build_cd_predictor(dataset.graph, dataset.log)},
+            max_test_traces=3,
+        )
+        assert experiment.num_test_traces == 3

@@ -1,0 +1,107 @@
+"""Tests for repro.data.propagation.PropagationGraph."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph, propagation_graphs
+from repro.graphs.digraph import SocialGraph
+
+
+class TestBuild:
+    def test_parents_require_social_edge_and_earlier_time(self):
+        graph = SocialGraph.from_edges([(1, 2), (3, 2)])
+        log = ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 1.0), (3, "a", 2.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        # 1 activated before 2 and has an edge: parent.
+        assert propagation.parents(2) == [1]
+        # 3 activated after 2: not a parent of 2; 2 has no edge to 3.
+        assert propagation.parents(3) == []
+
+    def test_simultaneous_activation_is_not_propagation(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        log = ActionLog.from_tuples([(1, "a", 1.0), (2, "a", 1.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        assert propagation.parents(2) == []
+
+    def test_direction_of_social_tie_matters(self):
+        graph = SocialGraph.from_edges([(2, 1)])  # only 2 -> 1
+        log = ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 1.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        assert propagation.parents(2) == []
+
+    def test_user_missing_from_graph_is_isolated(self):
+        graph = SocialGraph.from_edges([(1, 2)])
+        log = ActionLog.from_tuples([(1, "a", 0.0), (99, "a", 1.0)])
+        propagation = PropagationGraph.build(graph, log, "a")
+        assert propagation.parents(99) == []
+        assert propagation.num_nodes == 2
+
+    def test_parents_sorted_by_activation_time(self):
+        graph = SocialGraph.from_edges([(1, 4), (2, 4), (3, 4)])
+        log = ActionLog.from_tuples(
+            [(2, "a", 0.0), (3, "a", 1.0), (1, "a", 2.0), (4, "a", 3.0)]
+        )
+        propagation = PropagationGraph.build(graph, log, "a")
+        assert propagation.parents(4) == [2, 3, 1]
+
+
+class TestQueries:
+    @pytest.fixture()
+    def propagation(self, toy):
+        return PropagationGraph.build(toy.graph, toy.log, "a")
+
+    def test_num_nodes(self, propagation):
+        assert propagation.num_nodes == 6
+
+    def test_nodes_in_chronological_order(self, propagation):
+        assert list(propagation.nodes()) == ["v", "s", "w", "t", "z", "u"]
+
+    def test_time_of(self, propagation):
+        assert propagation.time_of("t") == 2.0
+
+    def test_time_of_missing_raises(self, propagation):
+        with pytest.raises(KeyError):
+            propagation.time_of("nope")
+
+    def test_contains(self, propagation):
+        assert "v" in propagation
+        assert "nope" not in propagation
+
+    def test_in_degree_matches_paper_example(self, propagation):
+        assert propagation.in_degree("u") == 4
+        assert propagation.in_degree("t") == 2
+        assert propagation.in_degree("w") == 1
+
+    def test_initiators(self, propagation):
+        assert propagation.initiators() == ["v", "s"]
+
+    def test_edges_count(self, propagation):
+        assert propagation.num_edges == 8
+
+    def test_edges_are_time_respecting(self, propagation):
+        for influencer, influenced in propagation.edges():
+            assert propagation.time_of(influencer) < propagation.time_of(influenced)
+
+    def test_is_acyclic(self, propagation):
+        # Time-respecting edges cannot form a cycle; verify via topological
+        # consumption.
+        import networkx as nx
+
+        dag = nx.DiGraph(list(propagation.edges()))
+        assert nx.is_directed_acyclic_graph(dag)
+
+    def test_repr(self, propagation):
+        assert "action='a'" in repr(propagation)
+
+
+class TestIterAll:
+    def test_propagation_graphs_covers_all_actions(self, flixster_mini):
+        graphs = list(propagation_graphs(flixster_mini.graph, flixster_mini.log))
+        assert len(graphs) == flixster_mini.log.num_actions
+
+    def test_propagation_graphs_subset(self, flixster_mini):
+        actions = list(flixster_mini.log.actions())[:3]
+        graphs = list(
+            propagation_graphs(flixster_mini.graph, flixster_mini.log, actions)
+        )
+        assert [g.action for g in graphs] == actions

@@ -1,0 +1,222 @@
+"""Property-based tests (hypothesis) for the library's core invariants.
+
+These encode the paper's theorems as executable properties over random
+instances:
+
+* Theorem 2 — ``sigma_cd`` is monotone and submodular;
+* credit conservation — direct credits per activation sum to <= 1;
+* propagation graphs are DAGs;
+* Lemmas 1-3 — the incremental credit identities;
+* the LazyQueue is a faithful max-priority queue.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.credit import UniformCredit
+from repro.core.index import SeedCredits
+from repro.core.maximize import cd_maximize, marginal_gain
+from repro.core.scan import scan_action_log
+from repro.core.spread import CDSpreadEvaluator
+from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
+from repro.graphs.digraph import SocialGraph
+from repro.utils.pqueue import LazyQueue
+
+from tests.helpers import brute_force_set_credit
+
+
+@st.composite
+def graph_and_log(draw, max_nodes=8, max_actions=5):
+    """A random small social graph with a consistent action log."""
+    num_nodes = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    graph = SocialGraph()
+    for node in range(num_nodes):
+        graph.add_node(node)
+    for source in range(num_nodes):
+        for target in range(num_nodes):
+            if source != target and rng.random() < 0.4:
+                graph.add_edge(source, target)
+    log = ActionLog()
+    num_actions = draw(st.integers(min_value=1, max_value=max_actions))
+    for index in range(num_actions):
+        participants = rng.sample(range(num_nodes), rng.randint(1, num_nodes))
+        time = 0.0
+        for user in participants:
+            time += rng.uniform(0.5, 2.0)
+            log.add(user, f"a{index}", time)
+    return graph, log
+
+
+@st.composite
+def seed_sets(draw, universe_size=8):
+    """Nested seed sets S subset T and an extra node x outside T."""
+    nodes = list(range(universe_size))
+    extra = draw(st.sampled_from(nodes))
+    remaining = [node for node in nodes if node != extra]
+    t_size = draw(st.integers(min_value=0, max_value=len(remaining)))
+    t_nodes = draw(
+        st.permutations(remaining).map(lambda p: list(p[:t_size]))
+    )
+    s_size = draw(st.integers(min_value=0, max_value=t_size))
+    return t_nodes[:s_size], t_nodes, extra
+
+
+class TestSigmaCDProperties:
+    @given(data=graph_and_log(), sets=seed_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, data, sets):
+        graph, log = data
+        smaller, larger, _ = sets
+        evaluator = CDSpreadEvaluator(graph, log)
+        assert (
+            evaluator.spread(larger) >= evaluator.spread(smaller) - 1e-9
+        )
+
+    @given(data=graph_and_log(), sets=seed_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_submodular(self, data, sets):
+        """Theorem 2: gain of x shrinks as the seed set grows."""
+        graph, log = data
+        smaller, larger, extra = sets
+        evaluator = CDSpreadEvaluator(graph, log)
+        gain_small = evaluator.spread(smaller + [extra]) - evaluator.spread(smaller)
+        gain_large = evaluator.spread(larger + [extra]) - evaluator.spread(larger)
+        assert gain_small >= gain_large - 1e-9
+
+    @given(data=graph_and_log())
+    @settings(max_examples=40, deadline=None)
+    def test_spread_bounded_by_user_count(self, data):
+        graph, log = data
+        evaluator = CDSpreadEvaluator(graph, log)
+        everyone = evaluator.candidates()
+        assert evaluator.spread(everyone) <= len(everyone) + 1e-9
+
+
+class TestCreditProperties:
+    @given(data=graph_and_log())
+    @settings(max_examples=40, deadline=None)
+    def test_direct_credits_sum_to_at_most_one(self, data):
+        graph, log = data
+        credit = UniformCredit()
+        for action in log.actions():
+            propagation = PropagationGraph.build(graph, log, action)
+            for user in propagation.nodes():
+                parents = propagation.parents(user)
+                if parents:
+                    total = sum(
+                        credit(propagation, parent, user) for parent in parents
+                    )
+                    assert total <= 1.0 + 1e-9
+
+    @given(data=graph_and_log())
+    @settings(max_examples=40, deadline=None)
+    def test_propagation_graphs_are_acyclic(self, data):
+        graph, log = data
+        for action in log.actions():
+            propagation = PropagationGraph.build(graph, log, action)
+            # Edges respect strict time order, so following edges can
+            # never revisit a node.
+            for influencer, influenced in propagation.edges():
+                assert propagation.time_of(influencer) < propagation.time_of(
+                    influenced
+                )
+
+    @given(data=graph_and_log())
+    @settings(max_examples=30, deadline=None)
+    def test_total_credit_bounded_by_one(self, data):
+        """Gamma_{v,u}(a) <= 1 for every pair (flow conservation)."""
+        graph, log = data
+        index = scan_action_log(graph, log, truncation=0.0)
+        for by_action in index.out.values():
+            for targets in by_action.values():
+                for value in targets.values():
+                    assert value <= 1.0 + 1e-9
+
+
+class TestLemmaProperties:
+    @given(data=graph_and_log(), x=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_theorem3_first_marginal_gain(self, data, x):
+        """marginal_gain on a fresh index == sigma_cd({x})."""
+        graph, log = data
+        if x not in graph:
+            return
+        index = scan_action_log(graph, log, truncation=0.0)
+        evaluator = CDSpreadEvaluator(graph, log)
+        gain = marginal_gain(index, SeedCredits(), x)
+        assert gain >= 0.0
+        assert abs(gain - evaluator.spread([x])) < 1e-9
+
+    @given(data=graph_and_log())
+    @settings(max_examples=30, deadline=None)
+    def test_lemma1_set_credit_decomposition(self, data):
+        """Gamma_{S,u} = sum_{v in S} Gamma^{V-S+v}_{v,u} (Lemma 1)."""
+        graph, log = data
+        nodes = list(graph.nodes())
+        seed_set = set(nodes[:2])
+        for action in log.actions():
+            propagation = PropagationGraph.build(graph, log, action)
+            all_nodes = set(propagation.nodes())
+            for target in propagation.nodes():
+                if target in seed_set:
+                    continue
+                combined = brute_force_set_credit(propagation, seed_set, target)
+                decomposed = sum(
+                    brute_force_set_credit(
+                        propagation,
+                        {member},
+                        target,
+                        allowed=(all_nodes - seed_set) | {member},
+                    )
+                    for member in seed_set
+                )
+                assert abs(combined - decomposed) < 1e-9
+
+    @given(data=graph_and_log())
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_gains_telescope(self, data):
+        """Sum of cd_maximize gains == sigma_cd of the selected set."""
+        graph, log = data
+        index = scan_action_log(graph, log, truncation=0.0)
+        result = cd_maximize(index, k=3)
+        evaluator = CDSpreadEvaluator(graph, log)
+        assert abs(result.spread - evaluator.spread(result.seeds)) < 1e-9
+
+
+class TestLazyQueueProperties:
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 100), st.floats(-100, 100)),
+            min_size=0,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80)
+    def test_drain_is_sorted_by_gain(self, entries):
+        queue = LazyQueue()
+        for item, gain in entries:
+            queue.push(item, gain, 0)
+        gains = [entry.gain for entry in queue.drain()]
+        assert gains == sorted(gains, reverse=True)
+
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 100), st.floats(-100, 100)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=80)
+    def test_drain_preserves_multiset(self, entries):
+        queue = LazyQueue()
+        for item, gain in entries:
+            queue.push(item, gain, 0)
+        drained = sorted((entry.item, entry.gain) for entry in queue.drain())
+        assert drained == sorted(entries)

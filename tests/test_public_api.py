@@ -1,0 +1,64 @@
+"""The public API surface: everything advertised must exist and work."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graphs",
+            "repro.data",
+            "repro.diffusion",
+            "repro.probabilities",
+            "repro.maximization",
+            "repro.core",
+            "repro.evaluation",
+            "repro.utils",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported.__doc__, f"{module} must have a module docstring"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.graphs",
+            "repro.data",
+            "repro.diffusion",
+            "repro.probabilities",
+            "repro.maximization",
+            "repro.core",
+            "repro.evaluation",
+            "repro.utils",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        imported = importlib.import_module(module)
+        for name in imported.__all__:
+            assert hasattr(imported, name), f"{module}.{name}"
+
+
+class TestDocstrings:
+    def test_public_callables_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name, None)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented, f"missing docstrings: {undocumented}"

@@ -1,0 +1,182 @@
+"""Tests for repro.core.queries (influence analytics)."""
+
+import pytest
+
+from repro.core.maximize import cd_maximize
+from repro.core.queries import (
+    explain_spread,
+    influence_vector,
+    kappa,
+    most_influential,
+    top_influencers,
+)
+from repro.core.scan import scan_action_log
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+from tests.helpers import random_instance
+
+
+@pytest.fixture()
+def chain_index():
+    """1 -> 2 -> 3, one action propagating down the chain; plus a solo."""
+    graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+    log = ActionLog.from_tuples(
+        [
+            (1, "a", 0.0),
+            (2, "a", 1.0),
+            (3, "a", 2.0),
+            (3, "solo", 0.0),
+        ]
+    )
+    return scan_action_log(graph, log, truncation=0.0)
+
+
+class TestKappa:
+    def test_direct_neighbor(self, chain_index):
+        # Gamma_{1,2}(a) = 1 (sole parent); A_2 = 1.
+        assert kappa(chain_index, 1, 2) == pytest.approx(1.0)
+
+    def test_transitive_credit_normalised_by_activity(self, chain_index):
+        # Gamma_{1,3}(a) = 1, but A_3 = 2 (action a + solo).
+        assert kappa(chain_index, 1, 3) == pytest.approx(0.5)
+
+    def test_no_credit_pair(self, chain_index):
+        assert kappa(chain_index, 3, 1) == 0.0
+
+    def test_unknown_user(self, chain_index):
+        assert kappa(chain_index, 1, "ghost") == 0.0
+
+
+class TestInfluenceVector:
+    def test_chain_head_influences_both(self, chain_index):
+        vector = influence_vector(chain_index, 1)
+        assert vector == {
+            2: pytest.approx(1.0),
+            3: pytest.approx(0.5),
+        }
+
+    def test_sink_influences_nobody(self, chain_index):
+        assert influence_vector(chain_index, 3) == {}
+
+    def test_consistent_with_kappa(self):
+        graph, log = random_instance(seed=4, num_nodes=9, num_actions=6)
+        index = scan_action_log(graph, log, truncation=0.0)
+        for influencer in list(index.users())[:4]:
+            vector = influence_vector(index, influencer)
+            for influenced, value in vector.items():
+                assert value == pytest.approx(
+                    kappa(index, influencer, influenced)
+                )
+
+
+class TestTopInfluencers:
+    def test_ranking(self, chain_index):
+        ranked = top_influencers(chain_index, 3)
+        # 2 gives full credit (1 direct, A_3 = 2 -> 0.5), 1 transitively 0.5.
+        assert [user for user, _ in ranked] == [1, 2] or [
+            user for user, _ in ranked
+        ] == [2, 1]
+        assert ranked[0][1] >= ranked[1][1]
+
+    def test_limit_respected(self, chain_index):
+        assert len(top_influencers(chain_index, 3, limit=1)) == 1
+
+    def test_unknown_user_empty(self, chain_index):
+        assert top_influencers(chain_index, "ghost") == []
+
+    def test_negative_limit_raises(self, chain_index):
+        with pytest.raises(ValueError):
+            top_influencers(chain_index, 3, limit=-1)
+
+    def test_deterministic_on_ties(self):
+        graph = SocialGraph.from_edges([(1, 3), (2, 3)])
+        log = ActionLog.from_tuples(
+            [(1, "a", 0.0), (2, "a", 0.5), (3, "a", 1.0)]
+        )
+        index = scan_action_log(graph, log, truncation=0.0)
+        first = top_influencers(index, 3)
+        second = top_influencers(index, 3)
+        assert first == second
+
+
+class TestMostInfluential:
+    def test_leaderboard_order(self, chain_index):
+        ranked = most_influential(chain_index)
+        # User 1: kappa over 2 (1.0) + over 3 (0.5) = 1.5, beats user 2 (0.5).
+        assert ranked[0] == (1, pytest.approx(1.5))
+
+    def test_top_entry_is_first_cd_seed(self):
+        """By submodularity, the leaderboard top is greedy's first pick."""
+        graph, log = random_instance(seed=6, num_nodes=10, num_actions=8)
+        index = scan_action_log(graph, log, truncation=0.0)
+        leaderboard = most_influential(index, limit=1)
+        result = cd_maximize(index, k=1)
+        assert leaderboard[0][0] == result.seeds[0]
+        # Scores differ by exactly the seed's self-credit of 1.
+        assert leaderboard[0][1] + 1.0 == pytest.approx(result.spread)
+
+    def test_limit(self, chain_index):
+        assert len(most_influential(chain_index, limit=2)) == 2
+
+    def test_negative_limit_raises(self, chain_index):
+        with pytest.raises(ValueError):
+            most_influential(chain_index, limit=-5)
+
+
+class TestExplainSpread:
+    def test_chain_explanation(self, chain_index):
+        breakdown = explain_spread(chain_index, [1])
+        assert breakdown.seeds == (1,)
+        assert breakdown.self_credit == 1.0
+        assert breakdown.per_seed[1] == pytest.approx(1.5)
+        assert breakdown.total == pytest.approx(2.5)
+
+    def test_matches_cd_maximize_for_single_seed(self):
+        graph, log = random_instance(seed=11, num_nodes=9, num_actions=6)
+        index = scan_action_log(graph, log, truncation=0.0)
+        result = cd_maximize(index, k=1)
+        breakdown = explain_spread(index, result.seeds)
+        assert breakdown.total == pytest.approx(result.spread, rel=1e-9)
+
+    def test_seed_influence_on_other_seeds_excluded(self, chain_index):
+        # With both 1 and 2 seeded, 1's credit over 2 must not count.
+        breakdown = explain_spread(chain_index, [1, 2])
+        assert breakdown.self_credit == 2.0
+        assert 2 not in breakdown.per_user
+        assert breakdown.per_seed[1] == pytest.approx(0.5)  # only over 3
+
+    def test_duplicate_seeds_deduplicated(self, chain_index):
+        breakdown = explain_spread(chain_index, [1, 1])
+        assert breakdown.seeds == (1,)
+
+    def test_inactive_seed_contributes_nothing(self, chain_index):
+        breakdown = explain_spread(chain_index, ["ghost"])
+        assert breakdown.total == 0.0
+        assert breakdown.self_credit == 0.0
+
+    def test_redundancy_zero_on_disjoint_paths(self, chain_index):
+        breakdown = explain_spread(chain_index, [1])
+        assert breakdown.redundancy == pytest.approx(0.0)
+
+    def test_redundancy_positive_on_shared_audience(self):
+        # 1 and 2 both (and only) influence 3 on the same action.
+        graph = SocialGraph.from_edges([(1, 3), (2, 3)])
+        log = ActionLog.from_tuples(
+            [(1, "a", 0.0), (2, "a", 0.5), (3, "a", 1.0)]
+        )
+        index = scan_action_log(graph, log, truncation=0.0)
+        solo_sum = (
+            explain_spread(index, [1]).per_seed[1]
+            + explain_spread(index, [2]).per_seed[2]
+        )
+        joint = explain_spread(index, [1, 2])
+        assert joint.redundancy == pytest.approx(0.0)  # 0.5 + 0.5 capped at 1
+        assert sum(joint.per_seed.values()) == pytest.approx(solo_sum)
+
+    def test_queries_leave_index_untouched(self, chain_index):
+        before = chain_index.total_entries
+        explain_spread(chain_index, [1, 2])
+        most_influential(chain_index)
+        top_influencers(chain_index, 3)
+        influence_vector(chain_index, 1)
+        assert chain_index.total_entries == before

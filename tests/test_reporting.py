@@ -1,0 +1,60 @@
+"""Tests for repro.evaluation.reporting."""
+
+from repro.evaluation.reporting import format_matrix, format_series, format_table
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["name", "value"], [["x", 1], ["y", 2]])
+        assert "name" in text
+        assert "x" in text and "2" in text
+
+    def test_title_on_first_line(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = format_table(["h1", "h2"], [["looooong", 1], ["s", 22]])
+        lines = [line for line in text.splitlines() if line and "-" not in line]
+        positions = [line.find("1") if "1" in line else -1 for line in lines]
+        # Width of first column constant across rows.
+        assert len({len(line.split("  ")[0]) for line in lines[1:]}) >= 1
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_shared_x_column(self):
+        series = {
+            "CD": [(1.0, 10.0), (2.0, 20.0)],
+            "IC": [(1.0, 5.0), (2.0, 6.0)],
+        }
+        text = format_series("k", series)
+        assert "CD" in text and "IC" in text
+        assert "10.00" in text and "6.00" in text
+
+    def test_empty_series_returns_title(self):
+        assert format_series("k", {}, title="T") == "T"
+
+    def test_custom_y_format(self):
+        series = {"A": [(1.0, 3.14159)]}
+        text = format_series("x", series, y_format="{:.4f}")
+        assert "3.1416" in text
+
+
+class TestFormatMatrix:
+    def test_layout(self):
+        matrix = {
+            ("A", "A"): 3, ("A", "B"): 1,
+            ("B", "A"): 1, ("B", "B"): 2,
+        }
+        text = format_matrix(["A", "B"], matrix)
+        lines = text.splitlines()
+        assert lines[0].split() == ["A", "B"]
+        assert "3" in text and "1" in text

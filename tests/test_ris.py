@@ -1,0 +1,145 @@
+"""Tests for repro.maximization.ris (reverse-influence sampling)."""
+
+import random
+
+import pytest
+
+from repro.diffusion.ic import estimate_spread_ic
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.maximization.ris import (
+    generate_rr_sets,
+    ris_maximize,
+    ris_spread,
+    sample_rr_set,
+)
+from repro.probabilities.static import uniform_probabilities
+
+
+@pytest.fixture()
+def chain():
+    return SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+
+
+class TestSampleRRSet:
+    def test_deterministic_world_gives_ancestors(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        rr = sample_rr_set(chain, probabilities, 3, random.Random(0))
+        assert rr == frozenset({0, 1, 2, 3})
+
+    def test_zero_probability_gives_singleton(self, chain):
+        rr = sample_rr_set(chain, {}, 2, random.Random(0))
+        assert rr == frozenset({2})
+
+    def test_contains_target_always(self, chain):
+        probabilities = uniform_probabilities(chain, 0.5)
+        rng = random.Random(7)
+        for _ in range(20):
+            rr = sample_rr_set(chain, probabilities, 1, rng)
+            assert 1 in rr
+
+    def test_only_ancestors_possible(self, chain):
+        # Node 3 is downstream of 1; it can never appear in 1's RR set.
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        rr = sample_rr_set(chain, probabilities, 1, random.Random(3))
+        assert 3 not in rr and 2 not in rr
+
+
+class TestGenerateRRSets:
+    def test_count_respected(self, chain):
+        rr_sets = generate_rr_sets(chain, {}, 17, seed=0)
+        assert len(rr_sets) == 17
+
+    def test_invalid_count_raises(self, chain):
+        with pytest.raises(ValueError):
+            generate_rr_sets(chain, {}, 0)
+
+    def test_empty_graph(self):
+        assert generate_rr_sets(SocialGraph(), {}, 5, seed=0) == []
+
+    def test_deterministic_with_seed(self, chain):
+        probabilities = uniform_probabilities(chain, 0.4)
+        first = generate_rr_sets(chain, probabilities, 50, seed=11)
+        second = generate_rr_sets(chain, probabilities, 50, seed=11)
+        assert first == second
+
+
+class TestRISSpread:
+    def test_agrees_with_monte_carlo(self):
+        """The RIS and forward-MC estimators target the same sigma_IC."""
+        graph = erdos_renyi_graph(25, 0.15, seed=4)
+        probabilities = uniform_probabilities(graph, 0.3)
+        seeds = [0, 1]
+        rr_sets = generate_rr_sets(graph, probabilities, 6000, seed=1)
+        ris = ris_spread(graph, rr_sets, seeds)
+        forward = estimate_spread_ic(
+            graph, probabilities, seeds, num_simulations=3000, seed=2
+        )
+        assert ris == pytest.approx(forward, rel=0.15)
+
+    def test_full_seed_set_covers_everything(self, chain):
+        rr_sets = generate_rr_sets(chain, {}, 40, seed=0)
+        assert ris_spread(chain, rr_sets, list(chain.nodes())) == 4.0
+
+    def test_empty_seed_set(self, chain):
+        rr_sets = generate_rr_sets(chain, {}, 10, seed=0)
+        assert ris_spread(chain, rr_sets, []) == 0.0
+
+    def test_no_rr_sets(self, chain):
+        assert ris_spread(chain, [], [0]) == 0.0
+
+
+class TestRISMaximize:
+    def test_chain_source_is_best_single_seed(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        result = ris_maximize(chain, probabilities, 1, num_rr_sets=500, seed=0)
+        assert result.seeds == [0]
+        assert result.spread == pytest.approx(4.0)
+
+    def test_covers_disconnected_components(self):
+        graph = SocialGraph.from_edges([(0, 1), (0, 2), (10, 11), (10, 12)])
+        probabilities = {edge: 1.0 for edge in graph.edges()}
+        result = ris_maximize(graph, probabilities, 2, num_rr_sets=800, seed=3)
+        assert set(result.seeds) == {0, 10}
+
+    def test_k_zero(self, chain):
+        result = ris_maximize(chain, {}, 0, num_rr_sets=10, seed=0)
+        assert result.seeds == []
+
+    def test_gains_non_increasing(self):
+        graph = erdos_renyi_graph(30, 0.12, seed=8)
+        probabilities = uniform_probabilities(graph, 0.2)
+        result = ris_maximize(graph, probabilities, 5, num_rr_sets=2000, seed=5)
+        assert result.gains == sorted(result.gains, reverse=True)
+
+    def test_precomputed_rr_sets_reused(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        rr_sets = generate_rr_sets(chain, probabilities, 200, seed=9)
+        first = ris_maximize(chain, probabilities, 2, rr_sets=rr_sets)
+        second = ris_maximize(chain, probabilities, 2, rr_sets=rr_sets)
+        assert first.seeds == second.seeds
+        assert first.num_rr_sets == 200
+
+    def test_stops_when_everything_covered(self, chain):
+        probabilities = {edge: 1.0 for edge in chain.edges()}
+        # One seed covers every RR set; further picks add zero gain and
+        # the loop must stop early rather than pad with useless seeds.
+        result = ris_maximize(chain, probabilities, 4, num_rr_sets=300, seed=1)
+        assert len(result.seeds) == 1
+
+    def test_negative_k_raises(self, chain):
+        with pytest.raises(ValueError):
+            ris_maximize(chain, {}, -1, num_rr_sets=10)
+
+    def test_quality_matches_celf_on_small_instance(self):
+        """RIS seeds reach (near-)greedy spread under forward MC."""
+        from repro.maximization.celf import celf_maximize
+        from repro.maximization.oracle import ICSpreadOracle
+
+        graph = erdos_renyi_graph(20, 0.2, seed=6)
+        probabilities = uniform_probabilities(graph, 0.25)
+        oracle = ICSpreadOracle(graph, probabilities, num_simulations=400, seed=0)
+        celf = celf_maximize(oracle, 3)
+        ris = ris_maximize(graph, probabilities, 3, num_rr_sets=5000, seed=7)
+        ris_quality = oracle.spread(ris.seeds)
+        assert ris_quality >= 0.9 * celf.spread

@@ -1,0 +1,105 @@
+"""Tests for repro.graphs.sampling."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.graphs.sampling import forest_fire_sample, snowball_sample
+
+
+@pytest.fixture()
+def two_components():
+    return SocialGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (10, 11), (11, 12), (12, 10)]
+    )
+
+
+class TestForestFire:
+    def test_respects_target_size(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=1)
+        sample = forest_fire_sample(graph, 20, seed=0)
+        assert sample.num_nodes == 20
+
+    def test_sample_is_induced_subgraph(self):
+        graph = erdos_renyi_graph(40, 0.15, seed=2)
+        sample = forest_fire_sample(graph, 15, seed=3)
+        for source, target in sample.edges():
+            assert graph.has_edge(source, target)
+        for node in sample.nodes():
+            assert node in graph
+
+    def test_target_larger_than_graph(self):
+        graph = erdos_renyi_graph(10, 0.3, seed=4)
+        sample = forest_fire_sample(graph, 100, seed=5)
+        assert sample.num_nodes == 10
+
+    def test_zero_target(self):
+        graph = erdos_renyi_graph(10, 0.3, seed=6)
+        assert forest_fire_sample(graph, 0, seed=0).num_nodes == 0
+
+    def test_empty_graph(self):
+        assert forest_fire_sample(SocialGraph(), 5, seed=0).num_nodes == 0
+
+    def test_spans_components_when_needed(self, two_components):
+        sample = forest_fire_sample(two_components, 6, seed=7)
+        assert sample.num_nodes == 6  # must re-ignite across components
+
+    def test_deterministic_with_seed(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=8)
+        first = forest_fire_sample(graph, 12, seed=9)
+        second = forest_fire_sample(graph, 12, seed=9)
+        assert sorted(map(repr, first.nodes())) == sorted(
+            map(repr, second.nodes())
+        )
+
+    def test_invalid_probability_raises(self, two_components):
+        with pytest.raises(ValueError):
+            forest_fire_sample(two_components, 3, forward_probability=1.5)
+
+    def test_negative_target_raises(self, two_components):
+        with pytest.raises(ValueError):
+            forest_fire_sample(two_components, -1)
+
+    def test_preserves_local_structure(self):
+        """Burning keeps neighbourhoods: the sample's edge density is at
+        least comparable to the host's (not a scattering of isolates)."""
+        graph = erdos_renyi_graph(60, 0.12, seed=10)
+        sample = forest_fire_sample(
+            graph, 25, forward_probability=0.8, seed=11
+        )
+        assert sample.num_edges > 0
+        assert sample.average_degree() > 0.3 * graph.average_degree()
+
+
+class TestSnowball:
+    def test_zero_hops_is_start_only(self, two_components):
+        sample = snowball_sample(two_components, 0, hops=0)
+        assert set(sample.nodes()) == {0}
+
+    def test_one_hop_neighbourhood(self, two_components):
+        sample = snowball_sample(two_components, 0, hops=1)
+        assert set(sample.nodes()) == {0, 1, 2}
+
+    def test_stays_in_component(self, two_components):
+        sample = snowball_sample(two_components, 0, hops=10)
+        assert set(sample.nodes()) == {0, 1, 2}
+
+    def test_max_size_truncates(self):
+        graph = SocialGraph.from_edges([(0, i) for i in range(1, 10)])
+        sample = snowball_sample(graph, 0, hops=1, max_size=4)
+        assert sample.num_nodes == 4
+        assert 0 in sample
+
+    def test_unknown_start_raises(self, two_components):
+        with pytest.raises(ValueError, match="not in the graph"):
+            snowball_sample(two_components, 99, hops=1)
+
+    def test_negative_hops_raises(self, two_components):
+        with pytest.raises(ValueError):
+            snowball_sample(two_components, 0, hops=-1)
+
+    def test_edges_induced(self, two_components):
+        sample = snowball_sample(two_components, 0, hops=2)
+        assert sorted(map(repr, sample.edges())) == sorted(
+            map(repr, [(0, 1), (1, 2), (2, 0)])
+        )

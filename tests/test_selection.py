@@ -1,0 +1,146 @@
+"""Tests for repro.evaluation.selection (Table 2, Figures 5-6 drivers)."""
+
+import pytest
+
+from repro.data.split import train_test_split
+from repro.evaluation.selection import (
+    SeedSelector,
+    seed_overlap_experiment,
+    select_seeds_by_method,
+    spread_achieved_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data.datasets import flixster_like
+
+    return flixster_like("mini")
+
+
+@pytest.fixture(scope="module")
+def train(dataset):
+    return train_test_split(dataset.log)[0]
+
+
+@pytest.fixture(scope="module")
+def selector(dataset, train):
+    return SeedSelector(dataset.graph, train, num_simulations=20)
+
+
+ALL_METHODS = ["UN", "TV", "WC", "EM", "PT", "IC", "LT", "CD", "HighDegree", "PageRank"]
+
+
+class TestSeedSelector:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_returns_k_distinct_seeds(self, selector, method, dataset):
+        seeds = selector.seeds(method, 5)
+        assert len(seeds) == 5
+        assert len(set(seeds)) == 5
+        assert all(seed in dataset.graph for seed in seeds)
+
+    def test_ic_aliases_em(self, selector):
+        assert selector.seeds("IC", 5) == selector.seeds("EM", 5)
+
+    def test_unknown_method_raises(self, selector):
+        with pytest.raises(ValueError, match="unknown"):
+            selector.seeds("Oracle", 3)
+
+    def test_em_probabilities_cached(self, selector):
+        first = selector.ic_probabilities("EM")
+        second = selector.ic_probabilities("EM")
+        assert first is second
+
+    def test_pt_close_to_em(self, selector):
+        em = selector.ic_probabilities("EM")
+        pt = selector.ic_probabilities("PT")
+        assert set(pt) == set(em)
+        for edge in em:
+            assert abs(pt[edge] - em[edge]) <= 0.2 * em[edge] + 1e-12
+
+    def test_invalid_algorithm_choices_raise(self, dataset, train):
+        with pytest.raises(ValueError):
+            SeedSelector(dataset.graph, train, ic_algorithm="magic")
+        with pytest.raises(ValueError):
+            SeedSelector(dataset.graph, train, lt_algorithm="magic")
+
+    def test_celf_backends_work(self, dataset, train):
+        selector = SeedSelector(
+            dataset.graph,
+            train,
+            ic_algorithm="celf",
+            lt_algorithm="celf",
+            num_simulations=5,
+        )
+        assert len(selector.seeds("EM", 2)) == 2
+        assert len(selector.seeds("LT", 2)) == 2
+
+    def test_one_shot_helper(self, dataset, train):
+        seeds = select_seeds_by_method(dataset.graph, train, "HighDegree", 4)
+        assert len(seeds) == 4
+
+
+class TestSeedOverlap:
+    def test_matrix_complete(self, dataset, train):
+        seed_sets, matrix = seed_overlap_experiment(
+            dataset.graph, train, methods=["WC", "CD"], k=5, num_simulations=10
+        )
+        assert set(seed_sets) == {"WC", "CD"}
+        assert matrix[("WC", "WC")] == 5
+        assert matrix[("CD", "CD")] == 5
+        assert 0 <= matrix[("WC", "CD")] <= 5
+
+    def test_em_pt_overlap_high(self, dataset, train):
+        """The paper's robustness finding: PT barely changes EM's seeds."""
+        seed_sets, matrix = seed_overlap_experiment(
+            dataset.graph, train, methods=["EM", "PT"], k=10, num_simulations=10
+        )
+        assert matrix[("EM", "PT")] >= 7
+
+
+class TestSpreadAchieved:
+    def test_series_structure(self, dataset, train):
+        series = spread_achieved_experiment(
+            dataset.graph,
+            train,
+            methods=["CD", "HighDegree"],
+            ks=[1, 3, 5],
+            num_simulations=10,
+        )
+        assert set(series) == {"CD", "HighDegree"}
+        assert [k for k, _ in series["CD"]] == [1.0, 3.0, 5.0]
+
+    def test_spread_non_decreasing_in_k(self, dataset, train):
+        series = spread_achieved_experiment(
+            dataset.graph, train, methods=["CD"], ks=[1, 2, 4, 8],
+            num_simulations=10,
+        )
+        values = [spread for _, spread in series["CD"]]
+        assert values == sorted(values)
+
+    def test_cd_dominates_at_every_k(self, dataset, train):
+        """By construction CD greedy maximizes sigma_cd, so its own seeds
+        must score at least as high as any other method's under sigma_cd
+        (up to greedy suboptimality, which is bounded in practice)."""
+        series = spread_achieved_experiment(
+            dataset.graph,
+            train,
+            methods=["CD", "HighDegree", "PageRank"],
+            ks=[5, 10],
+            num_simulations=10,
+        )
+        for index in range(2):
+            cd_value = series["CD"][index][1]
+            for method in ("HighDegree", "PageRank"):
+                assert cd_value >= series[method][index][1] - 1e-9
+
+    def test_precomputed_seed_sets_accepted(self, dataset, train):
+        seeds = {"Custom": list(train.users())[:5]}
+        series = spread_achieved_experiment(
+            dataset.graph, train, methods=["Custom"], ks=[2, 5], seed_sets=seeds
+        )
+        assert len(series["Custom"]) == 2
+
+    def test_empty_ks_raises(self, dataset, train):
+        with pytest.raises(ValueError):
+            spread_achieved_experiment(dataset.graph, train, methods=["CD"], ks=[])

@@ -1,0 +1,185 @@
+"""Tests for repro.evaluation.significance."""
+
+import random
+
+import pytest
+
+from repro.evaluation.metrics import rmse
+from repro.evaluation.significance import (
+    bootstrap_ci,
+    paired_bootstrap_test,
+    sign_test,
+)
+
+
+def _noisy_predictions(actuals, sigma, seed):
+    rng = random.Random(seed)
+    return [actual + rng.gauss(0.0, sigma) for actual in actuals]
+
+
+@pytest.fixture()
+def actuals():
+    rng = random.Random(0)
+    return [rng.uniform(10, 200) for _ in range(60)]
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_point_estimate(self, actuals):
+        pairs = [(a, p) for a, p in zip(actuals, _noisy_predictions(actuals, 5, 1))]
+        point, lower, upper = bootstrap_ci(pairs, seed=0)
+        assert lower <= point <= upper
+        assert point == pytest.approx(rmse(pairs))
+
+    def test_tighter_with_more_confidence_is_wider(self, actuals):
+        pairs = [(a, p) for a, p in zip(actuals, _noisy_predictions(actuals, 5, 1))]
+        _, lo90, hi90 = bootstrap_ci(pairs, confidence=0.90, seed=3)
+        _, lo99, hi99 = bootstrap_ci(pairs, confidence=0.99, seed=3)
+        assert hi99 - lo99 >= hi90 - lo90
+
+    def test_zero_error_degenerate(self):
+        pairs = [(10.0, 10.0)] * 20
+        point, lower, upper = bootstrap_ci(pairs, seed=0)
+        assert point == lower == upper == 0.0
+
+    def test_deterministic_with_seed(self, actuals):
+        pairs = [(a, p) for a, p in zip(actuals, _noisy_predictions(actuals, 5, 2))]
+        assert bootstrap_ci(pairs, seed=42) == bootstrap_ci(pairs, seed=42)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([(1.0, 1.0)], confidence=1.0)
+
+    def test_too_few_resamples_raises(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([(1.0, 1.0)], num_resamples=10)
+
+
+class TestPairedBootstrap:
+    def test_detects_clearly_better_model(self, actuals):
+        good = _noisy_predictions(actuals, 2, 5)
+        bad = _noisy_predictions(actuals, 40, 6)
+        comparison = paired_bootstrap_test(actuals, good, bad, seed=0)
+        assert comparison.difference < 0  # A (good) has smaller RMSE
+        assert comparison.significant
+        assert comparison.ci_upper < 0
+
+    def test_no_significance_between_twins(self, actuals):
+        # Mirror-image errors: identical per-trace magnitudes, so every
+        # resample's RMSE difference is exactly zero.
+        twin_a = _noisy_predictions(actuals, 10, 7)
+        twin_b = [
+            2 * actual - prediction
+            for actual, prediction in zip(actuals, twin_a)
+        ]
+        comparison = paired_bootstrap_test(actuals, twin_a, twin_b, seed=1)
+        assert comparison.difference == pytest.approx(0.0)
+        assert not comparison.significant
+
+    def test_statistics_match_full_sample(self, actuals):
+        a = _noisy_predictions(actuals, 3, 9)
+        b = _noisy_predictions(actuals, 6, 10)
+        comparison = paired_bootstrap_test(actuals, a, b, seed=2)
+        assert comparison.statistic_a == pytest.approx(
+            rmse(list(zip(actuals, a)))
+        )
+        assert comparison.statistic_b == pytest.approx(
+            rmse(list(zip(actuals, b)))
+        )
+        assert comparison.difference == pytest.approx(
+            comparison.statistic_a - comparison.statistic_b
+        )
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([1.0], [1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([], [], [])
+
+    def test_deterministic(self, actuals):
+        a = _noisy_predictions(actuals, 3, 11)
+        b = _noisy_predictions(actuals, 5, 12)
+        first = paired_bootstrap_test(actuals, a, b, seed=5)
+        second = paired_bootstrap_test(actuals, a, b, seed=5)
+        assert first == second
+
+
+class TestSignTest:
+    def test_dominant_model_wins(self):
+        actuals = [10.0] * 30
+        always_right = [10.0] * 30
+        always_off = [15.0] * 30
+        wins_a, wins_b, p_value = sign_test(actuals, always_right, always_off)
+        assert wins_a == 30
+        assert wins_b == 0
+        assert p_value < 1e-6
+
+    def test_all_ties_is_inconclusive(self):
+        actuals = [10.0, 20.0]
+        same = [11.0, 21.0]
+        wins_a, wins_b, p_value = sign_test(actuals, same, list(same))
+        assert (wins_a, wins_b) == (0, 0)
+        assert p_value == 1.0
+
+    def test_balanced_wins_not_significant(self):
+        actuals = [10.0] * 10
+        a = [9.2, 10.6] * 5  # errors 0.8 / 0.6: wins pair 1, loses pair 2
+        b = [11.0, 10.5] * 5  # errors 1.0 / 0.5
+        wins_a, wins_b, p_value = sign_test(actuals, a, b)
+        assert wins_a == wins_b == 5
+        assert p_value > 0.5
+
+    def test_p_value_bounded(self):
+        actuals = [1.0, 2.0, 3.0]
+        a = [1.1, 2.1, 3.1]
+        b = [1.2, 2.2, 3.05]
+        _, _, p_value = sign_test(actuals, a, b)
+        assert 0.0 <= p_value <= 1.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            sign_test([1.0], [1.0], [1.0, 2.0])
+
+    def test_exact_binomial_small_case(self):
+        # 3 wins vs 0: two-sided exact p = 2 * (1/8) = 0.25.
+        actuals = [0.0, 0.0, 0.0]
+        a = [0.1, 0.1, 0.1]
+        b = [0.2, 0.2, 0.2]
+        _, _, p_value = sign_test(actuals, a, b)
+        assert p_value == pytest.approx(0.25)
+
+
+class TestOnRealPipeline:
+    def test_cd_beats_uniform_significantly(self):
+        """On a mini dataset, CD's RMSE beats UN's with significance."""
+        from repro.data.datasets import flixster_like
+        from repro.data.split import train_test_split
+        from repro.evaluation.prediction import (
+            build_cd_predictor,
+            build_ic_predictors,
+            spread_prediction_experiment,
+        )
+
+        dataset = flixster_like("mini")
+        train, _ = train_test_split(dataset.log)
+        predictors = {
+            "CD": build_cd_predictor(dataset.graph, train),
+            "UN": build_ic_predictors(
+                dataset.graph, train, methods=("UN",), num_simulations=40
+            )["UN"],
+        }
+        experiment = spread_prediction_experiment(
+            dataset.graph, dataset.log, predictors, max_test_traces=40
+        )
+        actuals = [a for a, _ in experiment.pairs("CD")]
+        cd_predictions = [p for _, p in experiment.pairs("CD")]
+        un_predictions = [p for _, p in experiment.pairs("UN")]
+        comparison = paired_bootstrap_test(
+            actuals, cd_predictions, un_predictions, num_resamples=500, seed=0
+        )
+        assert comparison.statistic_a < comparison.statistic_b

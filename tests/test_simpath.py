@@ -1,0 +1,166 @@
+"""Tests for repro.maximization.simpath."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.graphs.generators import erdos_renyi_graph
+from repro.maximization.simpath import (
+    SimPathOracle,
+    simpath_maximize,
+    simpath_spread,
+)
+from tests.helpers import exact_lt_spread
+
+
+@pytest.fixture()
+def weighted_diamond():
+    """0 -> {1, 2} -> 3 with admissible LT weights."""
+    graph = SocialGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+    weights = {(0, 1): 0.6, (0, 2): 0.4, (1, 3): 0.5, (2, 3): 0.5}
+    return graph, weights
+
+
+class TestSpreadExactness:
+    def test_single_node_no_edges(self):
+        graph = SocialGraph.from_edges([], nodes=[1, 2])
+        assert simpath_spread(graph, {}, [1], eta=0.0) == pytest.approx(1.0)
+
+    def test_chain_exact(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        weights = {(0, 1): 0.5, (1, 2): 0.8}
+        # sigma({0}) = 1 + 0.5 + 0.5*0.8 = 1.9
+        assert simpath_spread(graph, weights, [0], eta=0.0) == (
+            pytest.approx(1.9)
+        )
+
+    def test_diamond_matches_exact_enumeration(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        for seeds in ([0], [1], [0, 3], [1, 2]):
+            assert simpath_spread(graph, weights, seeds, eta=0.0) == (
+                pytest.approx(exact_lt_spread(graph, weights, seeds))
+            )
+
+    def test_matches_exact_on_random_instances(self):
+        for seed in range(4):
+            graph = erdos_renyi_graph(6, 0.35, seed=seed)
+            # Admissible weights: split each node's unit mass evenly.
+            weights = {
+                (source, target): 1.0 / graph.in_degree(target)
+                for source, target in graph.edges()
+            }
+            seeds = [node for node in list(graph.nodes())[:2]]
+            assert simpath_spread(graph, weights, seeds, eta=0.0) == (
+                pytest.approx(exact_lt_spread(graph, weights, seeds))
+            )
+
+    def test_matches_monte_carlo(self):
+        from repro.diffusion.lt import estimate_spread_lt
+
+        graph = erdos_renyi_graph(15, 0.2, seed=3)
+        weights = {
+            (source, target): 0.5 / graph.in_degree(target)
+            for source, target in graph.edges()
+        }
+        seeds = list(graph.nodes())[:2]
+        exact_ish = simpath_spread(graph, weights, seeds, eta=0.0)
+        sampled = estimate_spread_lt(
+            graph, weights, seeds, num_simulations=4000, seed=1
+        )
+        assert exact_ish == pytest.approx(sampled, rel=0.1)
+
+
+class TestPruning:
+    def test_pruning_underestimates(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        exact = simpath_spread(graph, weights, [0], eta=0.0)
+        pruned = simpath_spread(graph, weights, [0], eta=0.3)
+        assert pruned <= exact
+
+    def test_pruning_keeps_self_credit(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        # Even with aggressive pruning every seed counts itself.
+        assert simpath_spread(graph, weights, [0], eta=10.0) == (
+            pytest.approx(1.0)
+        )
+
+    def test_negative_eta_raises(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        with pytest.raises(ValueError):
+            simpath_spread(graph, weights, [0], eta=-0.1)
+
+
+class TestSeedRestriction:
+    def test_seeds_do_not_double_count(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        # With both 1 and 2 seeded, paths 1 -> 3 and 2 -> 3 both count
+        # toward 3, but paths through the *other seed* must not: here
+        # there are none, so sigma = 2 + P(3 active) = 2 + (0.5 + 0.5).
+        assert simpath_spread(graph, weights, [1, 2], eta=0.0) == (
+            pytest.approx(3.0)
+        )
+
+    def test_path_through_other_seed_excluded(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2)])
+        weights = {(0, 1): 1.0, (1, 2): 1.0}
+        # Seeding {0, 1}: 0's walk may not pass through seed 1, so 0
+        # contributes only itself; 1 contributes itself and 2.
+        assert simpath_spread(graph, weights, [0, 1], eta=0.0) == (
+            pytest.approx(3.0)
+        )
+
+    def test_seeds_outside_graph_ignored(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        assert simpath_spread(graph, weights, ["ghost"], eta=0.0) == 0.0
+
+
+class TestOracleAndMaximize:
+    def test_oracle_protocol(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        oracle = SimPathOracle(graph, weights, eta=0.0)
+        assert set(oracle.candidates()) == set(graph.nodes())
+        assert oracle.spread([0]) == pytest.approx(
+            simpath_spread(graph, weights, [0], eta=0.0)
+        )
+
+    def test_oracle_validates_weights(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 1)])
+        bad_weights = {(0, 1): 0.8, (2, 1): 0.7}
+        with pytest.raises(ValueError, match="exceeds 1"):
+            SimPathOracle(graph, bad_weights)
+
+    def test_oracle_validation_can_be_skipped(self):
+        graph = SocialGraph.from_edges([(0, 1), (2, 1)])
+        bad_weights = {(0, 1): 0.8, (2, 1): 0.7}
+        oracle = SimPathOracle(graph, bad_weights, validate=False)
+        assert oracle.spread([0]) > 1.0
+
+    def test_maximize_picks_source_on_chain(self):
+        graph = SocialGraph.from_edges([(0, 1), (1, 2), (2, 3)])
+        weights = {edge: 0.9 for edge in graph.edges()}
+        result = simpath_maximize(graph, weights, 1, eta=0.0)
+        assert result.seeds == [0]
+
+    def test_maximize_matches_greedy_over_exact_lt(self):
+        """SimPath-greedy equals greedy over exact LT spread (eta = 0)."""
+        from repro.maximization.greedy import greedy_maximize
+
+        graph = erdos_renyi_graph(7, 0.3, seed=5)
+        weights = {
+            (source, target): 1.0 / graph.in_degree(target)
+            for source, target in graph.edges()
+        }
+
+        class ExactLTOracle:
+            def spread(self, seeds):
+                return exact_lt_spread(graph, weights, seeds)
+
+            def candidates(self):
+                return list(graph.nodes())
+
+        expected = greedy_maximize(ExactLTOracle(), 2)
+        result = simpath_maximize(graph, weights, 2, eta=0.0)
+        assert result.spread == pytest.approx(expected.spread)
+
+    def test_maximize_k_zero(self, weighted_diamond):
+        graph, weights = weighted_diamond
+        assert simpath_maximize(graph, weights, 0).seeds == []

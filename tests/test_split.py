@@ -1,0 +1,80 @@
+"""Tests for repro.data.split.train_test_split."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.data.split import train_test_split
+
+
+def _make_log(sizes):
+    """A log with one action per entry of ``sizes``, of that trace size."""
+    log = ActionLog()
+    for index, size in enumerate(sizes):
+        for user in range(size):
+            log.add(f"u{user}", f"action{index}", float(user))
+    return log
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        log = _make_log([10, 9, 8, 7, 6, 5, 4, 3, 2, 1])
+        train, test = train_test_split(log)
+        train_actions = set(train.actions())
+        test_actions = set(test.actions())
+        assert train_actions | test_actions == set(log.actions())
+        assert not (train_actions & test_actions)
+
+    def test_default_is_eighty_twenty(self):
+        log = _make_log(range(1, 21))
+        train, test = train_test_split(log)
+        assert train.num_actions == 16
+        assert test.num_actions == 4
+
+    def test_traces_move_whole(self):
+        log = _make_log([5, 4, 3, 2, 1])
+        train, test = train_test_split(log)
+        for part in (train, test):
+            for action in part.actions():
+                assert part.trace_size(action) == log.trace_size(action)
+
+    def test_every_fifth_by_size_rank_goes_to_test(self):
+        sizes = [50, 40, 30, 20, 10, 9, 8, 7, 6, 5]
+        log = _make_log(sizes)
+        train, test = train_test_split(log)
+        test_sizes = sorted(
+            (test.trace_size(action) for action in test.actions()), reverse=True
+        )
+        # Ranks 0 and 5 in the size ordering: sizes 50 and 9.
+        assert test_sizes == [50, 9]
+
+    def test_offset_shifts_the_stripe(self):
+        sizes = [50, 40, 30, 20, 10]
+        log = _make_log(sizes)
+        _, test = train_test_split(log, offset=1)
+        assert [test.trace_size(action) for action in test.actions()] == [40]
+
+    def test_size_distributions_similar(self):
+        log = _make_log(range(1, 101))
+        train, test = train_test_split(log)
+        train_mean = sum(train.trace_size(a) for a in train.actions()) / 80
+        test_mean = sum(test.trace_size(a) for a in test.actions()) / 20
+        assert abs(train_mean - test_mean) < 10
+
+    def test_invalid_every_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(_make_log([1]), every=1)
+
+    def test_invalid_offset_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(_make_log([1]), offset=5)
+
+    def test_deterministic(self):
+        log = _make_log([5, 3, 8, 1, 9, 2])
+        first = sorted(train_test_split(log)[1].actions())
+        second = sorted(train_test_split(log)[1].actions())
+        assert first == second
+
+    def test_empty_log(self):
+        train, test = train_test_split(ActionLog())
+        assert train.num_actions == 0
+        assert test.num_actions == 0

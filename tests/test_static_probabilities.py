@@ -1,0 +1,79 @@
+"""Tests for repro.probabilities.static (UN, TV, WC)."""
+
+import pytest
+
+from repro.graphs.digraph import SocialGraph
+from repro.probabilities.static import (
+    trivalency_probabilities,
+    uniform_probabilities,
+    weighted_cascade_probabilities,
+)
+
+
+@pytest.fixture()
+def graph():
+    return SocialGraph.from_edges([(1, 2), (3, 2), (2, 4), (1, 4)])
+
+
+class TestUniform:
+    def test_default_constant(self, graph):
+        probabilities = uniform_probabilities(graph)
+        assert all(p == 0.01 for p in probabilities.values())
+
+    def test_covers_every_edge(self, graph):
+        assert set(uniform_probabilities(graph)) == set(graph.edges())
+
+    def test_custom_constant(self, graph):
+        probabilities = uniform_probabilities(graph, probability=0.2)
+        assert all(p == 0.2 for p in probabilities.values())
+
+    def test_invalid_probability_raises(self, graph):
+        with pytest.raises(ValueError):
+            uniform_probabilities(graph, probability=1.5)
+
+
+class TestTrivalency:
+    def test_values_from_standard_triple(self, graph):
+        probabilities = trivalency_probabilities(graph, seed=1)
+        assert set(probabilities.values()) <= {0.1, 0.01, 0.001}
+
+    def test_deterministic_under_seed(self, graph):
+        assert trivalency_probabilities(graph, seed=2) == trivalency_probabilities(
+            graph, seed=2
+        )
+
+    def test_covers_every_edge(self, graph):
+        assert set(trivalency_probabilities(graph, seed=1)) == set(graph.edges())
+
+    def test_all_values_used_on_large_graph(self):
+        big = SocialGraph.from_edges((i, i + 1) for i in range(200))
+        probabilities = trivalency_probabilities(big, seed=3)
+        assert set(probabilities.values()) == {0.1, 0.01, 0.001}
+
+    def test_custom_values(self, graph):
+        probabilities = trivalency_probabilities(graph, seed=1, values=(0.5,))
+        assert all(p == 0.5 for p in probabilities.values())
+
+    def test_empty_values_raise(self, graph):
+        with pytest.raises(ValueError):
+            trivalency_probabilities(graph, values=())
+
+
+class TestWeightedCascade:
+    def test_probability_is_reciprocal_in_degree(self, graph):
+        probabilities = weighted_cascade_probabilities(graph)
+        assert probabilities[(1, 2)] == pytest.approx(0.5)  # in_degree(2) == 2
+        assert probabilities[(2, 4)] == pytest.approx(0.5)  # in_degree(4) == 2
+
+    def test_incoming_probabilities_sum_to_one(self, graph):
+        probabilities = weighted_cascade_probabilities(graph)
+        for node in graph.nodes():
+            incoming = [
+                probabilities[(source, node)]
+                for source in graph.in_neighbors(node)
+            ]
+            if incoming:
+                assert sum(incoming) == pytest.approx(1.0)
+
+    def test_covers_every_edge(self, graph):
+        assert set(weighted_cascade_probabilities(graph)) == set(graph.edges())

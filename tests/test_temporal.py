@@ -1,0 +1,141 @@
+"""Tests for repro.data.temporal."""
+
+import pytest
+
+from repro.data.actionlog import ActionLog
+from repro.data.temporal import (
+    activity_series,
+    inter_activation_delays,
+    restrict_to_window,
+    time_span,
+    traces_by_completion,
+)
+from repro.graphs.digraph import SocialGraph
+
+
+@pytest.fixture()
+def staggered_log():
+    """Trace 'a' spans [0, 2], 'b' spans [1, 5], 'c' is a point at 10."""
+    return ActionLog.from_tuples(
+        [
+            (1, "a", 0.0),
+            (2, "a", 2.0),
+            (1, "b", 1.0),
+            (3, "b", 5.0),
+            (2, "c", 10.0),
+        ]
+    )
+
+
+class TestTimeSpan:
+    def test_span(self, staggered_log):
+        assert time_span(staggered_log) == (0.0, 10.0)
+
+    def test_single_tuple(self):
+        log = ActionLog.from_tuples([(1, "a", 3.5)])
+        assert time_span(log) == (3.5, 3.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty log"):
+            time_span(ActionLog())
+
+
+class TestRestrictToWindow:
+    def test_whole_traces_only(self, staggered_log):
+        window = restrict_to_window(staggered_log, 0.0, 3.0)
+        # 'a' fits; 'b' straddles the boundary; 'c' is outside.
+        assert sorted(window.actions()) == ["a"]
+
+    def test_full_span_keeps_everything(self, staggered_log):
+        window = restrict_to_window(staggered_log, 0.0, 10.0)
+        assert window.num_tuples == staggered_log.num_tuples
+
+    def test_empty_window(self, staggered_log):
+        assert restrict_to_window(staggered_log, 20.0, 30.0).num_tuples == 0
+
+    def test_inverted_window_raises(self, staggered_log):
+        with pytest.raises(ValueError, match="must be >="):
+            restrict_to_window(staggered_log, 5.0, 1.0)
+
+    def test_boundaries_inclusive(self, staggered_log):
+        window = restrict_to_window(staggered_log, 1.0, 5.0)
+        assert sorted(window.actions()) == ["b"]
+
+
+class TestTracesByCompletion:
+    def test_order(self, staggered_log):
+        ordered = traces_by_completion(staggered_log)
+        assert [action for action, _ in ordered] == ["a", "b", "c"]
+        assert [when for _, when in ordered] == [2.0, 5.0, 10.0]
+
+    def test_tie_broken_deterministically(self):
+        log = ActionLog.from_tuples([(1, "x", 1.0), (1, "y", 1.0)])
+        assert traces_by_completion(log) == [("x", 1.0), ("y", 1.0)]
+
+    def test_empty_log(self):
+        assert traces_by_completion(ActionLog()) == []
+
+
+class TestActivitySeries:
+    def test_buckets(self, staggered_log):
+        series = activity_series(staggered_log, bucket_width=2.0)
+        assert series == [
+            (0.0, 2),  # times 0.0, 1.0
+            (2.0, 1),  # time 2.0
+            (4.0, 1),  # time 5.0
+            (6.0, 0),
+            (8.0, 0),
+            (10.0, 1),  # time 10.0
+        ]
+
+    def test_counts_sum_to_tuples(self, staggered_log):
+        series = activity_series(staggered_log, bucket_width=3.0)
+        assert sum(count for _, count in series) == staggered_log.num_tuples
+
+    def test_empty_log(self):
+        assert activity_series(ActionLog(), bucket_width=1.0) == []
+
+    def test_invalid_bucket_raises(self, staggered_log):
+        with pytest.raises(ValueError, match="bucket_width"):
+            activity_series(staggered_log, bucket_width=0.0)
+
+
+class TestInterActivationDelays:
+    @pytest.fixture()
+    def chain_setup(self):
+        graph = SocialGraph.from_edges([(1, 2), (2, 3)])
+        log = ActionLog.from_tuples(
+            [
+                (1, "a", 0.0),
+                (2, "a", 1.0),
+                (3, "a", 4.0),
+                (1, "b", 0.0),
+                (2, "b", 2.0),
+            ]
+        )
+        return graph, log
+
+    def test_pooled_delays(self, chain_setup):
+        graph, log = chain_setup
+        delays = sorted(inter_activation_delays(graph, log))
+        assert delays == [1.0, 2.0, 3.0]
+
+    def test_pair_restriction(self, chain_setup):
+        graph, log = chain_setup
+        delays = sorted(inter_activation_delays(graph, log, pair=(1, 2)))
+        assert delays == [1.0, 2.0]
+
+    def test_mean_matches_learned_tau(self, chain_setup):
+        """The pooled pair sample's mean is exactly tau_{v,u}."""
+        from repro.core.params import learn_influenceability
+
+        graph, log = chain_setup
+        params = learn_influenceability(graph, log)
+        delays = inter_activation_delays(graph, log, pair=(1, 2))
+        assert params.tau[(1, 2)] == pytest.approx(
+            sum(delays) / len(delays)
+        )
+
+    def test_unobserved_pair_empty(self, chain_setup):
+        graph, log = chain_setup
+        assert inter_activation_delays(graph, log, pair=(3, 1)) == []

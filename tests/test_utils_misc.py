@@ -1,0 +1,70 @@
+"""Tests for repro.utils.timing and repro.utils.validation."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer
+from repro.utils.validation import (
+    require,
+    require_non_negative,
+    require_positive,
+    require_probability,
+)
+
+
+class TestTimer:
+    def test_measures_elapsed_time(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+    def test_restart_resets(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.elapsed == 0.0
+
+    def test_elapsed_preserved_after_exit(self):
+        with Timer() as timer:
+            time.sleep(0.001)
+        first = timer.elapsed
+        time.sleep(0.005)
+        assert timer.elapsed == first
+
+
+class TestValidation:
+    def test_require_passes(self):
+        require(True, "never raised")
+
+    def test_require_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+    def test_require_positive_accepts_positive(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_require_positive_rejects(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(value, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_require_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.001, "x")
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_require_probability_accepts(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_require_probability_rejects(self, value):
+        with pytest.raises(ValueError, match="p"):
+            require_probability(value, "p")

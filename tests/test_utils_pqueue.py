@@ -1,0 +1,70 @@
+"""Tests for repro.utils.pqueue (the CELF lazy queue)."""
+
+import pytest
+
+from repro.utils.pqueue import LazyQueue
+
+
+class TestLazyQueue:
+    def test_empty_queue_is_falsy(self):
+        assert not LazyQueue()
+
+    def test_len(self):
+        queue = LazyQueue()
+        queue.push("a", 1.0, 0)
+        queue.push("b", 2.0, 0)
+        assert len(queue) == 2
+
+    def test_pop_returns_max_gain(self):
+        queue = LazyQueue()
+        queue.push("low", 1.0, 0)
+        queue.push("high", 9.0, 0)
+        queue.push("mid", 5.0, 0)
+        assert queue.pop().item == "high"
+
+    def test_pop_removes_entry(self):
+        queue = LazyQueue()
+        queue.push("a", 1.0, 0)
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            LazyQueue().pop()
+
+    def test_peek_does_not_remove(self):
+        queue = LazyQueue()
+        queue.push("a", 1.0, 0)
+        assert queue.peek().item == "a"
+        assert len(queue) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(IndexError):
+            LazyQueue().peek()
+
+    def test_entry_preserves_iteration_stamp(self):
+        queue = LazyQueue()
+        queue.push("a", 1.0, iteration=3)
+        entry = queue.pop()
+        assert entry.iteration == 3
+        assert entry.gain == 1.0
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = LazyQueue()
+        queue.push("first", 2.0, 0)
+        queue.push("second", 2.0, 0)
+        assert queue.pop().item == "first"
+
+    def test_drain_yields_decreasing_gains(self):
+        queue = LazyQueue()
+        for gain in [3.0, 1.0, 4.0, 1.5]:
+            queue.push(f"g{gain}", gain, 0)
+        gains = [entry.gain for entry in queue.drain()]
+        assert gains == sorted(gains, reverse=True)
+        assert not queue
+
+    def test_negative_gains_supported(self):
+        queue = LazyQueue()
+        queue.push("neg", -1.0, 0)
+        queue.push("less_neg", -0.5, 0)
+        assert queue.pop().item == "less_neg"

@@ -1,0 +1,51 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_existing_rng_passes_through(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+    def test_zero_seed_is_valid(self):
+        assert isinstance(make_rng(0), random.Random)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_children_are_reproducible(self):
+        first = [rng.random() for rng in spawn_rngs(9, 3)]
+        second = [rng.random() for rng in spawn_rngs(9, 3)]
+        assert first == second
+
+    def test_children_are_distinct_streams(self):
+        children = spawn_rngs(9, 2)
+        assert children[0].random() != children[1].random()
+
+    def test_accepts_parent_rng(self):
+        parent = random.Random(3)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2

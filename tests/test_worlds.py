@@ -1,0 +1,93 @@
+"""Tests for repro.diffusion.worlds (possible-world semantics, Eq. 1-4)."""
+
+import random
+
+import pytest
+
+from repro.diffusion.ic import estimate_spread_ic
+from repro.diffusion.lt import estimate_spread_lt
+from repro.diffusion.worlds import (
+    estimate_spread_via_worlds,
+    sample_world_ic,
+    sample_world_lt,
+    spread_in_world,
+)
+from repro.graphs.digraph import SocialGraph
+
+
+class TestSampleWorldIC:
+    def test_world_edges_subset_of_graph(self, diamond_graph):
+        probabilities = {edge: 0.5 for edge in diamond_graph.edges()}
+        world = sample_world_ic(diamond_graph, probabilities, random.Random(1))
+        for edge in world.edges():
+            assert diamond_graph.has_edge(*edge)
+
+    def test_probability_one_keeps_all_edges(self, diamond_graph):
+        probabilities = {edge: 1.0 for edge in diamond_graph.edges()}
+        world = sample_world_ic(diamond_graph, probabilities, random.Random(1))
+        assert world.num_edges == diamond_graph.num_edges
+
+    def test_probability_zero_keeps_no_edges(self, diamond_graph):
+        world = sample_world_ic(diamond_graph, {}, random.Random(1))
+        assert world.num_edges == 0
+
+    def test_all_nodes_preserved(self, diamond_graph):
+        world = sample_world_ic(diamond_graph, {}, random.Random(1))
+        assert world.num_nodes == diamond_graph.num_nodes
+
+
+class TestSampleWorldLT:
+    def test_at_most_one_incoming_edge_per_node(self, diamond_graph):
+        weights = {(0, 1): 1.0, (0, 2): 1.0, (1, 3): 0.5, (2, 3): 0.5}
+        for trial in range(50):
+            world = sample_world_lt(diamond_graph, weights, random.Random(trial))
+            for node in world.nodes():
+                assert world.in_degree(node) <= 1
+
+    def test_edge_selected_with_weight_frequency(self):
+        graph = SocialGraph.from_edges([(1, 3), (2, 3)])
+        weights = {(1, 3): 0.7, (2, 3): 0.2}
+        rng = random.Random(7)
+        from_one = 0
+        for _ in range(5000):
+            world = sample_world_lt(graph, weights, rng)
+            if world.has_edge(1, 3):
+                from_one += 1
+        assert 0.65 < from_one / 5000 < 0.75
+
+
+class TestSpreadEquivalence:
+    def test_ic_world_estimate_matches_simulation(self, diamond_graph):
+        """Eq. 1 (possible worlds) and direct simulation must agree."""
+        probabilities = {edge: 0.4 for edge in diamond_graph.edges()}
+        via_worlds = estimate_spread_via_worlds(
+            diamond_graph, probabilities, [0], model="ic",
+            num_worlds=20000, seed=8,
+        )
+        direct = estimate_spread_ic(
+            diamond_graph, probabilities, [0], num_simulations=20000, seed=9
+        )
+        assert via_worlds == pytest.approx(direct, rel=0.05)
+
+    def test_lt_live_edge_equivalence(self, diamond_graph):
+        """Kempe et al.'s live-edge construction equals threshold LT."""
+        weights = {(0, 1): 0.6, (0, 2): 0.4, (1, 3): 0.5, (2, 3): 0.3}
+        via_worlds = estimate_spread_via_worlds(
+            diamond_graph, weights, [0], model="lt", num_worlds=20000, seed=10
+        )
+        direct = estimate_spread_lt(
+            diamond_graph, weights, [0], num_simulations=20000, seed=11
+        )
+        assert via_worlds == pytest.approx(direct, rel=0.05)
+
+    def test_spread_in_world_counts_reachable(self, chain_graph):
+        assert spread_in_world(chain_graph, [0]) == 4
+        assert spread_in_world(chain_graph, [2]) == 2
+
+    def test_unknown_model_raises(self, diamond_graph):
+        with pytest.raises(ValueError, match="model"):
+            estimate_spread_via_worlds(diamond_graph, {}, [0], model="nope")
+
+    def test_invalid_world_count_raises(self, diamond_graph):
+        with pytest.raises(ValueError):
+            estimate_spread_via_worlds(diamond_graph, {}, [0], num_worlds=0)
