@@ -8,85 +8,62 @@ simulation-free SimPath (LT) estimator, and the structural heuristics
 the spread of each selector's seeds under the CD proxy (the paper's
 best-available ground truth).
 
+The whole zoo is one :class:`repro.api.ExperimentConfig`: selectors are
+named registry entries and :func:`repro.api.run_experiment` owns the
+learn→select→evaluate pipeline (artifacts come from the session-shared
+context fixture).
+
 Expected shape: the data-based CD seeds dominate under the CD yardstick
 (by construction *and* by the Figure-6 argument); among the structural
 methods DegreeDiscount ≥ HighDegree; every method runs in seconds at
 this scale.
 """
 
-import time
-
 import pytest
 
-from repro.core.credit import TimeDecayCredit
-from repro.core.maximize import cd_maximize
-from repro.core.spread import CDSpreadEvaluator
+from repro.api import ExperimentConfig, run_experiment
 from repro.evaluation.reporting import format_table
-from repro.maximization.celf import celf_maximize
-from repro.maximization.celfpp import celfpp_maximize
-from repro.maximization.degree_discount import (
-    degree_discount_ic_seeds,
-    single_discount_seeds,
-)
-from repro.maximization.heuristics import high_degree_seeds
-from repro.maximization.irie import irie_seeds
-from repro.maximization.ris import ris_maximize
-from repro.maximization.simpath import simpath_maximize
 
 K = 10
 NUM_RR_SETS = 3000
 
+SELECTORS = [
+    {"name": "cd", "label": "CD (cd_maximize)"},
+    {"name": "celf", "params": {"model": "cd"}, "label": "CELF over sigma_cd"},
+    {"name": "celfpp", "params": {"model": "cd"},
+     "label": "CELF++ over sigma_cd"},
+    {"name": "ris", "params": {"num_rr_sets": NUM_RR_SETS, "seed": 7},
+     "label": "RIS (EM probabilities)"},
+    {"name": "simpath", "params": {"eta": 1e-3},
+     "label": "SimPath (LT weights)"},
+    {"name": "irie", "label": "IRIE (EM probabilities)"},
+    {"name": "high_degree", "label": "HighDegree"},
+    {"name": "single_discount", "label": "SingleDiscount"},
+    {"name": "degree_discount", "params": {"probability": 0.01},
+     "label": "DegreeDiscountIC"},
+]
+
 
 def test_ablation_selector_zoo(
-    benchmark, report, flixster_small, flixster_split, flixster_selector
+    benchmark, report, flixster_small, flixster_context
 ):
-    train, _ = flixster_split
-    graph = flixster_small.graph
-    selector = flixster_selector
-    em_probabilities = selector.ic_probabilities("EM")
-    lt_weights = selector.lt_weights()
-    index = selector.credit_index()
-    evaluator = CDSpreadEvaluator(
-        graph, train, credit=TimeDecayCredit(selector.params())
+    config = ExperimentConfig(
+        dataset="flixster", scale="small", selectors=SELECTORS, ks=[K]
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(
+            config, dataset=flixster_small, context=flixster_context
+        ),
+        rounds=1,
+        iterations=1,
     )
 
-    def run_cd():
-        return cd_maximize(index, K, mutate=False).seeds
-
-    selectors = {
-        "CD (cd_maximize)": run_cd,
-        "CELF over sigma_cd": lambda: celf_maximize(evaluator, K).seeds,
-        "CELF++ over sigma_cd": lambda: celfpp_maximize(evaluator, K).seeds,
-        "RIS (EM probabilities)": lambda: ris_maximize(
-            graph, em_probabilities, K, num_rr_sets=NUM_RR_SETS, seed=7
-        ).seeds,
-        "SimPath (LT weights)": lambda: simpath_maximize(
-            graph, lt_weights, K, eta=1e-3
-        ).seeds,
-        "IRIE (EM probabilities)": lambda: irie_seeds(
-            graph, em_probabilities, K
-        ),
-        "HighDegree": lambda: high_degree_seeds(graph, K),
-        "SingleDiscount": lambda: single_discount_seeds(graph, K),
-        "DegreeDiscountIC": lambda: degree_discount_ic_seeds(
-            graph, K, probability=0.01
-        ),
-    }
-
-    rows = []
-    quality: dict[str, float] = {}
-    cd_seeds_quality = None
-    for name, select in selectors.items():
-        started = time.perf_counter()
-        seeds = select()
-        elapsed = time.perf_counter() - started
-        spread = evaluator.spread(seeds)
-        quality[name] = spread
-        if name == "CD (cd_maximize)":
-            cd_seeds_quality = spread
-        rows.append([name, f"{elapsed:.2f}s", f"{spread:.1f}"])
-    benchmark.pedantic(run_cd, rounds=1, iterations=1)
-
+    quality = result.final_spreads()
+    rows = [
+        [run.label, f"{run.selection.wall_time_s:.2f}s",
+         f"{quality[run.label]:.1f}"]
+        for run in result.runs
+    ]
     report(
         format_table(
             ["selector", "runtime", "spread under CD proxy"],
@@ -98,7 +75,7 @@ def test_ablation_selector_zoo(
         )
     )
     # The CD maximizer is (near-)optimal under its own yardstick.
-    assert cd_seeds_quality is not None
+    cd_seeds_quality = quality["CD (cd_maximize)"]
     assert all(
         cd_seeds_quality >= 0.99 * spread for spread in quality.values()
     )

@@ -2,25 +2,46 @@
 
 Since the actual spread of an arbitrary seed set cannot be read off the
 data (the sparsity issue), the paper scores every method's seeds with
-the most accurate predictor available — the CD model.  Expected shape:
-CD on top, LT competitive, High-Degree and PageRank in between, and IC
-*last* — EM's probability-1.0 edges make it pick rarely active users
-(the paper's "user 168766" analysis).
+the most accurate predictor available — the CD model.  The five methods
+are registry entries in one :class:`repro.api.ExperimentConfig`;
+:func:`repro.api.run_experiment` selects once at the largest k and
+evaluates every prefix on the grid.
+
+Expected shape: CD on top, LT competitive, High-Degree and PageRank in
+between, and IC *last* — EM's probability-1.0 edges make it pick rarely
+active users (the paper's "user 168766" analysis).
 """
 
 from benchmarks.conftest import K_SELECT
+from repro.api import ExperimentConfig, run_experiment
 from repro.evaluation.reporting import format_series, format_table
-from repro.evaluation.selection import spread_achieved_experiment
 
 METHODS = ["CD", "LT", "IC", "HighDegree", "PageRank"]
+SELECTORS = [
+    {"name": "cd", "label": "CD"},
+    {"name": "ldag", "label": "LT"},
+    {"name": "pmia", "params": {"method": "EM"}, "label": "IC"},
+    {"name": "high_degree", "label": "HighDegree"},
+    {"name": "pagerank", "label": "PageRank"},
+]
 KS = [1, 5, 10, 15, 20, 25]
 
 
-def _run(dataset, selector, train):
-    seed_sets = {method: selector.seeds(method, K_SELECT) for method in METHODS}
-    series = spread_achieved_experiment(
-        dataset.graph, train, methods=METHODS, ks=KS, seed_sets=seed_sets
+def _run(dataset, context, scale_name):
+    config = ExperimentConfig(
+        dataset=scale_name,
+        scale="small",
+        selectors=SELECTORS,
+        ks=sorted(set(KS) | {K_SELECT}),
     )
+    result = run_experiment(config, dataset=dataset, context=context)
+    seed_sets = {
+        label: result.selections(label)[0].seeds for label in result.labels()
+    }
+    series = {
+        method: [(k, spread) for k, spread in points if k in KS]
+        for method, points in result.spread_series().items()
+    }
     return seed_sets, series
 
 
@@ -39,11 +60,11 @@ def _seed_activity_table(train, seed_sets):
     )
 
 
-def test_fig6_flixster(benchmark, report, flixster_small, flixster_selector,
+def test_fig6_flixster(benchmark, report, flixster_small, flixster_context,
                        flixster_split):
     train, _ = flixster_split
     seed_sets, series = benchmark.pedantic(
-        lambda: _run(flixster_small, flixster_selector, train),
+        lambda: _run(flixster_small, flixster_context, "flixster"),
         rounds=1,
         iterations=1,
     )
@@ -69,9 +90,8 @@ def test_fig6_flixster(benchmark, report, flixster_small, flixster_selector,
 
 def test_fig6_flickr(benchmark, report, flickr_small, flickr_selector,
                      flickr_split):
-    train, _ = flickr_split
     seed_sets, series = benchmark.pedantic(
-        lambda: _run(flickr_small, flickr_selector, train),
+        lambda: _run(flickr_small, flickr_selector.context, "flickr"),
         rounds=1,
         iterations=1,
     )

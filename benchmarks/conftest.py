@@ -80,6 +80,12 @@ def flixster_selector(flixster_small, flixster_split):
 
 
 @pytest.fixture(scope="session")
+def flixster_context(flixster_selector):
+    """The selector's SelectionContext — shared learned artifacts."""
+    return flixster_selector.context
+
+
+@pytest.fixture(scope="session")
 def flickr_selector(flickr_small, flickr_split):
     train, _ = flickr_split
     return SeedSelector(flickr_small.graph, train, num_simulations=NUM_SIMULATIONS)

@@ -1,11 +1,26 @@
-"""Legacy setup shim.
+"""Packaging for the reproduction.
 
 The execution environment has no network access and no `wheel` package,
-so PEP 660 editable installs cannot build; this shim lets
-``pip install -e . --no-build-isolation`` fall back to
-``setup.py develop``.  All metadata lives in pyproject.toml.
+so PEP 660 editable installs cannot build; keeping the metadata in
+classic ``setup.py`` form lets ``pip install -e . --no-build-isolation``
+fall back to ``setup.py develop``.
+
+The ``py.typed`` marker ships with the package (PEP 561) so downstream
+type checkers read the inline annotations.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-data-based-im",
+    version="1.3.0",
+    description=(
+        "Reproduction of 'A Data-Based Approach to Social Influence "
+        "Maximization' (Goyal, Bonchi, Lakshmanan; PVLDB 2011)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -20,23 +20,58 @@ every substrate its evaluation depends on:
   (seed minimization, budgeted selection, topic conditioning,
   streaming maintenance, influence analytics);
 * :mod:`repro.evaluation` — drivers and metrics for every table and
-  figure in the paper's evaluation section.
+  figure in the paper's evaluation section;
+* :mod:`repro.api` — the canonical programmatic surface: the selector
+  registry (every algorithm above behind one name and calling
+  convention), the unified :class:`SeedSelection` result model, and the
+  declarative experiment runner.
 
 Quickstart
 ----------
->>> from repro import flixster_like, train_test_split
->>> from repro import learn_influenceability, TimeDecayCredit
->>> from repro import scan_action_log, cd_maximize
->>> dataset = flixster_like("mini")
->>> train, test = train_test_split(dataset.log)
->>> params = learn_influenceability(dataset.graph, train)
->>> index = scan_action_log(dataset.graph, train,
-...                         credit=TimeDecayCredit(params))
->>> result = cd_maximize(index, k=5)
->>> len(result.seeds)
-5
+The registry + experiment runner is the front door; every selection
+algorithm in the library is one ``get_selector`` name away, and a whole
+comparative experiment is one JSON-representable config:
+
+>>> from repro.api import ExperimentConfig, run_experiment
+>>> config = ExperimentConfig(
+...     dataset="flixster", scale="mini",
+...     selectors=["cd", "pmia", "high_degree"], ks=[1, 3, 5])
+>>> result = run_experiment(config)
+>>> [len(result.selections(label)[0].seeds) for label in result.labels()]
+[5, 5, 5]
+
+For a single algorithm, bind it from the registry and run it against a
+:class:`~repro.api.context.SelectionContext`:
+
+>>> from repro.api import SelectionContext, get_selector, list_selectors
+>>> from repro import toy_example
+>>> toy = toy_example()
+>>> context = SelectionContext(toy.graph, toy.log)
+>>> selection = get_selector("cd").select(context, k=2)
+>>> selection.seeds
+['v', 's']
+>>> len(list_selectors()) >= 12
+True
+
+The underlying algorithm functions (``cd_maximize``, ``celf_maximize``,
+``ris_maximize``, ...) remain public and unchanged for callers that
+want direct control; see ``docs/API.md`` for the full registry surface.
 """
 
+from repro.api import (
+    ExperimentConfig,
+    ExperimentResult,
+    SeedSelection,
+    SelectionContext,
+    Selector,
+    SelectorConfig,
+    SelectorSpec,
+    get_selector,
+    list_selectors,
+    register_selector,
+    run_experiment,
+    selector_names,
+)
 from repro.core.budget import BudgetResult, cd_budget_maximize
 from repro.core.coverage import CoverageResult, cd_cover
 from repro.core.credit import DirectCredit, TimeDecayCredit, UniformCredit
@@ -115,9 +150,22 @@ from repro.probabilities.static import (
     weighted_cascade_probabilities,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    # api (the canonical surface)
+    "SelectorSpec",
+    "Selector",
+    "register_selector",
+    "get_selector",
+    "list_selectors",
+    "selector_names",
+    "SelectionContext",
+    "SeedSelection",
+    "SelectorConfig",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
     # graphs
     "SocialGraph",
     "GraphSummary",

@@ -1,0 +1,278 @@
+"""The shared artifact cache every registry selector draws inputs from.
+
+A selector needs some subset of: the social graph, learned IC edge
+probabilities (for one of the paper's five assignment methods), learned
+LT weights, the Eq.-9 credit index, or a spread oracle.  Building those
+artifacts is the expensive part of any experiment, and several selectors
+share them — so :class:`SelectionContext` owns them, builds each lazily
+on first use, and caches it for every later selector run.
+
+This is the machinery that used to live privately inside
+:class:`repro.evaluation.selection.SeedSelector`; it now backs the
+selector registry, the experiment runner, the CLI and ``SeedSelector``
+itself (which delegates here), so all four construct artifacts
+identically — the property the registry's parity guarantees rest on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Mapping
+
+from repro.core.credit import TimeDecayCredit
+from repro.core.scan import scan_action_log
+from repro.core.spread import CDSpreadEvaluator
+from repro.data.actionlog import ActionLog
+from repro.graphs.digraph import SocialGraph
+from repro.maximization.oracle import (
+    ICSpreadOracle,
+    LTSpreadOracle,
+    SpreadOracle,
+)
+from repro.utils.validation import require
+
+__all__ = ["SelectionContext", "IC_PROBABILITY_METHODS"]
+
+User = Hashable
+Edge = tuple[User, User]
+
+IC_PROBABILITY_METHODS = ("UN", "TV", "WC", "EM", "PT")
+ORACLE_MODELS = ("cd", "ic", "lt")
+CREDIT_SCHEMES = ("timedecay", "uniform")
+
+
+class SelectionContext:
+    """Lazily built, cached learning artifacts over one (graph, log) pair.
+
+    Parameters
+    ----------
+    graph:
+        The social graph.
+    train_log:
+        The training action log.  May be omitted for purely structural
+        selectors (High-Degree, PageRank, discount heuristics); any
+        accessor that needs the log then raises a clear ``ValueError``.
+    probability_method:
+        Default IC probability assignment (``UN``/``TV``/``WC``/``EM``/
+        ``PT``) used when a selector does not name one explicitly.
+    num_simulations:
+        Monte Carlo simulations per spread estimate for the IC/LT
+        oracles.
+    truncation:
+        Credit-index truncation threshold (the paper's ``lambda``).
+    seed:
+        Base RNG seed.  Every stochastic artifact (TV probabilities, PT
+        perturbation, MC oracles) derives from it, and
+        :meth:`derive_seed` fans it out deterministically to stochastic
+        selectors.
+    credit_scheme:
+        ``"timedecay"`` (Eq. 9 credits from learned influenceability —
+        the paper's experiments) or ``"uniform"`` (``1/d_in`` credits,
+        used by the analytics CLI).
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        train_log: ActionLog | None = None,
+        probability_method: str = "EM",
+        num_simulations: int = 100,
+        truncation: float = 0.001,
+        seed: int = 7,
+        credit_scheme: str = "timedecay",
+    ) -> None:
+        require(
+            probability_method in IC_PROBABILITY_METHODS,
+            f"probability_method must be one of {IC_PROBABILITY_METHODS}, "
+            f"got {probability_method!r}",
+        )
+        require(
+            num_simulations >= 1,
+            f"num_simulations must be >= 1, got {num_simulations}",
+        )
+        require(
+            credit_scheme in CREDIT_SCHEMES,
+            f"credit_scheme must be one of {CREDIT_SCHEMES}, "
+            f"got {credit_scheme!r}",
+        )
+        self.graph = graph
+        self.train_log = train_log
+        self.probability_method = probability_method
+        self.num_simulations = num_simulations
+        self.truncation = truncation
+        self.seed = seed
+        self.credit_scheme = credit_scheme
+        self._probabilities: dict[str, dict[Edge, float]] = {}
+        self._lt_weights: dict[Edge, float] | None = None
+        self._params = None
+        self._credit_index = None
+        self._cd_evaluator: CDSpreadEvaluator | None = None
+        self._oracles: dict[tuple, SpreadOracle] = {}
+        self._models: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    # Guards and derived seeds
+    # ------------------------------------------------------------------
+    def _require_log(self, what: str) -> ActionLog:
+        require(
+            self.train_log is not None,
+            f"{what} needs a training action log, but this "
+            "SelectionContext was built without one",
+        )
+        return self.train_log  # type: ignore[return-value]
+
+    def derive_seed(self, *labels: object) -> int:
+        """A deterministic child seed for ``labels`` (selector, trial, ...).
+
+        Stable across processes (blake2b, not the salted ``hash``), so
+        the same base seed and labels always yield the same stream —
+        this is how ``ExperimentConfig.seed`` fans out to stochastic
+        selectors.
+        """
+        tag = "|".join([str(self.seed), *map(repr, labels)])
+        digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    # ------------------------------------------------------------------
+    # Learned artifacts (lazy, cached)
+    # ------------------------------------------------------------------
+    def ic_probabilities(self, method: str | None = None) -> dict[Edge, float]:
+        """IC edge probabilities under ``method`` (default: the context's)."""
+        from repro.probabilities.em import learn_ic_probabilities_em
+        from repro.probabilities.perturb import perturb_probabilities
+        from repro.probabilities.static import (
+            trivalency_probabilities,
+            uniform_probabilities,
+            weighted_cascade_probabilities,
+        )
+
+        method = self.probability_method if method is None else method
+        require(
+            method in IC_PROBABILITY_METHODS,
+            f"method must be one of {IC_PROBABILITY_METHODS}, got {method!r}",
+        )
+        if method not in self._probabilities:
+            if method == "UN":
+                value = uniform_probabilities(self.graph)
+            elif method == "TV":
+                value = trivalency_probabilities(self.graph, seed=self.seed)
+            elif method == "WC":
+                value = weighted_cascade_probabilities(self.graph)
+            elif method == "EM":
+                value = learn_ic_probabilities_em(
+                    self.graph, self._require_log("EM probability learning")
+                ).probabilities
+            else:  # PT
+                value = perturb_probabilities(
+                    self.ic_probabilities("EM"), noise=0.2, seed=self.seed
+                )
+            self._probabilities[method] = value
+        return self._probabilities[method]
+
+    def lt_weights(self) -> dict[Edge, float]:
+        """Learned LT edge weights (cached)."""
+        from repro.probabilities.lt_weights import learn_lt_weights
+
+        if self._lt_weights is None:
+            self._lt_weights = learn_lt_weights(
+                self.graph, self._require_log("LT weight learning")
+            )
+        return self._lt_weights
+
+    def influence_params(self):
+        """Learned Eq.-9 influenceability parameters (cached)."""
+        from repro.core.params import learn_influenceability
+
+        if self._params is None:
+            self._params = learn_influenceability(
+                self.graph, self._require_log("influenceability learning")
+            )
+        return self._params
+
+    def _credit(self):
+        if self.credit_scheme == "uniform":
+            return None  # scan_action_log defaults to UniformCredit
+        return TimeDecayCredit(self.influence_params())
+
+    def credit_index(self):
+        """The scanned credit index (cached)."""
+        if self._credit_index is None:
+            self._credit_index = scan_action_log(
+                self.graph,
+                self._require_log("the credit-index scan"),
+                credit=self._credit(),
+                truncation=self.truncation,
+            )
+        return self._credit_index
+
+    def cd_evaluator(self) -> CDSpreadEvaluator:
+        """The exact ``sigma_cd`` evaluator (cached) — the CD-proxy yardstick."""
+        if self._cd_evaluator is None:
+            self._cd_evaluator = CDSpreadEvaluator(
+                self.graph,
+                self._require_log("sigma_cd evaluation"),
+                credit=self._credit(),
+            )
+        return self._cd_evaluator
+
+    # ------------------------------------------------------------------
+    # Oracles and heuristic models
+    # ------------------------------------------------------------------
+    def oracle(
+        self,
+        model: str,
+        method: str | None = None,
+        seed: int | None = None,
+    ) -> SpreadOracle:
+        """A spread oracle for ``model`` (``cd``, ``ic`` or ``lt``).
+
+        ``method`` picks the IC probability assignment (ignored
+        otherwise); ``seed`` overrides the context seed for the Monte
+        Carlo stream (the CD evaluator is deterministic and ignores it).
+        """
+        require(
+            model in ORACLE_MODELS,
+            f"model must be one of {ORACLE_MODELS}, got {model!r}",
+        )
+        if model == "cd":
+            return self.cd_evaluator()
+        seed = self.seed if seed is None else seed
+        key = (model, method or self.probability_method, seed)
+        if key not in self._oracles:
+            if model == "ic":
+                self._oracles[key] = ICSpreadOracle(
+                    self.graph,
+                    self.ic_probabilities(method),
+                    num_simulations=self.num_simulations,
+                    seed=seed,
+                )
+            else:
+                self._oracles[key] = LTSpreadOracle(
+                    self.graph,
+                    self.lt_weights(),
+                    num_simulations=self.num_simulations,
+                    seed=seed,
+                )
+        return self._oracles[key]
+
+    def pmia_model(self, method: str | None = None, theta: float = 1.0 / 320.0):
+        """A cached :class:`~repro.maximization.pmia.PMIAModel`."""
+        from repro.maximization.pmia import PMIAModel
+
+        key = ("pmia", method or self.probability_method, theta)
+        if key not in self._models:
+            self._models[key] = PMIAModel(
+                self.graph, self.ic_probabilities(method), theta=theta
+            )
+        return self._models[key]
+
+    def ldag_model(self, theta: float = 1.0 / 320.0):
+        """A cached :class:`~repro.maximization.ldag.LDAGModel`."""
+        from repro.maximization.ldag import LDAGModel
+
+        key = ("ldag", theta)
+        if key not in self._models:
+            self._models[key] = LDAGModel(
+                self.graph, self.lt_weights(), theta=theta
+            )
+        return self._models[key]

@@ -1,0 +1,437 @@
+"""Declarative experiments: config in, comparable selections out.
+
+The paper's evaluation is one pipeline repeated many times — build a
+dataset, split the action log, learn probabilities/weights/credits,
+select seeds with each method, score every seed set under the CD proxy.
+:func:`run_experiment` owns that pipeline exactly once;
+:class:`ExperimentConfig` names the knobs (dataset, probability method,
+selectors, k-grid, trials, RNG seed) and everything else — the CLI's
+``repro run``, the comparison benchmarks, the examples — is a thin
+consumer of the :class:`ExperimentResult`.
+
+Determinism: ``ExperimentConfig.seed`` fans out through
+:meth:`~repro.api.context.SelectionContext.derive_seed`, so stochastic
+selectors get stable per-(selector, trial) child seeds and the same
+config always reproduces the same seed sets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import repro.api.adapters  # noqa: F401  (ensures built-ins are registered)
+from repro.api.context import IC_PROBABILITY_METHODS, SelectionContext
+from repro.api.registry import Selector, get_selector
+from repro.api.results import SeedSelection
+from repro.data.datasets import Dataset
+from repro.data.split import train_test_split
+from repro.utils.timing import Timer
+from repro.utils.validation import require
+
+__all__ = [
+    "SelectorConfig",
+    "ExperimentConfig",
+    "SelectorRun",
+    "ExperimentResult",
+    "run_experiment",
+]
+
+_DATASETS = ("toy", "flixster", "flickr")
+_SCALES = ("mini", "small", "large")
+
+
+@dataclass(frozen=True)
+class SelectorConfig:
+    """One selector entry of an experiment: name, parameters, label."""
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def display(self) -> str:
+        """The label, defaulting to the registry name."""
+        return self.label or self.name
+
+    @classmethod
+    def coerce(cls, value: "str | Mapping[str, Any] | SelectorConfig"):
+        """Accept ``"cd"``, ``{"name": ..., "params": ..., "label": ...}``."""
+        if isinstance(value, SelectorConfig):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            extra = set(value) - {"name", "params", "label"}
+            require(
+                not extra,
+                f"selector entry has unknown key(s) {sorted(extra)}",
+            )
+            require("name" in value, "selector entry needs a 'name'")
+            return cls(
+                name=str(value["name"]),
+                params=dict(value.get("params", {})),
+                label=str(value.get("label", "")),
+            )
+        raise ValueError(
+            f"selector entry must be a name, mapping or SelectorConfig, "
+            f"got {type(value).__name__}"
+        )
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything :func:`run_experiment` needs, JSON-representable.
+
+    Attributes
+    ----------
+    dataset:
+        ``"toy"``, ``"flixster"`` or ``"flickr"``.
+    scale:
+        Dataset scale (``mini``/``small``/``large``; ignored by the toy
+        example).
+    dataset_seed:
+        Overrides the dataset preset's RNG seed.
+    selectors:
+        Selector entries — names, or mappings with ``name``/``params``/
+        ``label``.  Labels must be unique; they default to the name.
+    ks:
+        The k-grid: selection runs once at ``max(ks)`` and every prefix
+        on the grid is evaluated (greedy-style selectors all produce
+        nested prefixes).
+    trials:
+        Repetitions per selector, each with a deterministically derived
+        child seed (only stochastic selectors differ across trials).
+    seed:
+        Base RNG seed; see the module docstring for the fan-out rule.
+    probability_method:
+        Default IC probability assignment for selectors that need one.
+    num_simulations / truncation:
+        Forwarded to the :class:`~repro.api.context.SelectionContext`.
+    split / split_every:
+        Whether (and how) to 80/20-split the action log; learning uses
+        the training fold.
+    evaluate_spread:
+        Score every selection's k-prefixes under the CD proxy (Figure-6
+        yardstick).  Disable for pure-runtime experiments (Figure 7).
+    """
+
+    dataset: str = "flixster"
+    scale: str = "mini"
+    dataset_seed: int | None = None
+    selectors: Sequence[Any] = field(default_factory=lambda: ["cd"])
+    ks: Sequence[int] = field(default_factory=lambda: [5])
+    trials: int = 1
+    seed: int = 7
+    probability_method: str = "EM"
+    num_simulations: int = 100
+    truncation: float = 0.001
+    split: bool = True
+    split_every: int = 5
+    evaluate_spread: bool = True
+
+    def __post_init__(self) -> None:
+        require(
+            self.dataset in _DATASETS,
+            f"dataset must be one of {_DATASETS}, got {self.dataset!r}",
+        )
+        require(
+            self.scale in _SCALES,
+            f"scale must be one of {_SCALES}, got {self.scale!r}",
+        )
+        self.selectors = [SelectorConfig.coerce(s) for s in self.selectors]
+        require(bool(self.selectors), "selectors must be non-empty")
+        labels = [s.display() for s in self.selectors]
+        require(
+            len(set(labels)) == len(labels),
+            f"selector labels must be unique, got {labels}; "
+            "give duplicates a distinct 'label'",
+        )
+        self.ks = sorted({int(k) for k in self.ks})
+        require(bool(self.ks), "ks must be non-empty")
+        require(self.ks[0] >= 1, f"every k must be >= 1, got {self.ks[0]}")
+        require(self.trials >= 1, f"trials must be >= 1, got {self.trials}")
+        require(
+            self.probability_method in IC_PROBABILITY_METHODS,
+            f"probability_method must be one of {IC_PROBABILITY_METHODS}, "
+            f"got {self.probability_method!r}",
+        )
+        require(
+            self.split_every >= 2,
+            f"split_every must be >= 2, got {self.split_every}",
+        )
+        if self.dataset == "toy":
+            # The Figure-1 running example is a single action trace; a
+            # train/test split would leave nothing to learn from.
+            self.split = False
+        # Fail fast on unknown selectors / parameters.
+        for entry in self.selectors:
+            get_selector(entry.name, **entry.params)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-representable view of the config."""
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "dataset_seed": self.dataset_seed,
+            "selectors": [
+                {"name": s.name, "params": dict(s.params), "label": s.label}
+                for s in self.selectors
+            ],
+            "ks": list(self.ks),
+            "trials": self.trials,
+            "seed": self.seed,
+            "probability_method": self.probability_method,
+            "num_simulations": self.num_simulations,
+            "truncation": self.truncation,
+            "split": self.split,
+            "split_every": self.split_every,
+            "evaluate_spread": self.evaluate_spread,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentConfig":
+        """Build a config from a plain mapping (e.g. parsed JSON)."""
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        extra = set(payload) - known
+        require(
+            not extra,
+            f"config has unknown key(s) {sorted(extra)}; known: {sorted(known)}",
+        )
+        return cls(**dict(payload))
+
+    @classmethod
+    def from_json_file(cls, path: str) -> "ExperimentConfig":
+        """Load a config from a JSON file (the ``repro run`` format)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+@dataclass
+class SelectorRun:
+    """One (selector, trial) cell of an experiment."""
+
+    label: str
+    trial: int
+    selection: SeedSelection
+    curve: list[tuple[int, float]] = field(default_factory=list)
+
+    def final_spread(self) -> float | None:
+        """CD-proxy spread at the largest evaluated k (None if unscored)."""
+        return self.curve[-1][1] if self.curve else None
+
+
+@dataclass
+class ExperimentResult:
+    """Everything :func:`run_experiment` measured."""
+
+    config: ExperimentConfig
+    dataset_name: str
+    runs: list[SelectorRun] = field(default_factory=list)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def labels(self) -> list[str]:
+        """Selector labels in config order."""
+        return [entry.display() for entry in self.config.selectors]
+
+    def selections(self, label: str) -> list[SeedSelection]:
+        """All trials' selections for ``label``."""
+        found = [run.selection for run in self.runs if run.label == label]
+        require(bool(found), f"no runs for selector label {label!r}")
+        return found
+
+    def spread_series(self) -> dict[str, list[tuple[float, float]]]:
+        """Per-label ``(k, CD-proxy spread)`` series, averaged over trials."""
+        series: dict[str, list[tuple[float, float]]] = {}
+        for label in self.labels():
+            curves = [run.curve for run in self.runs if run.label == label]
+            curves = [curve for curve in curves if curve]
+            if not curves:
+                continue
+            points = []
+            for index, (k, _) in enumerate(curves[0]):
+                mean = sum(curve[index][1] for curve in curves) / len(curves)
+                points.append((float(k), mean))
+            series[label] = points
+        return series
+
+    def final_spreads(self) -> dict[str, float]:
+        """Per-label CD-proxy spread at the largest k (trial-averaged)."""
+        return {
+            label: points[-1][1]
+            for label, points in self.spread_series().items()
+        }
+
+    def runtime_curves(self) -> dict[str, list[tuple[int, float]]]:
+        """Per-label cumulative runtime-vs-k curves (first trial).
+
+        Only selectors whose adapter supports ``time_log`` appear;
+        entries include lazily triggered artifact-building time.
+        """
+        curves: dict[str, list[tuple[int, float]]] = {}
+        for label in self.labels():
+            for run in self.runs:
+                if run.label != label:
+                    continue
+                log = run.selection.metadata.get("time_log")
+                if log:
+                    curves[label] = [(int(c), float(s)) for c, s in log]
+                break
+        return curves
+
+    def render(self) -> str:
+        """A printable summary table (the ``repro run`` output)."""
+        from repro.evaluation.reporting import format_table
+
+        k_max = self.config.ks[-1]
+        rows = []
+        for run in self.runs:
+            selection = run.selection
+            proxy = run.final_spread()
+            rows.append(
+                [
+                    run.label,
+                    run.trial,
+                    len(selection.seeds),
+                    "-" if proxy is None else f"{proxy:.2f}",
+                    "-" if selection.spread is None
+                    else f"{selection.spread:.2f}",
+                    f"{selection.wall_time_s:.2f}s",
+                    selection.oracle_calls or "-",
+                ]
+            )
+        return format_table(
+            [
+                "selector", "trial", "#seeds", "sigma_cd proxy",
+                "own estimate", "time", "oracle calls",
+            ],
+            rows,
+            title=(
+                f"experiment on {self.dataset_name} "
+                f"(k={k_max}, seed={self.config.seed})"
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-representable view of the full result."""
+        return {
+            "config": self.config.to_dict(),
+            "dataset": self.dataset_name,
+            "timings": dict(self.timings),
+            "runs": [
+                {
+                    "label": run.label,
+                    "trial": run.trial,
+                    "curve": [[k, spread] for k, spread in run.curve],
+                    "selection": run.selection.to_dict(),
+                }
+                for run in self.runs
+            ],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialise to JSON (see :meth:`to_dict` for the schema)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+def _make_dataset(config: ExperimentConfig) -> Dataset:
+    # Resolve the makers through the module so test harnesses that
+    # monkeypatch repro.data.datasets redirect experiments too.
+    from repro.data import datasets
+
+    if config.dataset == "toy":
+        return datasets.toy_example()
+    maker = (
+        datasets.flixster_like
+        if config.dataset == "flixster"
+        else datasets.flickr_like
+    )
+    if config.dataset_seed is None:
+        return maker(config.scale)
+    return maker(config.scale, seed=config.dataset_seed)
+
+
+def _bind(config: ExperimentConfig, entry: SelectorConfig,
+          context: SelectionContext, trial: int) -> Selector:
+    """Bind the selector, injecting a derived per-trial seed if stochastic."""
+    selector = get_selector(entry.name, **entry.params)
+    if selector.spec.stochastic and "seed" not in selector.params:
+        selector = selector.with_params(
+            seed=context.derive_seed(entry.name, trial)
+        )
+    return selector
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    dataset: Dataset | None = None,
+    context: SelectionContext | None = None,
+) -> ExperimentResult:
+    """Run the full dataset→split→learn→select→evaluate pipeline.
+
+    Parameters
+    ----------
+    config:
+        The experiment description.
+    dataset:
+        Pre-built dataset to use instead of constructing one from the
+        config (benchmark fixtures pass their session-scoped datasets
+        here so the synthesis cost is shared).
+    context:
+        Pre-built :class:`~repro.api.context.SelectionContext` to share
+        learned artifacts across experiments.  When given, the dataset/
+        split stages are skipped entirely and the context's graph/log
+        are authoritative.
+    """
+    timings: dict[str, float] = {}
+    if context is None:
+        with Timer() as timer:
+            data = dataset if dataset is not None else _make_dataset(config)
+        timings["dataset_s"] = timer.elapsed
+        with Timer() as timer:
+            if config.split:
+                train, _ = train_test_split(data.log, every=config.split_every)
+            else:
+                train = data.log
+        timings["split_s"] = timer.elapsed
+        context = SelectionContext(
+            data.graph,
+            train,
+            probability_method=config.probability_method,
+            num_simulations=config.num_simulations,
+            truncation=config.truncation,
+            seed=config.seed,
+        )
+        dataset_name = data.name
+    else:
+        dataset_name = dataset.name if dataset is not None else "context"
+
+    result = ExperimentResult(config=config, dataset_name=dataset_name)
+    k_max = config.ks[-1]
+    with Timer() as select_timer:
+        for entry in config.selectors:
+            for trial in range(config.trials):
+                selector = _bind(config, entry, context, trial)
+                selection = selector.select(context, k_max)
+                result.runs.append(
+                    SelectorRun(
+                        label=entry.display(),
+                        trial=trial,
+                        selection=selection,
+                    )
+                )
+    timings["select_s"] = select_timer.elapsed
+    if config.evaluate_spread:
+        with Timer() as evaluate_timer:
+            evaluator = context.cd_evaluator()
+            for run in result.runs:
+                run.curve = [
+                    (k, evaluator.spread(run.selection.seeds_at(k)))
+                    for k in config.ks
+                ]
+        timings["evaluate_s"] = evaluate_timer.elapsed
+    result.timings = timings
+    return result

@@ -1,0 +1,257 @@
+"""The selector registry: one name per algorithm, one calling convention.
+
+Every seed-selection algorithm in the library registers here as a
+:class:`SelectorSpec` — a name, a family tag, capability flags and an
+adapter function.  Everything downstream (the experiment runner, the
+CLI, the benchmarks, the examples) asks the registry instead of
+importing algorithms directly, so adding an algorithm — or a remote
+backend — to the whole toolchain is one :func:`register_selector` call.
+
+Adapter contract: ``adapter(context, k, **params)`` receives a
+:class:`~repro.api.context.SelectionContext` and returns either a
+legacy result (:class:`~repro.maximization.greedy.GreedyResult`,
+:class:`~repro.maximization.ris.RISResult`, or a bare seed list) or a
+ready :class:`~repro.api.results.SeedSelection`; the registry coerces
+and stamps it uniformly.  Adapters *wrap* the public algorithm
+functions — they never reimplement them — which is what keeps registry
+dispatch byte-identical to a direct call.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.api.context import SelectionContext
+from repro.api.results import SeedSelection
+from repro.maximization.greedy import GreedyResult
+from repro.maximization.ris import RISResult
+from repro.utils.validation import require
+
+__all__ = [
+    "SelectorSpec",
+    "Selector",
+    "register_selector",
+    "get_selector",
+    "list_selectors",
+    "selector_names",
+]
+
+FAMILIES = ("cd", "mc", "sketch", "heuristic")
+
+_REGISTRY: dict[str, "SelectorSpec"] = {}
+
+
+@dataclass(frozen=True)
+class SelectorSpec:
+    """Registry entry describing one selection algorithm.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``repro list-selectors`` shows all of them).
+    family:
+        ``cd`` (credit distribution), ``mc`` (greedy over a spread
+        oracle), ``sketch`` (sampling / path-enumeration estimators) or
+        ``heuristic`` (structural and model-based heuristics).
+    func:
+        The adapter callable (see module docstring for the contract).
+    description:
+        One-line summary for listings.
+    needs_oracle / needs_index / needs_probabilities / needs_weights:
+        Which shared artifacts the selector pulls from the context —
+        i.e. what a caller must be able to provide (a training log is
+        required for everything except the purely structural selectors).
+    supports_budget:
+        Whether the selector understands per-seed costs (reserved for
+        budgeted selectors; none of the built-ins do yet).
+    supports_time_log:
+        Whether the adapter can record the cumulative runtime-vs-k
+        curve (Figure-7 instrumentation) into
+        ``SeedSelection.metadata["time_log"]``.
+    stochastic:
+        Whether the selector consumes randomness.  Stochastic adapters
+        accept a ``seed`` parameter, and the experiment runner injects
+        a deterministic per-trial seed when the caller did not pin one.
+    """
+
+    name: str
+    family: str
+    func: Callable[..., Any] = field(repr=False, compare=False)
+    description: str = ""
+    needs_oracle: bool = False
+    needs_index: bool = False
+    needs_probabilities: bool = False
+    needs_weights: bool = False
+    supports_budget: bool = False
+    supports_time_log: bool = False
+    stochastic: bool = False
+
+    def capabilities(self) -> dict[str, bool]:
+        """The capability flags as one mapping (for listings/export)."""
+        return {
+            "needs_oracle": self.needs_oracle,
+            "needs_index": self.needs_index,
+            "needs_probabilities": self.needs_probabilities,
+            "needs_weights": self.needs_weights,
+            "supports_budget": self.supports_budget,
+            "supports_time_log": self.supports_time_log,
+            "stochastic": self.stochastic,
+        }
+
+    def param_names(self) -> list[str]:
+        """Keyword parameters the adapter accepts (beyond context, k)."""
+        signature = inspect.signature(self.func)
+        return [
+            name
+            for name, parameter in signature.parameters.items()
+            if parameter.kind == inspect.Parameter.KEYWORD_ONLY
+            and name != "time_log"
+        ]
+
+
+class Selector:
+    """A registry selector bound to a concrete parameter set.
+
+    Calling it with ``(context, k)`` runs the algorithm and returns a
+    :class:`~repro.api.results.SeedSelection` stamped with the selector
+    name, the bound parameters and the measured wall time.
+    """
+
+    def __init__(self, spec: SelectorSpec, params: Mapping[str, Any]) -> None:
+        allowed = set(spec.param_names())
+        unknown = sorted(set(params) - allowed)
+        require(
+            not unknown,
+            f"selector {spec.name!r} got unknown parameter(s) {unknown}; "
+            f"accepted: {sorted(allowed)}",
+        )
+        self.spec = spec
+        self.params = dict(params)
+
+    @property
+    def name(self) -> str:
+        """The registry name of the underlying selector."""
+        return self.spec.name
+
+    def with_params(self, **params: Any) -> "Selector":
+        """A copy with ``params`` merged over the current binding."""
+        return Selector(self.spec, {**self.params, **params})
+
+    def select(self, context: SelectionContext, k: int) -> SeedSelection:
+        """Run the selector for ``k`` seeds against ``context``."""
+        require(k >= 0, f"k must be non-negative, got {k}")
+        kwargs = dict(self.params)
+        time_log: list[tuple[int, float]] | None = None
+        if self.spec.supports_time_log:
+            time_log = []
+            kwargs["time_log"] = time_log
+        started = time.perf_counter()
+        raw = self.spec.func(context, k, **kwargs)
+        elapsed = time.perf_counter() - started
+        selection = self._coerce(raw, elapsed)
+        if time_log:
+            selection.metadata.setdefault(
+                "time_log", [list(entry) for entry in time_log]
+            )
+        return selection
+
+    __call__ = select
+
+    def _coerce(self, raw: Any, elapsed: float) -> SeedSelection:
+        if isinstance(raw, SeedSelection):
+            raw.selector = raw.selector or self.spec.name
+            raw.params = {**self.params, **raw.params}
+            raw.wall_time_s = raw.wall_time_s or elapsed
+            return raw
+        if isinstance(raw, RISResult):
+            return SeedSelection.from_ris_result(
+                raw,
+                selector=self.spec.name,
+                params=self.params,
+                wall_time_s=elapsed,
+            )
+        if isinstance(raw, GreedyResult):
+            return SeedSelection.from_greedy_result(
+                raw,
+                selector=self.spec.name,
+                params=self.params,
+                wall_time_s=elapsed,
+            )
+        if isinstance(raw, list):
+            return SeedSelection.from_seeds(
+                raw,
+                selector=self.spec.name,
+                params=self.params,
+                wall_time_s=elapsed,
+            )
+        raise TypeError(
+            f"selector {self.spec.name!r} returned {type(raw).__name__}; "
+            "expected SeedSelection, GreedyResult, RISResult or list"
+        )
+
+
+def register_selector(
+    name: str,
+    family: str,
+    description: str = "",
+    **capabilities: bool,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator registering an adapter function under ``name``.
+
+    ``capabilities`` are the boolean :class:`SelectorSpec` flags
+    (``needs_oracle``, ``needs_index``, ``needs_probabilities``,
+    ``needs_weights``, ``supports_budget``, ``supports_time_log``,
+    ``stochastic``).
+    """
+    require(
+        family in FAMILIES, f"family must be one of {FAMILIES}, got {family!r}"
+    )
+    require(
+        name not in _REGISTRY, f"selector {name!r} is already registered"
+    )
+
+    def decorator(func: Callable[..., Any]) -> Callable[..., Any]:
+        _REGISTRY[name] = SelectorSpec(
+            name=name,
+            family=family,
+            func=func,
+            description=description or (func.__doc__ or "").strip().split("\n")[0],
+            **capabilities,
+        )
+        return func
+
+    return decorator
+
+
+def get_selector(name: str, **params: Any) -> Selector:
+    """Look up ``name`` and bind ``params``, validating both."""
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown selector {name!r}; available: {selector_names()}"
+        )
+    return Selector(_REGISTRY[name], params)
+
+
+def list_selectors(family: str | None = None) -> list[SelectorSpec]:
+    """All registered specs (optionally one family), sorted by name."""
+    if family is not None:
+        require(
+            family in FAMILIES,
+            f"family must be one of {FAMILIES}, got {family!r}",
+        )
+    return sorted(
+        (
+            spec
+            for spec in _REGISTRY.values()
+            if family is None or spec.family == family
+        ),
+        key=lambda spec: spec.name,
+    )
+
+
+def selector_names() -> list[str]:
+    """Sorted registry names."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,183 @@
+"""The unified result model every registry selector returns.
+
+Historically each selection algorithm had a bespoke result type —
+:class:`~repro.maximization.greedy.GreedyResult` for the greedy family,
+:class:`~repro.maximization.ris.RISResult` for RIS, a bare seed list for
+the structural heuristics.  :class:`SeedSelection` is the one shape the
+evaluation, export and CLI layers consume: seeds plus whatever the
+selector knows about them (marginal gains, its own spread estimate, the
+oracle-call count), stamped with the selector name and parameters that
+produced it so any result is reproducible from its serialised form.
+
+The legacy result types stay — adapters *wrap* the original functions,
+they never fork them — and the ``from_*`` converters are the only place
+that translation lives.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping
+
+from repro.maximization.greedy import GreedyResult
+from repro.maximization.ris import RISResult
+from repro.utils.validation import require
+
+__all__ = ["SeedSelection"]
+
+User = Hashable
+
+
+@dataclass
+class SeedSelection:
+    """Outcome of one seed-selection run, regardless of the algorithm.
+
+    Attributes
+    ----------
+    seeds:
+        Selected seeds, in selection order (prefixes of a greedy-style
+        run are themselves valid smaller selections).
+    gains:
+        Marginal gain of each seed at selection time, under the
+        selector's own objective; empty when the selector does not
+        estimate gains (structural heuristics).
+    spread:
+        The selector's own estimate of the seed set's spread, under its
+        own model — ``sigma_cd`` for the CD maximizer, a Monte Carlo or
+        RR-set estimate for IC/LT selectors, ``None`` for selectors that
+        never estimate spread.  Cross-model comparisons should use the
+        experiment runner's CD-proxy evaluation instead.
+    oracle_calls:
+        Number of spread/marginal-gain evaluations performed (0 when
+        the notion does not apply).
+    wall_time_s:
+        Wall-clock seconds the selection took, including lazily built
+        artifacts (probability learning, index scanning) it triggered.
+    selector:
+        Registry name of the selector that produced this result.
+    params:
+        The exact parameters the selector ran with (including any
+        derived RNG seed), sufficient to reproduce the run.
+    metadata:
+        Selector-specific extras, e.g. ``time_log`` — cumulative
+        ``[seed_count, seconds]`` pairs for runtime-vs-k curves — or
+        ``num_rr_sets`` for RIS.
+    """
+
+    seeds: list[User] = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float | None = None
+    oracle_calls: int = 0
+    wall_time_s: float = 0.0
+    selector: str = ""
+    params: dict[str, Any] = field(default_factory=dict)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def seeds_at(self, k: int) -> list[User]:
+        """The first ``k`` selected seeds."""
+        require(k >= 0, f"k must be non-negative, got {k}")
+        return self.seeds[:k]
+
+    # ------------------------------------------------------------------
+    # Converters from the legacy result types
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_greedy_result(
+        cls,
+        result: GreedyResult,
+        selector: str = "",
+        params: Mapping[str, Any] | None = None,
+        wall_time_s: float = 0.0,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "SeedSelection":
+        """Wrap a :class:`~repro.maximization.greedy.GreedyResult`."""
+        return cls(
+            seeds=list(result.seeds),
+            gains=list(result.gains),
+            spread=result.spread,
+            oracle_calls=result.oracle_calls,
+            wall_time_s=wall_time_s,
+            selector=selector,
+            params=dict(params or {}),
+            metadata=dict(metadata or {}),
+        )
+
+    @classmethod
+    def from_ris_result(
+        cls,
+        result: RISResult,
+        selector: str = "ris",
+        params: Mapping[str, Any] | None = None,
+        wall_time_s: float = 0.0,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "SeedSelection":
+        """Wrap a :class:`~repro.maximization.ris.RISResult`."""
+        merged = {"num_rr_sets": result.num_rr_sets, **(metadata or {})}
+        return cls(
+            seeds=list(result.seeds),
+            gains=list(result.gains),
+            spread=result.spread,
+            oracle_calls=0,
+            wall_time_s=wall_time_s,
+            selector=selector,
+            params=dict(params or {}),
+            metadata=merged,
+        )
+
+    @classmethod
+    def from_seeds(
+        cls,
+        seeds: list[User],
+        selector: str = "",
+        params: Mapping[str, Any] | None = None,
+        wall_time_s: float = 0.0,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "SeedSelection":
+        """Wrap a bare seed list (structural heuristics)."""
+        return cls(
+            seeds=list(seeds),
+            wall_time_s=wall_time_s,
+            selector=selector,
+            params=dict(params or {}),
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation (the export layer's contract)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-dict view; node ids must be JSON-representable."""
+        return {
+            "seeds": list(self.seeds),
+            "gains": list(self.gains),
+            "spread": self.spread,
+            "oracle_calls": self.oracle_calls,
+            "wall_time_s": self.wall_time_s,
+            "selector": self.selector,
+            "params": dict(self.params),
+            "metadata": dict(self.metadata),
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to JSON (see :meth:`to_dict` for the schema)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "SeedSelection":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            seeds=list(payload.get("seeds", [])),
+            gains=[float(g) for g in payload.get("gains", [])],
+            spread=payload.get("spread"),
+            oracle_calls=int(payload.get("oracle_calls", 0)),
+            wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            selector=str(payload.get("selector", "")),
+            params=dict(payload.get("params", {})),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SeedSelection":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

@@ -6,7 +6,12 @@ without writing Python:
 * ``repro generate`` — synthesise a Flixster/Flickr-like dataset to TSV;
 * ``repro stats`` — Table-1 statistics of a dataset on disk;
 * ``repro split`` — the 80/20 train/test trace split;
-* ``repro maximize`` — influence maximization under any supported method;
+* ``repro maximize`` — influence maximization under any supported method
+  (dispatched through the :mod:`repro.api` selector registry);
+* ``repro list-selectors`` — the selector registry: every algorithm,
+  its family and capability flags;
+* ``repro run`` — run a JSON-configured experiment
+  (:func:`repro.api.run_experiment`) and print/export the result;
 * ``repro predict`` — the Figure-3 spread-prediction experiment;
 * ``repro analyze`` — influencer analytics from the credit index
   (leaderboard, per-user top influencers, seed-set explanation);
@@ -29,6 +34,13 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.api import (
+    ExperimentConfig,
+    SelectionContext,
+    get_selector,
+    list_selectors,
+    run_experiment,
+)
 from repro.data.datasets import flickr_like, flixster_like
 from repro.data.io import (
     load_action_log,
@@ -40,7 +52,7 @@ from repro.data.split import train_test_split
 from repro.evaluation.metrics import capture_curve, rmse
 from repro.evaluation.prediction import spread_prediction_experiment
 from repro.evaluation.reporting import format_table
-from repro.evaluation.selection import SeedSelector
+from repro.evaluation.selection import method_selector
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
     maximize.add_argument(
         "--lt-algorithm", choices=["ldag", "celf"], default="ldag"
     )
+
+    list_cmd = commands.add_parser(
+        "list-selectors",
+        help="list every registered seed-selection algorithm",
+    )
+    list_cmd.add_argument(
+        "--family", choices=["cd", "mc", "sketch", "heuristic"], default=None
+    )
+
+    run = commands.add_parser(
+        "run", help="run a JSON-configured experiment (repro.api)"
+    )
+    run.add_argument("--config", required=True, help="experiment config JSON")
+    run.add_argument("--out", default=None,
+                     help="also write the full result as JSON")
 
     predict = commands.add_parser(
         "predict", help="spread-prediction experiment (Figure-3 protocol)"
@@ -178,6 +205,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "stats": _cmd_stats,
         "split": _cmd_split,
         "maximize": _cmd_maximize,
+        "list-selectors": _cmd_list_selectors,
+        "run": _cmd_run,
         "predict": _cmd_predict,
         "analyze": _cmd_analyze,
         "cover": _cmd_cover,
@@ -235,21 +264,58 @@ def _cmd_split(args: argparse.Namespace) -> int:
 def _cmd_maximize(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     log = load_action_log(args.log)
-    selector = SeedSelector(
+    context = SelectionContext(
         graph,
         log,
-        ic_algorithm=args.ic_algorithm,
-        lt_algorithm=args.lt_algorithm,
         num_simulations=args.simulations,
         truncation=args.truncation,
     )
-    seeds = selector.seeds(args.method, args.k)
+    selector = method_selector(
+        args.method,
+        ic_algorithm=args.ic_algorithm,
+        lt_algorithm=args.lt_algorithm,
+    )
+    selection = selector.select(context, args.k)
     print(format_table(
         ["rank", "seed", "activity"],
         [[rank, seed, log.activity(seed)]
-         for rank, seed in enumerate(seeds, start=1)],
+         for rank, seed in enumerate(selection.seeds, start=1)],
         title=f"{args.method} seeds (k={args.k})",
     ))
+    return 0
+
+
+def _cmd_list_selectors(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in list_selectors(family=args.family):
+        flags = [name for name, on in spec.capabilities().items() if on]
+        rows.append(
+            [spec.name, spec.family, ", ".join(flags) or "-", spec.description]
+        )
+    print(format_table(
+        ["selector", "family", "capabilities", "description"],
+        rows,
+        title=f"registered selectors ({len(rows)})",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        config = ExperimentConfig.from_json_file(args.config)
+    except (OSError, TypeError, ValueError) as error:
+        print(f"bad experiment config: {error}", file=sys.stderr)
+        return 2
+    result = run_experiment(config)
+    print(result.render())
+    stage_summary = ", ".join(
+        f"{name} {seconds:.2f}s" for name, seconds in result.timings.items()
+    )
+    print(f"\nstage timings: {stage_summary}")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json(indent=2))
+        print(f"wrote full result -> {args.out}")
     return 0
 
 
@@ -277,17 +343,20 @@ def _cmd_predict(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.core.maximize import cd_maximize
     from repro.core.queries import (
         explain_spread,
         most_influential,
         top_influencers,
     )
-    from repro.core.scan import scan_action_log
 
     graph = load_graph(args.graph)
     log = load_action_log(args.log)
-    index = scan_action_log(graph, log, truncation=args.truncation)
+    # Analytics use the plain 1/d_in credits (no learned decay), so the
+    # leaderboard stays interpretable as raw credit mass.
+    context = SelectionContext(
+        graph, log, truncation=args.truncation, credit_scheme="uniform"
+    )
+    index = context.credit_index()
     print(format_table(
         ["rank", "user", "total credit"],
         [[rank, user, f"{score:.2f}"]
@@ -306,7 +375,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             title=f"top influencers of user {args.user}",
         ))
     if args.k > 0:
-        result = cd_maximize(index, args.k, mutate=False)
+        result = get_selector("cd").select(context, args.k)
         breakdown = explain_spread(index, result.seeds)
         print()
         print(format_table(

@@ -27,6 +27,7 @@ from typing import Hashable, Iterable
 
 from repro.core.index import CreditIndex
 from repro.utils.validation import require
+from repro.utils.ordering import node_sort_key
 
 __all__ = [
     "kappa",
@@ -87,7 +88,7 @@ def top_influencers(
             totals[influencer] = totals.get(influencer, 0.0) + value
     ranked = sorted(
         ((influencer, total / activity) for influencer, total in totals.items()),
-        key=lambda pair: (-pair[1], _sort_key(pair[0])),
+        key=lambda pair: (-pair[1], node_sort_key(pair[0])),
     )
     return ranked[:limit]
 
@@ -112,7 +113,7 @@ def most_influential(
                 total += value / index.activity[influenced]
         scores[influencer] = total
     ranked = sorted(
-        scores.items(), key=lambda pair: (-pair[1], _sort_key(pair[0]))
+        scores.items(), key=lambda pair: (-pair[1], node_sort_key(pair[0]))
     )
     return ranked[:limit]
 
@@ -208,7 +209,3 @@ def explain_spread(index: CreditIndex, seeds: Iterable[User]) -> InfluenceBreakd
         per_user=per_user,
     )
 
-
-def _sort_key(value: object) -> tuple[str, str]:
-    """Deterministic sort key for heterogeneous node ids."""
-    return (type(value).__name__, repr(value))

@@ -15,6 +15,7 @@ from typing import Hashable, Iterable, Iterator
 
 from repro.data.actionlog import ActionLog
 from repro.graphs.digraph import SocialGraph
+from repro.utils.ordering import node_sort_key
 
 __all__ = ["PropagationGraph", "propagation_graphs"]
 
@@ -70,7 +71,7 @@ class PropagationGraph:
                         for neighbor in graph.in_neighbors(user)
                         if active_times.get(neighbor, float("inf")) < time
                     ),
-                    key=lambda v: (active_times[v], _sort_key(v)),
+                    key=lambda v: (active_times[v], node_sort_key(v)),
                 )
             else:
                 parents[user] = []
@@ -147,7 +148,3 @@ def propagation_graphs(
     for action in wanted:
         yield PropagationGraph.build(graph, log, action)
 
-
-def _sort_key(value: object) -> tuple[str, str]:
-    """Deterministic tie-break key for heterogeneous node ids."""
-    return (type(value).__name__, repr(value))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.data.actionlog import ActionLog
 from repro.utils.validation import require
+from repro.utils.ordering import node_sort_key
 
 __all__ = ["train_test_split"]
 
@@ -36,7 +37,7 @@ def train_test_split(
     require(0 <= offset < every, f"offset must be in [0, every), got {offset}")
     ranked = sorted(
         log.actions(),
-        key=lambda action: (-log.trace_size(action), _sort_key(action)),
+        key=lambda action: (-log.trace_size(action), node_sort_key(action)),
     )
     test_actions = {
         action for rank, action in enumerate(ranked) if rank % every == offset
@@ -47,6 +48,3 @@ def train_test_split(
         log.restrict_to_actions(test_actions),
     )
 
-
-def _sort_key(value: object) -> tuple[str, str]:
-    return (type(value).__name__, repr(value))

@@ -25,6 +25,7 @@ from typing import Hashable, Iterable, Mapping
 from repro.graphs.digraph import SocialGraph
 from repro.utils.rng import make_rng
 from repro.utils.validation import require
+from repro.utils.ordering import node_sort_key
 
 __all__ = [
     "sample_world_ic",
@@ -70,7 +71,7 @@ def sample_world_lt(
     for node in graph.nodes():
         draw = rng.random()
         cumulative = 0.0
-        for source in sorted(graph.in_neighbors(node), key=_sort_key):
+        for source in sorted(graph.in_neighbors(node), key=node_sort_key):
             cumulative += weights.get((source, node), 0.0)
             if draw < cumulative:
                 world.add_edge(source, node)
@@ -106,6 +107,3 @@ def estimate_spread_via_worlds(
         total += spread_in_world(world, seed_list)
     return total / num_worlds
 
-
-def _sort_key(value: object) -> tuple[str, str]:
-    return (type(value).__name__, repr(value))

@@ -40,7 +40,9 @@ from repro.evaluation.performance import (
 from repro.evaluation.comparison import (
     ComparisonResult,
     ModelReport,
+    SelectorComparison,
     compare_models,
+    compare_selectors,
 )
 from repro.evaluation.groundtruth import (
     ground_truth_evaluation,
@@ -61,6 +63,7 @@ from repro.evaluation.significance import (
     sign_test,
 )
 from repro.evaluation.selection import (
+    method_selector,
     seed_overlap_experiment,
     select_seeds_by_method,
     spread_achieved_experiment,
@@ -102,6 +105,9 @@ __all__ = [
     "ModelReport",
     "ComparisonResult",
     "compare_models",
+    "SelectorComparison",
+    "compare_selectors",
+    "method_selector",
     "true_spread",
     "ground_truth_evaluation",
 ]

@@ -1,30 +1,41 @@
-"""The model-comparison benchmark the paper's conclusion calls for.
+"""The model-comparison benchmarks the paper's conclusion calls for.
 
 "These observations further highlight the need for devising techniques
 and benchmarks for comparing different influence models and the
-associated influence maximization methods."  This driver is that
-benchmark: given a dataset and a set of named spread predictors, it
-runs the held-out prediction protocol once and produces, per model,
+associated influence maximization methods."  Two drivers answer that
+call:
 
-* RMSE with a bootstrap confidence interval;
-* the capture rate at a chosen error tolerance;
-* a pairwise significance matrix (paired bootstrap on the shared test
-  traces), marking which model orderings are statistically real and
-  which are small-sample noise.
-
-The result renders as a ready-to-print report, so a single call answers
-"which influence model should I trust on this data, and how sure am I?"
+* :func:`compare_selectors` — the *maximization* head-to-head.  It
+  consumes :func:`repro.api.run_experiment`, so any registered selector
+  can enter the comparison by name; the report ranks every entry by the
+  CD-proxy spread of its seeds (the Figure-6 yardstick) alongside
+  runtime and oracle-call counts.  This is the registry-native path and
+  the one new code should use.
+* :func:`compare_models` — the *prediction* benchmark: given named
+  spread predictors, it runs the held-out protocol once and produces,
+  per model, RMSE with a bootstrap confidence interval, the capture
+  rate at a chosen tolerance, and a pairwise significance matrix.
+  Because it takes raw predictor callables it bypasses the selector
+  registry entirely; it is kept working for existing callers but
+  emits a :class:`DeprecationWarning` pointing at the ``repro.api``
+  surface.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping
 
+from repro.api.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
 from repro.data.actionlog import ActionLog
 from repro.evaluation.metrics import capture_curve, rmse
 from repro.evaluation.prediction import spread_prediction_experiment
-from repro.evaluation.reporting import format_table
+from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.significance import (
     PairedComparison,
     bootstrap_ci,
@@ -33,7 +44,13 @@ from repro.evaluation.significance import (
 from repro.graphs.digraph import SocialGraph
 from repro.utils.validation import require
 
-__all__ = ["ModelReport", "ComparisonResult", "compare_models"]
+__all__ = [
+    "ModelReport",
+    "ComparisonResult",
+    "compare_models",
+    "SelectorComparison",
+    "compare_selectors",
+]
 
 User = Hashable
 Predictor = Callable[[list[User]], float]
@@ -149,6 +166,14 @@ def compare_models(
     ``tolerance`` sets the capture-rate threshold and ``confidence`` /
     ``num_resamples`` the bootstrap layer.
     """
+    warnings.warn(
+        "compare_models takes raw predictor callables and bypasses the "
+        "repro.api selector registry; for maximization comparisons use "
+        "repro.evaluation.comparison.compare_selectors (backed by "
+        "repro.api.run_experiment) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     require(len(predictors) >= 2, "compare_models needs at least two models")
     require(tolerance > 0.0, f"tolerance must be positive, got {tolerance}")
     experiment = spread_prediction_experiment(
@@ -193,3 +218,61 @@ def compare_models(
                 seed=seed,
             )
     return result
+
+
+@dataclass
+class SelectorComparison:
+    """The maximization head-to-head, as measured by one experiment."""
+
+    experiment: ExperimentResult
+
+    def ranking(self) -> list[str]:
+        """Selector labels by descending CD-proxy spread (best first)."""
+        finals = self.experiment.final_spreads()
+        return sorted(finals, key=lambda label: -finals[label])
+
+    def render(self) -> str:
+        """Printable report: ranked summary table + spread-vs-k series."""
+        finals = self.experiment.final_spreads()
+        rows = []
+        for label in self.ranking():
+            selection = self.experiment.selections(label)[0]
+            rows.append(
+                [
+                    label,
+                    selection.selector,
+                    f"{finals[label]:.2f}",
+                    f"{selection.wall_time_s:.2f}s",
+                    selection.oracle_calls or "-",
+                ]
+            )
+        k_max = self.experiment.config.ks[-1]
+        table = format_table(
+            ["rank by sigma_cd", "selector", "spread", "time", "oracle calls"],
+            rows,
+            title=(
+                f"selector comparison on {self.experiment.dataset_name} "
+                f"(k={k_max}, CD-proxy yardstick)"
+            ),
+        )
+        series = format_series(
+            "k",
+            self.experiment.spread_series(),
+            title="spread achieved vs k (Figure-6 layout)",
+        )
+        return f"{table}\n\n{series}"
+
+
+def compare_selectors(config: ExperimentConfig) -> SelectorComparison:
+    """Head-to-head comparison of registered selectors (Figure-6 style).
+
+    Runs :func:`repro.api.run_experiment` once — the entire dataset→
+    split→learn→select→evaluate pipeline lives there — and wraps the
+    result in a report that ranks every configured selector by the
+    CD-proxy spread of its seed set.
+    """
+    require(
+        config.evaluate_spread,
+        "compare_selectors needs evaluate_spread=True in the config",
+    )
+    return SelectorComparison(experiment=run_experiment(config))

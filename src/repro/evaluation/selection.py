@@ -11,6 +11,14 @@ the credit index) across methods:
 * ``CD`` — the credit-distribution maximizer;
 * ``HighDegree`` / ``PageRank`` — the structural baselines of Figure 6.
 
+Since the ``repro.api`` redesign this class is a thin compatibility
+facade: artifacts live in a shared
+:class:`~repro.api.context.SelectionContext` and every method dispatches
+through the selector registry (:func:`repro.api.get_selector`), so the
+seeds here are byte-identical to registry calls.  ``method_selector``
+exposes the mapping from the paper's method names to registry entries;
+new code should use :func:`repro.api.run_experiment` directly.
+
 For the IC and LT models the selector defaults to the PMIA and LDAG
 heuristics, exactly as the paper does where MC greedy "is too slow to
 complete in a reasonable time" (footnote 3); pass
@@ -22,38 +30,63 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Mapping, Sequence
 
+from repro.api.context import IC_PROBABILITY_METHODS, SelectionContext
+from repro.api.registry import Selector, get_selector
 from repro.core.credit import TimeDecayCredit
-from repro.core.maximize import cd_maximize
-from repro.core.params import learn_influenceability
-from repro.core.scan import scan_action_log
 from repro.core.spread import CDSpreadEvaluator
 from repro.data.actionlog import ActionLog
 from repro.graphs.digraph import SocialGraph
-from repro.maximization.celf import celf_maximize
-from repro.maximization.heuristics import high_degree_seeds, pagerank_seeds
-from repro.maximization.ldag import LDAGModel
-from repro.maximization.oracle import ICSpreadOracle, LTSpreadOracle
-from repro.maximization.pmia import PMIAModel
-from repro.probabilities.em import learn_ic_probabilities_em
-from repro.probabilities.lt_weights import learn_lt_weights
-from repro.probabilities.perturb import perturb_probabilities
-from repro.probabilities.static import (
-    trivalency_probabilities,
-    uniform_probabilities,
-    weighted_cascade_probabilities,
-)
 from repro.utils.validation import require
 
 __all__ = [
     "SeedSelector",
+    "method_selector",
     "select_seeds_by_method",
     "seed_overlap_experiment",
     "spread_achieved_experiment",
+    "IC_PROBABILITY_METHODS",
 ]
 
 User = Hashable
 
-IC_PROBABILITY_METHODS = ("UN", "TV", "WC", "EM", "PT")
+
+def method_selector(
+    method: str,
+    ic_algorithm: str = "pmia",
+    lt_algorithm: str = "ldag",
+) -> Selector:
+    """Map a paper method name onto a bound registry selector.
+
+    ``CD``/``HighDegree``/``PageRank`` map directly; the IC probability
+    methods (``UN``/``TV``/``WC``/``EM``/``PT``, plus the ``IC`` alias
+    for ``EM``) map to PMIA or Monte-Carlo CELF per ``ic_algorithm``;
+    ``LT`` maps to LDAG or Monte-Carlo CELF per ``lt_algorithm``.
+    """
+    require(
+        ic_algorithm in ("pmia", "celf"),
+        f"ic_algorithm must be 'pmia' or 'celf', got {ic_algorithm!r}",
+    )
+    require(
+        lt_algorithm in ("ldag", "celf"),
+        f"lt_algorithm must be 'ldag' or 'celf', got {lt_algorithm!r}",
+    )
+    if method == "IC":
+        method = "EM"
+    if method in IC_PROBABILITY_METHODS:
+        if ic_algorithm == "pmia":
+            return get_selector("pmia", method=method)
+        return get_selector("celf", model="ic", method=method)
+    if method == "LT":
+        if lt_algorithm == "ldag":
+            return get_selector("ldag")
+        return get_selector("celf", model="lt")
+    if method == "CD":
+        return get_selector("cd")
+    if method == "HighDegree":
+        return get_selector("high_degree")
+    if method == "PageRank":
+        return get_selector("pagerank")
+    raise ValueError(f"unknown seed-selection method {method!r}")
 
 
 class SeedSelector:
@@ -77,105 +110,50 @@ class SeedSelector:
             lt_algorithm in ("ldag", "celf"),
             f"lt_algorithm must be 'ldag' or 'celf', got {lt_algorithm!r}",
         )
-        self._graph = graph
-        self._train_log = train_log
         self._ic_algorithm = ic_algorithm
         self._lt_algorithm = lt_algorithm
-        self._num_simulations = num_simulations
-        self._truncation = truncation
-        self._seed = seed
-        self._probability_cache: dict[str, dict[tuple[User, User], float]] = {}
-        self._lt_weights: dict[tuple[User, User], float] | None = None
-        self._credit_index = None
-        self._params = None
+        self.context = SelectionContext(
+            graph,
+            train_log,
+            num_simulations=num_simulations,
+            truncation=truncation,
+            seed=seed,
+        )
 
     # ------------------------------------------------------------------
     # Learned artifacts (lazy, shared across methods)
     # ------------------------------------------------------------------
     def ic_probabilities(self, method: str) -> dict[tuple[User, User], float]:
         """Edge probabilities for an IC probability method (cached)."""
-        require(
-            method in IC_PROBABILITY_METHODS,
-            f"method must be one of {IC_PROBABILITY_METHODS}, got {method!r}",
-        )
-        if method not in self._probability_cache:
-            if method == "UN":
-                value = uniform_probabilities(self._graph)
-            elif method == "TV":
-                value = trivalency_probabilities(self._graph, seed=self._seed)
-            elif method == "WC":
-                value = weighted_cascade_probabilities(self._graph)
-            elif method == "EM":
-                value = learn_ic_probabilities_em(
-                    self._graph, self._train_log
-                ).probabilities
-            else:  # PT
-                value = perturb_probabilities(
-                    self.ic_probabilities("EM"), noise=0.2, seed=self._seed
-                )
-            self._probability_cache[method] = value
-        return self._probability_cache[method]
+        return self.context.ic_probabilities(method)
 
     def lt_weights(self) -> dict[tuple[User, User], float]:
         """Learned LT weights (cached)."""
-        if self._lt_weights is None:
-            self._lt_weights = learn_lt_weights(self._graph, self._train_log)
-        return self._lt_weights
+        return self.context.lt_weights()
 
     def params(self):
         """Learned Eq. 9 parameters (cached)."""
-        if self._params is None:
-            self._params = learn_influenceability(self._graph, self._train_log)
-        return self._params
+        return self.context.influence_params()
 
     def credit_index(self):
         """The scanned credit index with Eq. 9 credits (cached)."""
-        if self._credit_index is None:
-            credit = TimeDecayCredit(self.params())
-            self._credit_index = scan_action_log(
-                self._graph,
-                self._train_log,
-                credit=credit,
-                truncation=self._truncation,
-            )
-        return self._credit_index
+        return self.context.credit_index()
 
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
+    def select(self, method: str, k: int):
+        """Full :class:`~repro.api.results.SeedSelection` for ``method``."""
+        selector = method_selector(
+            method,
+            ic_algorithm=self._ic_algorithm,
+            lt_algorithm=self._lt_algorithm,
+        )
+        return selector.select(self.context, k)
+
     def seeds(self, method: str, k: int) -> list[User]:
         """Select ``k`` seeds with ``method`` (see module docstring)."""
-        if method == "IC":
-            method = "EM"
-        if method in IC_PROBABILITY_METHODS:
-            probabilities = self.ic_probabilities(method)
-            if self._ic_algorithm == "pmia":
-                return PMIAModel(self._graph, probabilities).select_seeds(k).seeds
-            oracle = ICSpreadOracle(
-                self._graph,
-                probabilities,
-                num_simulations=self._num_simulations,
-                seed=self._seed,
-            )
-            return celf_maximize(oracle, k).seeds
-        if method == "LT":
-            weights = self.lt_weights()
-            if self._lt_algorithm == "ldag":
-                return LDAGModel(self._graph, weights).select_seeds(k).seeds
-            oracle = LTSpreadOracle(
-                self._graph,
-                weights,
-                num_simulations=self._num_simulations,
-                seed=self._seed,
-            )
-            return celf_maximize(oracle, k).seeds
-        if method == "CD":
-            return cd_maximize(self.credit_index(), k).seeds
-        if method == "HighDegree":
-            return high_degree_seeds(self._graph, k)
-        if method == "PageRank":
-            return pagerank_seeds(self._graph, k)
-        raise ValueError(f"unknown seed-selection method {method!r}")
+        return self.select(method, k).seeds
 
 
 def select_seeds_by_method(

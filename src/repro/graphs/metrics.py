@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.graphs.digraph import SocialGraph
+from repro.utils.ordering import node_sort_key
 
 __all__ = [
     "GraphSummary",
@@ -93,7 +94,7 @@ def global_clustering_coefficient(graph: SocialGraph) -> float:
     triads = 0
     for node in graph.nodes():
         neighbors = sorted(
-            _undirected_neighbors(graph, node), key=_node_sort_key
+            _undirected_neighbors(graph, node), key=node_sort_key
         )
         count = len(neighbors)
         triads += count * (count - 1) // 2
@@ -238,7 +239,3 @@ def summarize_graph(graph: SocialGraph) -> GraphSummary:
         ),
     )
 
-
-def _node_sort_key(value: object) -> tuple[str, str]:
-    """Deterministic sort key for heterogeneous node ids."""
-    return (type(value).__name__, repr(value))

@@ -18,6 +18,11 @@ This subpackage hosts everything that *selects seed sets*:
 
 The credit-distribution maximizer lives with the CD model in
 :mod:`repro.core.maximize`, but it conforms to the same result type.
+
+Every algorithm here is also registered in the :mod:`repro.api`
+selector registry (``get_selector("celf")``, ``get_selector("ris")``,
+...), which is the preferred way to run them inside experiments; the
+functions below remain the primitive, directly callable layer.
 """
 
 from repro.maximization.celf import celf_maximize

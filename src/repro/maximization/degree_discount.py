@@ -27,10 +27,10 @@ its reverse) this reduces exactly to Chen et al.'s definitions.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Hashable, Iterable
 
 from repro.graphs.digraph import SocialGraph
+from repro.utils.ordering import node_sort_key
 from repro.utils.validation import require, require_probability
 
 __all__ = ["single_discount_seeds", "degree_discount_ic_seeds"]
@@ -52,9 +52,8 @@ def _discount_select(
     seeds are added, so a lazy max-heap is exact.
     """
     pool = list(graph.nodes() if candidates is None else candidates)
-    counter = itertools.count()
     heap = [
-        (-initial_score[node], next(counter), node)
+        (-initial_score[node], node_sort_key(node), node)
         for node in pool
         if node in graph
     ]
@@ -78,7 +77,9 @@ def _discount_select(
             seed_neighbors[neighbor] = seed_neighbors.get(neighbor, 0) + 1
             new_score = rescore(neighbor, seed_neighbors[neighbor])
             current[neighbor] = new_score
-            heapq.heappush(heap, (-new_score, next(counter), neighbor))
+            heapq.heappush(
+                heap, (-new_score, node_sort_key(neighbor), neighbor)
+            )
     return seeds
 
 

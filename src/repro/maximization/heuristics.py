@@ -13,6 +13,7 @@ from typing import Hashable
 
 from repro.graphs.digraph import SocialGraph
 from repro.graphs.pagerank import pagerank
+from repro.utils.ordering import ranked_nodes
 from repro.utils.validation import require
 
 __all__ = ["high_degree_seeds", "pagerank_seeds"]
@@ -37,10 +38,9 @@ def high_degree_seeds(graph: SocialGraph, k: int, direction: str = "out") -> lis
         degree = graph.in_degree
     else:
         degree = graph.degree
-    ranked = sorted(
-        graph.nodes(), key=lambda node: (-degree(node), _sort_key(node))
+    return ranked_nodes(
+        ((node, float(degree(node))) for node in graph.nodes()), k
     )
-    return ranked[:k]
 
 
 def pagerank_seeds(
@@ -48,10 +48,4 @@ def pagerank_seeds(
 ) -> list[User]:
     """The ``k`` nodes with the highest PageRank score."""
     require(k >= 0, f"k must be non-negative, got {k}")
-    scores = pagerank(graph, damping=damping)
-    ranked = sorted(scores, key=lambda node: (-scores[node], _sort_key(node)))
-    return ranked[:k]
-
-
-def _sort_key(value: object) -> tuple[str, str]:
-    return (type(value).__name__, repr(value))
+    return ranked_nodes(pagerank(graph, damping=damping), k)

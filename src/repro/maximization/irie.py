@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
+from repro.utils.ordering import node_sort_key
 from repro.utils.validation import require
 
 __all__ = ["irie_ranks", "irie_activation_probabilities", "irie_seeds"]
@@ -124,7 +125,7 @@ def irie_seeds(
             if node in chosen:
                 continue
             if rank > best_rank or (
-                rank == best_rank and _sort_key(node) < _sort_key(best)
+                rank == best_rank and node_sort_key(node) < node_sort_key(best)
             ):
                 best = node
                 best_rank = rank
@@ -136,8 +137,3 @@ def irie_seeds(
             graph, probabilities, seeds, iterations=iterations
         )
     return seeds
-
-
-def _sort_key(value: object) -> tuple[str, str]:
-    """Deterministic tie-break key for heterogeneous node ids."""
-    return (type(value).__name__, repr(value))

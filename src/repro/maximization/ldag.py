@@ -34,6 +34,7 @@ from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
 from repro.maximization.greedy import GreedyResult
+from repro.utils.ordering import node_sort_key
 from repro.utils.validation import require
 
 __all__ = ["LDAGModel"]
@@ -103,7 +104,7 @@ class LDAGModel:
         order: list[User] = []
         out_edges: dict[User, list[tuple[User, float]]] = {}
         in_edges: dict[User, list[tuple[User, float]]] = {}
-        heap: list[tuple[float, str, User]] = [(-1.0, _sort_key(root), root)]
+        heap: list[tuple[float, tuple[str, str], User]] = [(-1.0, node_sort_key(root), root)]
         while heap:
             negative, _, node = heapq.heappop(heap)
             if node in in_dag:
@@ -122,7 +123,7 @@ class LDAGModel:
                 weight = self._weights.get((node, target), 0.0)
                 if weight > 0.0 and target in in_dag and target != node:
                     edges.append((target, weight))
-            edges.sort(key=lambda pair: _sort_key(pair[0]))
+            edges.sort(key=lambda pair: node_sort_key(pair[0]))
             out_edges[node] = edges
             in_edges.setdefault(node, [])
             for target, weight in edges:
@@ -138,7 +139,7 @@ class LDAGModel:
                 updated = influence.get(source, 0.0) + weight * current
                 influence[source] = updated
                 if updated >= self._theta:
-                    heapq.heappush(heap, (-updated, _sort_key(source), source))
+                    heapq.heappush(heap, (-updated, node_sort_key(source), source))
         return _LocalDAG(
             root=root, insertion_order=order, out_edges=out_edges, in_edges=in_edges
         )
@@ -223,7 +224,7 @@ class LDAGModel:
         for _ in range(min(k, len(incremental))):
             best = max(
                 (node for node in incremental if node not in seeds),
-                key=lambda node: (incremental[node], _sort_key(node)),
+                key=lambda node: (incremental[node], node_sort_key(node)),
                 default=None,
             )
             if best is None:
@@ -249,6 +250,3 @@ class LDAGModel:
                     incremental[node] += new_alpha[node] * (1.0 - new_ap[node])
         return result
 
-
-def _sort_key(value: object) -> str:
-    return f"{type(value).__name__}:{value!r}"

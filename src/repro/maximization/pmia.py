@@ -37,6 +37,7 @@ from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
 from repro.maximization.greedy import GreedyResult
+from repro.utils.ordering import node_sort_key
 from repro.utils.validation import require
 
 __all__ = ["PMIAModel"]
@@ -115,7 +116,7 @@ class PMIAModel:
         distance: dict[User, float] = {root: 0.0}
         next_hop: dict[User, User] = {}
         settled: set[User] = set()
-        heap: list[tuple[float, str, User]] = [(0.0, _sort_key(root), root)]
+        heap: list[tuple[float, tuple[str, str], User]] = [(0.0, node_sort_key(root), root)]
         while heap:
             dist, _, node = heapq.heappop(heap)
             if node in settled:
@@ -131,12 +132,12 @@ class PMIAModel:
                 if candidate < distance.get(source, float("inf")) - 1e-15:
                     distance[source] = candidate
                     next_hop[source] = node
-                    heapq.heappush(heap, (candidate, _sort_key(source), source))
+                    heapq.heappush(heap, (candidate, node_sort_key(source), source))
         children: dict[User, list[User]] = {node: [] for node in distance}
         for node, hop in next_hop.items():
             children[hop].append(node)
         for child_list in children.values():
-            child_list.sort(key=_sort_key)
+            child_list.sort(key=node_sort_key)
         # A BFS over the tree gives a root-first order that stays valid
         # even when edge probabilities of 1.0 produce distance ties.
         order: list[User] = []
@@ -242,7 +243,7 @@ class PMIAModel:
         for _ in range(min(k, len(incremental))):
             best = max(
                 (node for node in incremental if node not in seeds),
-                key=lambda node: (incremental[node], _sort_key(node)),
+                key=lambda node: (incremental[node], node_sort_key(node)),
                 default=None,
             )
             if best is None:
@@ -270,6 +271,3 @@ class PMIAModel:
                     incremental[node] += new_alpha[node] * (1.0 - new_ap[node])
         return result
 
-
-def _sort_key(value: object) -> str:
-    return f"{type(value).__name__}:{value!r}"

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
+from repro.utils.ordering import node_sort_key
 from repro.utils.rng import make_rng
 from repro.utils.validation import require
 
@@ -166,7 +167,7 @@ def ris_maximize(
             if count > gain or (
                 count == gain
                 and best is not None
-                and _node_sort_key(node) < _node_sort_key(best)
+                and node_sort_key(node) < node_sort_key(best)
             ):
                 best = node
                 gain = count
@@ -185,8 +186,3 @@ def ris_maximize(
         del cover_count[best]
     result.spread = total_covered * scale
     return result
-
-
-def _node_sort_key(value: object) -> tuple[str, str]:
-    """Deterministic tie-break key for heterogeneous node ids."""
-    return (type(value).__name__, repr(value))

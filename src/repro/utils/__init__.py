@@ -6,6 +6,7 @@ They are exported here so that downstream code can write
 internal module layout.
 """
 
+from repro.utils.ordering import node_sort_key, ranked_nodes
 from repro.utils.pqueue import LazyQueue, QueueEntry
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timing import Timer
@@ -20,6 +21,8 @@ __all__ = [
     "LazyQueue",
     "QueueEntry",
     "make_rng",
+    "node_sort_key",
+    "ranked_nodes",
     "spawn_rngs",
     "Timer",
     "require",

@@ -1,0 +1,278 @@
+"""Tests for repro.api: the selector registry and the unified result model.
+
+The load-bearing guarantee is *parity*: dispatching any algorithm
+through the registry returns exactly the seeds a direct call to the
+underlying public function returns, because adapters wrap — never
+fork — the originals.
+"""
+
+import pytest
+
+from repro.api import (
+    SeedSelection,
+    SelectionContext,
+    get_selector,
+    list_selectors,
+    register_selector,
+    selector_names,
+)
+from repro.core.maximize import cd_maximize
+from repro.maximization.celf import celf_maximize
+from repro.maximization.celfpp import celfpp_maximize
+from repro.maximization.degree_discount import (
+    degree_discount_ic_seeds,
+    single_discount_seeds,
+)
+from repro.maximization.greedy import greedy_maximize
+from repro.maximization.heuristics import high_degree_seeds, pagerank_seeds
+from repro.maximization.irie import irie_seeds
+from repro.maximization.ldag import LDAGModel
+from repro.maximization.oracle import ICSpreadOracle, LTSpreadOracle
+from repro.maximization.pmia import PMIAModel
+from repro.maximization.ris import ris_maximize
+from repro.maximization.simpath import simpath_maximize
+
+
+@pytest.fixture(scope="module")
+def toy_context(toy):
+    return SelectionContext(toy.graph, toy.log, num_simulations=20)
+
+
+@pytest.fixture(scope="module")
+def mini_context(flixster_mini):
+    from repro.data.split import train_test_split
+
+    train, _ = train_test_split(flixster_mini.log)
+    return SelectionContext(flixster_mini.graph, train, num_simulations=10)
+
+
+class TestRegistry:
+    def test_at_least_twelve_selectors(self):
+        assert len(list_selectors()) >= 12
+
+    def test_names_sorted_and_unique(self):
+        names = selector_names()
+        assert names == sorted(names)
+        assert len(set(names)) == len(names)
+
+    def test_every_spec_is_well_formed(self):
+        for spec in list_selectors():
+            assert spec.family in ("cd", "mc", "sketch", "heuristic")
+            assert spec.description
+            assert set(spec.capabilities()) == {
+                "needs_oracle", "needs_index", "needs_probabilities",
+                "needs_weights", "supports_budget", "supports_time_log",
+                "stochastic",
+            }
+
+    def test_family_filter(self):
+        heuristics = list_selectors(family="heuristic")
+        assert {spec.family for spec in heuristics} == {"heuristic"}
+        assert "high_degree" in [spec.name for spec in heuristics]
+
+    def test_unknown_selector_raises(self):
+        with pytest.raises(ValueError, match="unknown selector"):
+            get_selector("quantum_annealer")
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            get_selector("cd", warp_factor=9)
+
+    def test_bad_family_filter_raises(self):
+        with pytest.raises(ValueError, match="family"):
+            list_selectors(family="quantum")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_selector("cd", family="cd")(lambda ctx, k: [])
+
+    def test_negative_k_rejected(self, toy_context):
+        with pytest.raises(ValueError, match="non-negative"):
+            get_selector("high_degree").select(toy_context, -1)
+
+    def test_with_params_merges(self):
+        selector = get_selector("ris", num_rr_sets=100)
+        rebound = selector.with_params(seed=5)
+        assert rebound.params == {"num_rr_sets": 100, "seed": 5}
+        assert selector.params == {"num_rr_sets": 100}
+
+    def test_selection_is_stamped(self, toy_context):
+        selection = get_selector("ris", num_rr_sets=50, seed=3)(toy_context, 2)
+        assert selection.selector == "ris"
+        assert selection.params == {"num_rr_sets": 50, "seed": 3}
+        assert selection.wall_time_s > 0.0
+        assert selection.metadata["num_rr_sets"] == 50
+
+
+class TestParity:
+    """Registry dispatch == direct call, on both test datasets."""
+
+    @pytest.fixture(params=["toy", "mini"])
+    def ctx(self, request, toy_context, mini_context):
+        return toy_context if request.param == "toy" else mini_context
+
+    @pytest.fixture
+    def k(self, ctx, toy_context):
+        return 2 if ctx is toy_context else 5
+
+    def test_cd(self, ctx, k):
+        direct = cd_maximize(ctx.credit_index(), k, mutate=False)
+        via = get_selector("cd")(ctx, k)
+        assert via.seeds == direct.seeds
+        assert via.spread == pytest.approx(direct.spread)
+        assert via.gains == pytest.approx(direct.gains)
+        assert via.oracle_calls == direct.oracle_calls
+
+    def test_greedy_over_sigma_cd(self, ctx, k):
+        direct = greedy_maximize(ctx.cd_evaluator(), k)
+        via = get_selector("greedy", model="cd")(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_celf_over_sigma_cd(self, ctx, k):
+        direct = celf_maximize(ctx.cd_evaluator(), k)
+        via = get_selector("celf", model="cd")(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_celfpp_over_sigma_cd(self, ctx, k):
+        direct = celfpp_maximize(ctx.cd_evaluator(), k)
+        via = get_selector("celfpp", model="cd")(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_celf_over_ic_oracle(self, ctx, k):
+        oracle = ICSpreadOracle(
+            ctx.graph,
+            ctx.ic_probabilities("EM"),
+            num_simulations=ctx.num_simulations,
+            seed=5,
+        )
+        direct = celf_maximize(oracle, k)
+        via = get_selector("celf", model="ic", seed=5)(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_celf_over_lt_oracle(self, ctx, k):
+        oracle = LTSpreadOracle(
+            ctx.graph,
+            ctx.lt_weights(),
+            num_simulations=ctx.num_simulations,
+            seed=5,
+        )
+        direct = celf_maximize(oracle, k)
+        via = get_selector("celf", model="lt", seed=5)(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_ris(self, ctx, k):
+        direct = ris_maximize(
+            ctx.graph, ctx.ic_probabilities("EM"), k,
+            num_rr_sets=300, seed=3,
+        )
+        via = get_selector("ris", num_rr_sets=300, seed=3)(ctx, k)
+        assert via.seeds == direct.seeds
+        assert via.spread == pytest.approx(direct.spread)
+
+    def test_simpath(self, ctx, k):
+        direct = simpath_maximize(ctx.graph, ctx.lt_weights(), k, eta=1e-3)
+        via = get_selector("simpath", eta=1e-3)(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_pmia(self, ctx, k):
+        direct = PMIAModel(
+            ctx.graph, ctx.ic_probabilities("EM")
+        ).select_seeds(k)
+        via = get_selector("pmia", method="EM")(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_ldag(self, ctx, k):
+        direct = LDAGModel(ctx.graph, ctx.lt_weights()).select_seeds(k)
+        via = get_selector("ldag")(ctx, k)
+        assert via.seeds == direct.seeds
+
+    def test_irie(self, ctx, k):
+        direct = irie_seeds(ctx.graph, ctx.ic_probabilities("EM"), k)
+        via = get_selector("irie", method="EM")(ctx, k)
+        assert via.seeds == direct
+
+    def test_high_degree(self, ctx, k):
+        assert get_selector("high_degree")(ctx, k).seeds == high_degree_seeds(
+            ctx.graph, k
+        )
+
+    def test_pagerank(self, ctx, k):
+        assert get_selector("pagerank")(ctx, k).seeds == pagerank_seeds(
+            ctx.graph, k
+        )
+
+    def test_single_discount(self, ctx, k):
+        assert get_selector("single_discount")(
+            ctx, k
+        ).seeds == single_discount_seeds(ctx.graph, k)
+
+    def test_degree_discount(self, ctx, k):
+        assert get_selector("degree_discount", probability=0.02)(
+            ctx, k
+        ).seeds == degree_discount_ic_seeds(ctx.graph, k, probability=0.02)
+
+
+class TestSelectionContext:
+    def test_structural_selectors_work_without_log(self, toy):
+        ctx = SelectionContext(toy.graph)
+        assert len(get_selector("high_degree")(ctx, 2).seeds) == 2
+
+    def test_log_needing_selector_fails_clearly_without_log(self, toy):
+        ctx = SelectionContext(toy.graph)
+        with pytest.raises(ValueError, match="training action log"):
+            get_selector("cd")(ctx, 2)
+
+    def test_artifacts_cached(self, mini_context):
+        assert mini_context.ic_probabilities(
+            "EM"
+        ) is mini_context.ic_probabilities("EM")
+        assert mini_context.credit_index() is mini_context.credit_index()
+
+    def test_derive_seed_deterministic_and_distinct(self, toy_context):
+        assert toy_context.derive_seed("ris", 0) == toy_context.derive_seed(
+            "ris", 0
+        )
+        assert toy_context.derive_seed("ris", 0) != toy_context.derive_seed(
+            "ris", 1
+        )
+
+    def test_invalid_arguments_rejected(self, toy):
+        with pytest.raises(ValueError):
+            SelectionContext(toy.graph, toy.log, probability_method="XX")
+        with pytest.raises(ValueError):
+            SelectionContext(toy.graph, toy.log, num_simulations=0)
+        with pytest.raises(ValueError):
+            SelectionContext(toy.graph, toy.log, credit_scheme="quadratic")
+
+    def test_unknown_oracle_model_rejected(self, toy_context):
+        with pytest.raises(ValueError, match="model"):
+            toy_context.oracle("percolation")
+
+
+class TestSeedSelection:
+    def test_json_round_trip(self, toy_context):
+        selection = get_selector("cd")(toy_context, 2)
+        restored = SeedSelection.from_json(selection.to_json())
+        assert restored == selection
+
+    def test_round_trip_preserves_none_spread(self, toy_context):
+        selection = get_selector("high_degree")(toy_context, 2)
+        assert selection.spread is None
+        restored = SeedSelection.from_json(selection.to_json(indent=2))
+        assert restored.spread is None
+        assert restored.seeds == selection.seeds
+
+    def test_seeds_at_prefix(self, toy_context):
+        selection = get_selector("cd")(toy_context, 2)
+        assert selection.seeds_at(1) == selection.seeds[:1]
+        with pytest.raises(ValueError):
+            selection.seeds_at(-1)
+
+    def test_time_log_metadata(self, toy_context):
+        selection = get_selector("cd")(toy_context, 2)
+        log = selection.metadata["time_log"]
+        assert [count for count, _ in log] == [1, 2]
+        assert all(elapsed >= 0.0 for _, elapsed in log)
+        # Cumulative: later seeds cannot have earlier timestamps.
+        elapsed = [seconds for _, seconds in log]
+        assert elapsed == sorted(elapsed)

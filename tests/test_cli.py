@@ -121,6 +121,84 @@ class TestMaximize:
         assert "HighDegree seeds" in capsys.readouterr().out
 
 
+class TestListSelectors:
+    def test_lists_registry(self, capsys):
+        code = main(["list-selectors"])
+        assert code == 0
+        output = capsys.readouterr().out
+        from repro.api import selector_names
+
+        for name in selector_names():
+            assert name in output
+        assert "registered selectors" in output
+
+    def test_family_filter(self, capsys):
+        code = main(["list-selectors", "--family", "heuristic"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "high_degree" in output
+        assert "celf" not in output.replace("celfpp", "")
+
+
+class TestRun:
+    def _write_config(self, tmp_path, payload):
+        import json
+
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_runs_experiment_from_json(self, tmp_path, capsys):
+        config_path = self._write_config(
+            tmp_path,
+            {
+                "dataset": "toy",
+                "selectors": ["cd", "high_degree"],
+                "ks": [1, 2],
+            },
+        )
+        code = main(["run", "--config", config_path])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "experiment on toy" in output
+        assert "stage timings" in output
+
+    def test_out_writes_full_result(self, tmp_path, capsys):
+        import json
+
+        config_path = self._write_config(
+            tmp_path, {"dataset": "toy", "selectors": ["cd"], "ks": [2]}
+        )
+        out_path = tmp_path / "result.json"
+        code = main(["run", "--config", config_path, "--out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["runs"][0]["selection"]["seeds"]
+
+    def test_bad_config_reports_error(self, tmp_path, capsys):
+        config_path = self._write_config(
+            tmp_path, {"dataset": "toy", "selectors": ["warp"]}
+        )
+        code = main(["run", "--config", config_path])
+        assert code == 2
+        assert "bad experiment config" in capsys.readouterr().err
+
+    def test_type_invalid_config_reports_error(self, tmp_path, capsys):
+        # ks must be a list; a scalar raises TypeError inside validation
+        # and must still surface as the friendly exit-2 message.
+        config_path = self._write_config(
+            tmp_path, {"dataset": "toy", "selectors": ["cd"], "ks": 5}
+        )
+        code = main(["run", "--config", config_path])
+        assert code == 2
+        assert "bad experiment config" in capsys.readouterr().err
+
+    def test_missing_config_file(self, tmp_path, capsys):
+        code = main(["run", "--config", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "bad experiment config" in capsys.readouterr().err
+
+
 class TestPredict:
     def test_prints_rmse_table(self, dataset_files, capsys):
         graph_path, log_path = dataset_files

@@ -105,13 +105,12 @@ class TestExamplesRun:
 
     def test_model_comparison(self, mini_everything, capsys):
         module = _load("model_comparison")
-        module.MAX_TEST_TRACES = 20
         module.NUM_SIMULATIONS = 20
         module.main()
         output = capsys.readouterr().out
-        assert "model comparison over" in output
-        assert "pairwise verdicts" in output
-        assert "Best model by RMSE" in output
+        assert "selector comparison on" in output
+        assert "spread achieved vs k" in output
+        assert "Best selector by CD-proxy spread" in output
 
     def test_campaign_planning(self, mini_everything, capsys):
         module = _load("campaign_planning")
@@ -129,5 +128,11 @@ class TestExamplesRun:
         module.K = 4
         module.main()
         output = capsys.readouterr().out
-        assert "CD (this paper)" in output
+        assert "cd (this paper)" in output
         assert "spread vs k" in output
+        # Every non-skipped registry selector appears in the ranking.
+        from repro.api import list_selectors
+
+        for spec in list_selectors():
+            if spec.name not in module.SKIP:
+                assert spec.name in output
