@@ -23,7 +23,9 @@ from repro.core.credit import TimeDecayCredit
 from repro.core.scan import scan_action_log
 from repro.core.spread import CDSpreadEvaluator
 from repro.data.actionlog import ActionLog
+from repro.data.propagation import PropagationGraph
 from repro.graphs.digraph import SocialGraph
+from repro.kernels import resolve_backend
 from repro.maximization.oracle import (
     ICSpreadOracle,
     LTSpreadOracle,
@@ -69,6 +71,14 @@ class SelectionContext:
         ``"timedecay"`` (Eq. 9 credits from learned influenceability —
         the paper's experiments) or ``"uniform"`` (``1/d_in`` credits,
         used by the analytics CLI).
+    backend:
+        Compute backend for the hot paths (the credit scan, EM
+        learning, Monte-Carlo spread): ``"python"`` (the reference
+        implementations), ``"numpy"`` (the vectorized kernels of
+        :mod:`repro.kernels`), or ``None``/``"auto"`` to defer to the
+        ``REPRO_BACKEND`` environment variable (default ``python``).
+        Resolution is graceful: requesting ``numpy`` without NumPy
+        installed falls back to ``python`` with a warning.
     """
 
     def __init__(
@@ -80,6 +90,7 @@ class SelectionContext:
         truncation: float = 0.001,
         seed: int = 7,
         credit_scheme: str = "timedecay",
+        backend: str | None = None,
     ) -> None:
         require(
             probability_method in IC_PROBABILITY_METHODS,
@@ -102,6 +113,7 @@ class SelectionContext:
         self.truncation = truncation
         self.seed = seed
         self.credit_scheme = credit_scheme
+        self.backend = resolve_backend(backend)
         self._probabilities: dict[str, dict[Edge, float]] = {}
         self._lt_weights: dict[Edge, float] | None = None
         self._params = None
@@ -109,6 +121,12 @@ class SelectionContext:
         self._cd_evaluator: CDSpreadEvaluator | None = None
         self._oracles: dict[tuple, SpreadOracle] = {}
         self._models: dict[tuple, object] = {}
+        # Per-action propagation DAGs, built at most once per action and
+        # shared by every consumer (influenceability learning, EM, the
+        # scan, the CD evaluator).
+        self._propagations: dict[Hashable, PropagationGraph] = {}
+        # Interned CSR representation for the numpy kernels (lazy).
+        self._compiled_log = None
 
     # ------------------------------------------------------------------
     # Guards and derived seeds
@@ -132,6 +150,34 @@ class SelectionContext:
         tag = "|".join([str(self.seed), *map(repr, labels)])
         digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
         return int.from_bytes(digest, "big")
+
+    # ------------------------------------------------------------------
+    # Shared intermediate structures (lazy, cached)
+    # ------------------------------------------------------------------
+    def propagation(self, action: Hashable) -> PropagationGraph:
+        """The memoized propagation DAG of ``action`` over the train log.
+
+        ``scan_action_log``, EM episode collection, influenceability
+        learning and the CD evaluator all need G(a) for every action;
+        memoizing here means a learn→scan pipeline builds each DAG
+        exactly once instead of once per consumer.
+        """
+        if action not in self._propagations:
+            self._propagations[action] = PropagationGraph.build(
+                self.graph, self._require_log("propagation graphs"), action
+            )
+        return self._propagations[action]
+
+    def compiled_log(self):
+        """The interned CSR form of (graph, train log) — numpy kernels only."""
+        if self._compiled_log is None:
+            from repro.kernels.interning import CompiledGraph, CompiledLog
+
+            log = self._require_log("log compilation")
+            self._compiled_log = CompiledLog(
+                CompiledGraph(self.graph, log.users()), log
+            )
+        return self._compiled_log
 
     # ------------------------------------------------------------------
     # Learned artifacts (lazy, cached)
@@ -159,9 +205,19 @@ class SelectionContext:
             elif method == "WC":
                 value = weighted_cascade_probabilities(self.graph)
             elif method == "EM":
-                value = learn_ic_probabilities_em(
-                    self.graph, self._require_log("EM probability learning")
-                ).probabilities
+                log = self._require_log("EM probability learning")
+                if self.backend == "numpy":
+                    from repro.kernels.em_numpy import (
+                        learn_ic_probabilities_em_numpy,
+                    )
+
+                    value = learn_ic_probabilities_em_numpy(
+                        self.graph, log, compiled=self.compiled_log()
+                    ).probabilities
+                else:
+                    value = learn_ic_probabilities_em(
+                        self.graph, log, propagations=self.propagation
+                    ).probabilities
             else:  # PT
                 value = perturb_probabilities(
                     self.ic_probabilities("EM"), noise=0.2, seed=self.seed
@@ -185,7 +241,9 @@ class SelectionContext:
 
         if self._params is None:
             self._params = learn_influenceability(
-                self.graph, self._require_log("influenceability learning")
+                self.graph,
+                self._require_log("influenceability learning"),
+                propagations=self.propagation,
             )
         return self._params
 
@@ -195,13 +253,39 @@ class SelectionContext:
         return TimeDecayCredit(self.influence_params())
 
     def credit_index(self):
-        """The scanned credit index (cached)."""
+        """The scanned credit index (cached).
+
+        Under the ``numpy`` backend the Algorithm-2 scan runs as the
+        vectorized kernel (:mod:`repro.kernels.scan_numpy`) over the
+        cached :meth:`compiled_log`; credit schemes the kernel cannot
+        vectorize fall back to the reference scan.
+        """
         if self._credit_index is None:
+            log = self._require_log("the credit-index scan")
+            credit = self._credit()
+            if self.backend == "numpy":
+                from repro.kernels.scan_numpy import (
+                    UnsupportedCreditScheme,
+                    scan_action_log_numpy,
+                )
+
+                try:
+                    self._credit_index = scan_action_log_numpy(
+                        self.graph,
+                        log,
+                        credit=credit,
+                        truncation=self.truncation,
+                        compiled=self.compiled_log(),
+                    )
+                    return self._credit_index
+                except UnsupportedCreditScheme:
+                    pass
             self._credit_index = scan_action_log(
                 self.graph,
-                self._require_log("the credit-index scan"),
-                credit=self._credit(),
+                log,
+                credit=credit,
                 truncation=self.truncation,
+                propagations=self.propagation,
             )
         return self._credit_index
 
@@ -212,6 +296,7 @@ class SelectionContext:
                 self.graph,
                 self._require_log("sigma_cd evaluation"),
                 credit=self._credit(),
+                propagations=self.propagation,
             )
         return self._cd_evaluator
 
@@ -245,6 +330,7 @@ class SelectionContext:
                     self.ic_probabilities(method),
                     num_simulations=self.num_simulations,
                     seed=seed,
+                    backend=self.backend,
                 )
             else:
                 self._oracles[key] = LTSpreadOracle(
@@ -252,6 +338,7 @@ class SelectionContext:
                     self.lt_weights(),
                     num_simulations=self.num_simulations,
                     seed=seed,
+                    backend=self.backend,
                 )
         return self._oracles[key]
 

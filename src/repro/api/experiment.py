@@ -111,6 +111,13 @@ class ExperimentConfig:
     split / split_every:
         Whether (and how) to 80/20-split the action log; learning uses
         the training fold.
+    backend:
+        Compute backend for the hot paths: ``"python"`` (reference
+        implementations), ``"numpy"`` (the vectorized kernels of
+        :mod:`repro.kernels`) or ``"auto"`` (defer to the
+        ``REPRO_BACKEND`` environment variable, default ``python``).
+        Forwarded to the :class:`~repro.api.context.SelectionContext`;
+        ignored when a pre-built context is passed in.
     evaluate_spread:
         Score every selection's k-prefixes under the CD proxy (Figure-6
         yardstick).  Disable for pure-runtime experiments (Figure 7).
@@ -128,6 +135,7 @@ class ExperimentConfig:
     truncation: float = 0.001
     split: bool = True
     split_every: int = 5
+    backend: str = "auto"
     evaluate_spread: bool = True
 
     def __post_init__(self) -> None:
@@ -160,6 +168,11 @@ class ExperimentConfig:
             self.split_every >= 2,
             f"split_every must be >= 2, got {self.split_every}",
         )
+        require(
+            self.backend in ("auto", "python", "numpy"),
+            f"backend must be one of ('auto', 'python', 'numpy'), "
+            f"got {self.backend!r}",
+        )
         if self.dataset == "toy":
             # The Figure-1 running example is a single action trace; a
             # train/test split would leave nothing to learn from.
@@ -189,6 +202,7 @@ class ExperimentConfig:
             "truncation": self.truncation,
             "split": self.split,
             "split_every": self.split_every,
+            "backend": self.backend,
             "evaluate_spread": self.evaluate_spread,
         }
 
@@ -404,6 +418,7 @@ def run_experiment(
             num_simulations=config.num_simulations,
             truncation=config.truncation,
             seed=config.seed,
+            backend=config.backend,
         )
         dataset_name = data.name
     else:

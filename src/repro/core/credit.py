@@ -81,6 +81,16 @@ class TimeDecayCredit:
             raise ValueError(f"default_tau must be positive, got {fallback!r}")
         self._default_tau = fallback
 
+    @property
+    def params(self) -> InfluenceabilityParams:
+        """The learned parameters (read-only; used by the NumPy kernel)."""
+        return self._params
+
+    @property
+    def default_tau(self) -> float:
+        """Fallback ``tau`` for unobserved pairs (read-only)."""
+        return self._default_tau
+
     def __call__(
         self, propagation: PropagationGraph, influencer: User, influenced: User
     ) -> float:

@@ -75,6 +75,64 @@ class CreditIndex:
             influencer
         ] = value
 
+    def bulk_set_credits(
+        self,
+        action: Action,
+        credits_by_influenced: "dict[User, dict[User, float]]",
+        credits_by_influencer: "dict[User, dict[User, float]] | None" = None,
+        adopt: bool = False,
+    ) -> None:
+        """Load one action's credits in bulk (the NumPy scan fast path).
+
+        Equivalent to calling :meth:`set_credit` for every
+        ``(influencer, action, influenced, value)`` triple in
+        ``credits_by_influenced[influenced][influencer]``, but builds
+        the ``inc`` mirror one dict per influenced user instead of
+        walking two ``setdefault`` chains per entry.
+
+        ``credits_by_influencer`` optionally supplies the *same*
+        entries already grouped by influencer (the transpose); the
+        ``out`` mirror is then built dict-per-group as well, which is
+        what makes the NumPy scan's load phase cheap.  The caller must
+        guarantee the two groupings describe identical entry sets.
+
+        ``adopt=True`` lets the index keep the provided inner dicts as
+        its own storage where the slot is empty (no defensive copy);
+        the caller relinquishes them and must not mutate them after.
+        """
+        for influenced, sources in credits_by_influenced.items():
+            if not sources:
+                continue
+            by_action = self.inc.setdefault(influenced, {})
+            existing = by_action.get(action)
+            if existing is None:
+                by_action[action] = sources if adopt else dict(sources)
+            else:
+                existing.update(sources)
+            if credits_by_influencer is None:
+                for influencer, value in sources.items():
+                    targets = self.out.setdefault(influencer, {}).setdefault(
+                        action, {}
+                    )
+                    if influenced not in targets:
+                        self._entries += 1
+                    targets[influenced] = value
+        if credits_by_influencer is None:
+            return
+        for influencer, targets in credits_by_influencer.items():
+            if not targets:
+                continue
+            by_action = self.out.setdefault(influencer, {})
+            existing = by_action.get(action)
+            if existing is None:
+                by_action[action] = targets if adopt else dict(targets)
+                self._entries += len(targets)
+            else:
+                for influenced, value in targets.items():
+                    if influenced not in existing:
+                        self._entries += 1
+                    existing[influenced] = value
+
     def subtract_credit(
         self, influencer: User, action: Action, influenced: User, amount: float
     ) -> None:
@@ -153,20 +211,36 @@ class CreditIndex:
         """Rough memory footprint of the credit entries.
 
         Counts each entry as one dict slot with a boxed float plus the
-        amortised key share — the quantity proportional to the paper's
+        amortised key share, *in both mirrors* — ``out`` and ``inc``
+        each store every entry, so the process holds two slots per
+        credit.  This is the quantity proportional to the paper's
         Figure-8 memory curve.
         """
-        per_entry = sys.getsizeof(0.0) + 80  # float box + dict-slot share
+        per_entry = 2 * (sys.getsizeof(0.0) + 80)  # float box + dict slot, x2 mirrors
         return self._entries * per_entry
 
     def copy(self) -> "CreditIndex":
-        """Deep-copy the index (the maximizer mutates it in place)."""
+        """Deep-copy the index (the maximizer mutates it in place).
+
+        Rebuilds both mirrors by direct nested-dict reconstruction and
+        carries ``_entries`` over — no per-entry ``set_credit`` calls
+        (which would walk two ``setdefault`` chains per entry).
+        """
         duplicate = CreditIndex(truncation=self.truncation)
         duplicate.activity = dict(self.activity)
-        for influencer, by_action in self.out.items():
-            for action, targets in by_action.items():
-                for influenced, value in targets.items():
-                    duplicate.set_credit(influencer, action, influenced, value)
+        duplicate.out = {
+            influencer: {
+                action: dict(targets) for action, targets in by_action.items()
+            }
+            for influencer, by_action in self.out.items()
+        }
+        duplicate.inc = {
+            influenced: {
+                action: dict(sources) for action, sources in by_action.items()
+            }
+            for influenced, by_action in self.inc.items()
+        }
+        duplicate._entries = self._entries
         return duplicate
 
     def __repr__(self) -> str:

@@ -18,7 +18,7 @@ kind of preliminary scan Algorithm 2's description refers to.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.data.actionlog import ActionLog
 from repro.data.propagation import PropagationGraph
@@ -50,21 +50,28 @@ class InfluenceabilityParams:
 
 
 def learn_influenceability(
-    graph: SocialGraph, log: ActionLog
+    graph: SocialGraph,
+    log: ActionLog,
+    propagations: "Callable[[Hashable], PropagationGraph] | None" = None,
 ) -> InfluenceabilityParams:
     """Learn ``tau_{v,u}`` and ``infl(u)`` from the training ``log``.
 
     Users that appear in the log but never follow a neighbour get
     ``infl(u) = 0`` — under Eq. 9 they hand out no credit, reflecting
     that the data shows no evidence of them being influenceable.
+    ``propagations`` optionally provides per-action propagation graphs
+    (e.g. the memoizing
+    :meth:`repro.api.context.SelectionContext.propagation`).
     """
+    if propagations is None:
+        propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
     # Pass 1: accumulate propagation delays per (v, u) pair.
     delay_sum: dict[Edge, float] = {}
     delay_count: dict[Edge, int] = {}
-    propagations: list[PropagationGraph] = []
+    built: list[PropagationGraph] = []
     for action in log.actions():
-        propagation = PropagationGraph.build(graph, log, action)
-        propagations.append(propagation)
+        propagation = propagations(action)
+        built.append(propagation)
         for user in propagation.nodes():
             user_time = propagation.time_of(user)
             for parent in propagation.parents(user):
@@ -83,7 +90,7 @@ def learn_influenceability(
 
     # Pass 2: count, per user, the actions performed under influence.
     influenced_count: dict[User, int] = {}
-    for propagation in propagations:
+    for propagation in built:
         for user in propagation.nodes():
             user_time = propagation.time_of(user)
             for parent in propagation.parents(user):

@@ -17,7 +17,7 @@ what bounds the index's memory (Figure 8, Table 4).
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 from repro.core.credit import DirectCredit, UniformCredit
 from repro.core.index import CreditIndex
@@ -38,6 +38,7 @@ def scan_action_log(
     truncation: float = 0.001,
     actions: Iterable[Hashable] | None = None,
     index: CreditIndex | None = None,
+    propagations: Callable[[Hashable], PropagationGraph] | None = None,
 ) -> CreditIndex:
     """Scan ``log`` and build the :class:`~repro.core.index.CreditIndex`.
 
@@ -67,6 +68,11 @@ def scan_action_log(
         ``tests/test_scan.py::TestIncrementalScan``).  Actions already
         present in the index must not be rescanned (that would double
         their credits and activity counts).
+    propagations:
+        Optional provider of per-action propagation graphs (e.g. the
+        memoizing :meth:`repro.api.context.SelectionContext.propagation`),
+        so learn→scan pipelines build each DAG once; defaults to
+        building fresh graphs.
     """
     require_non_negative(truncation, "truncation")
     credit_fn = UniformCredit() if credit is None else credit
@@ -74,9 +80,11 @@ def scan_action_log(
         index = CreditIndex(truncation=truncation)
     else:
         truncation = index.truncation
+    if propagations is None:
+        propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
     wanted = list(log.actions()) if actions is None else list(actions)
     for action in wanted:
-        propagation = PropagationGraph.build(graph, log, action)
+        propagation = propagations(action)
         # Credits into each user for *this* action:
         # local[u][w] = Gamma_{w,u}(a) accumulated so far.
         local: dict[User, dict[User, float]] = {}

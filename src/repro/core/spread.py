@@ -32,7 +32,7 @@ index-based maximizer, see DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 from repro.core.credit import DirectCredit, UniformCredit
 from repro.data.actionlog import ActionLog
@@ -67,15 +67,18 @@ class CDSpreadEvaluator:
         log: ActionLog,
         credit: DirectCredit | None = None,
         actions: Iterable[Hashable] | None = None,
+        propagations: Callable[[Hashable], PropagationGraph] | None = None,
     ) -> None:
         credit_fn = UniformCredit() if credit is None else credit
+        if propagations is None:
+            propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
         self._activity: dict[User, int] = {}
         # One entry per action: [(user, [(influencer, gamma), ...]), ...]
         # in chronological order.
         self._compiled: list[list[tuple[User, list[tuple[User, float]]]]] = []
         wanted = list(log.actions()) if actions is None else list(actions)
         for action in wanted:
-            propagation = PropagationGraph.build(graph, log, action)
+            propagation = propagations(action)
             compiled_action = []
             for user in propagation.nodes():
                 self._activity[user] = self._activity.get(user, 0) + 1

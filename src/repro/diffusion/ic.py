@@ -15,7 +15,8 @@ from collections import deque
 from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
-from repro.utils.rng import make_rng
+from repro.kernels import resolve_backend
+from repro.utils.rng import integer_seed, make_rng
 from repro.utils.validation import require
 
 __all__ = ["simulate_ic", "estimate_spread_ic"]
@@ -56,14 +57,27 @@ def estimate_spread_ic(
     seeds: Iterable[User],
     num_simulations: int = 10_000,
     seed: int | random.Random | None = None,
+    backend: str | None = None,
 ) -> float:
     """Monte Carlo estimate of ``sigma_IC(seeds)``.
 
     The paper's standard approach uses 10,000 simulations (the default
     here); the experiment harness lowers this to keep pure-Python
     runtimes tractable, which only adds symmetric noise to every method.
+
+    ``backend`` selects the estimator: ``"python"`` (this module's
+    per-edge simulation loop — the reference semantics), ``"numpy"``
+    (the batched kernel in :mod:`repro.kernels.mc_numpy`, statistically
+    equivalent but ~two orders of magnitude faster), or ``None``/
+    ``"auto"`` to defer to the ``REPRO_BACKEND`` environment variable.
     """
     require(num_simulations >= 1, f"num_simulations must be >= 1, got {num_simulations}")
+    if resolve_backend(backend) == "numpy":
+        from repro.kernels.mc_numpy import estimate_spread_ic_numpy
+
+        return estimate_spread_ic_numpy(
+            graph, probabilities, seeds, num_simulations, integer_seed(seed)
+        )
     rng = make_rng(seed)
     seed_list = list(seeds)
     total = 0

@@ -15,7 +15,8 @@ from collections import deque
 from typing import Hashable, Iterable, Mapping
 
 from repro.graphs.digraph import SocialGraph
-from repro.utils.rng import make_rng
+from repro.kernels import resolve_backend
+from repro.utils.rng import integer_seed, make_rng
 from repro.utils.validation import require
 
 __all__ = ["simulate_lt", "estimate_spread_lt", "validate_lt_weights"]
@@ -88,9 +89,22 @@ def estimate_spread_lt(
     seeds: Iterable[User],
     num_simulations: int = 10_000,
     seed: int | random.Random | None = None,
+    backend: str | None = None,
 ) -> float:
-    """Monte Carlo estimate of ``sigma_LT(seeds)``."""
+    """Monte Carlo estimate of ``sigma_LT(seeds)``.
+
+    ``backend`` selects the estimator exactly as in
+    :func:`repro.diffusion.ic.estimate_spread_ic`: ``"python"`` is the
+    reference loop below, ``"numpy"`` dispatches to the batched kernel
+    in :mod:`repro.kernels.mc_numpy`.
+    """
     require(num_simulations >= 1, f"num_simulations must be >= 1, got {num_simulations}")
+    if resolve_backend(backend) == "numpy":
+        from repro.kernels.mc_numpy import estimate_spread_lt_numpy
+
+        return estimate_spread_lt_numpy(
+            graph, weights, seeds, num_simulations, integer_seed(seed)
+        )
     rng = make_rng(seed)
     seed_list = list(seeds)
     total = 0

@@ -20,6 +20,7 @@ from typing import Hashable, Iterable, Mapping, Protocol
 from repro.diffusion.ic import estimate_spread_ic
 from repro.diffusion.lt import estimate_spread_lt
 from repro.graphs.digraph import SocialGraph
+from repro.kernels import resolve_backend
 from repro.utils.validation import require
 
 __all__ = ["SpreadOracle", "ICSpreadOracle", "LTSpreadOracle", "CountingOracle"]
@@ -49,6 +50,7 @@ class _MonteCarloOracle:
         edge_values: Mapping[Edge, float],
         num_simulations: int,
         seed: int,
+        backend: str | None = None,
     ) -> None:
         require(
             num_simulations >= 1,
@@ -58,6 +60,17 @@ class _MonteCarloOracle:
         self._edge_values = dict(edge_values)
         self._num_simulations = num_simulations
         self._seed = seed
+        self._backend = resolve_backend(backend)
+        # Compiled CSR edge arrays for the numpy backend, built lazily
+        # once and reused by every spread() call (the CELF inner loop).
+        self._compiled = None
+
+    def _compiled_diffusion(self):
+        if self._compiled is None:
+            from repro.kernels.mc_numpy import CompiledDiffusion
+
+            self._compiled = CompiledDiffusion(self._graph, self._edge_values)
+        return self._compiled
 
     def candidates(self) -> list[User]:
         """All graph nodes are candidate seeds."""
@@ -85,18 +98,24 @@ class ICSpreadOracle(_MonteCarloOracle):
         probabilities: Mapping[Edge, float],
         num_simulations: int = 10_000,
         seed: int = 0,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(graph, probabilities, num_simulations, seed)
+        super().__init__(graph, probabilities, num_simulations, seed, backend)
 
     def spread(self, seeds: Iterable[User]) -> float:
         """Expected IC spread of ``seeds`` by Monte Carlo simulation."""
         seed_list = list(seeds)
+        if self._backend == "numpy":
+            return self._compiled_diffusion().spread_ic(
+                seed_list, self._num_simulations, self._per_set_seed(seed_list)
+            )
         return estimate_spread_ic(
             self._graph,
             self._edge_values,
             seed_list,
             num_simulations=self._num_simulations,
             seed=self._per_set_seed(seed_list),
+            backend="python",
         )
 
 
@@ -109,18 +128,24 @@ class LTSpreadOracle(_MonteCarloOracle):
         weights: Mapping[Edge, float],
         num_simulations: int = 10_000,
         seed: int = 0,
+        backend: str | None = None,
     ) -> None:
-        super().__init__(graph, weights, num_simulations, seed)
+        super().__init__(graph, weights, num_simulations, seed, backend)
 
     def spread(self, seeds: Iterable[User]) -> float:
         """Expected LT spread of ``seeds`` by Monte Carlo simulation."""
         seed_list = list(seeds)
+        if self._backend == "numpy":
+            return self._compiled_diffusion().spread_lt(
+                seed_list, self._num_simulations, self._per_set_seed(seed_list)
+            )
         return estimate_spread_lt(
             self._graph,
             self._edge_values,
             seed_list,
             num_simulations=self._num_simulations,
             seed=self._per_set_seed(seed_list),
+            backend="python",
         )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "spawn_rngs", "integer_seed"]
 
 
 def make_rng(seed: int | random.Random | None = None) -> random.Random:
@@ -29,6 +29,20 @@ def make_rng(seed: int | random.Random | None = None) -> random.Random:
     if isinstance(seed, random.Random):
         return seed
     return random.Random(seed)
+
+
+def integer_seed(seed: int | random.Random | None) -> int | None:
+    """Coerce a ``make_rng``-style seed to an integer (or ``None``).
+
+    Used by the NumPy kernels, whose generators are seeded with plain
+    integers.  A ``random.Random`` contributes 64 bits from its stream
+    (consuming them — the caller handed over the generator precisely to
+    derive downstream randomness from it); ``None`` stays ``None``
+    (fresh OS entropy, exactly like ``make_rng(None)``).
+    """
+    if seed is None or isinstance(seed, int):
+        return seed
+    return seed.getrandbits(64)
 
 
 def spawn_rngs(seed: int | random.Random | None, count: int) -> list[random.Random]:

@@ -88,6 +88,53 @@ class TestCreditIndex:
         index.set_credit("v", "a", "w", 0.5)
         assert index.estimate_memory_bytes() == 2 * one
 
+    def test_memory_estimate_counts_both_mirrors(self):
+        # out and inc each hold every entry, so the per-entry cost must
+        # reflect two dict slots — not one (the Figure-8 curves).
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        import sys
+
+        assert index.estimate_memory_bytes() == 2 * (sys.getsizeof(0.0) + 80)
+
+    def test_copy_preserves_structure_and_count(self):
+        index = CreditIndex(truncation=0.01)
+        index.record_activity("v")
+        index.set_credit("v", "a", "u", 0.5)
+        index.set_credit("v", "b", "w", 0.25)
+        index.set_credit("w", "a", "u", 0.125)
+        duplicate = index.copy()
+        assert duplicate.out == index.out
+        assert duplicate.inc == index.inc
+        assert duplicate.total_entries == index.total_entries
+        # Nested dicts must be fresh objects, not shared references.
+        duplicate.set_credit("v", "a", "z", 0.75)
+        assert index.credit("v", "a", "z") == 0.0
+
+    def test_bulk_set_credits_matches_set_credit(self):
+        loop = CreditIndex(truncation=0.01)
+        bulk = CreditIndex(truncation=0.01)
+        credits = {
+            "u": {"v": 0.5, "w": 0.25},
+            "t": {"v": 0.125},
+        }
+        for influenced, sources in credits.items():
+            for influencer, value in sources.items():
+                loop.set_credit(influencer, "a", influenced, value)
+        bulk.bulk_set_credits("a", credits)
+        assert bulk.out == loop.out
+        assert bulk.inc == loop.inc
+        assert bulk.total_entries == loop.total_entries
+
+    def test_bulk_set_credits_merges_into_existing_entries(self):
+        index = CreditIndex()
+        index.set_credit("v", "a", "u", 0.5)
+        index.bulk_set_credits("a", {"u": {"v": 0.75, "w": 0.25}})
+        assert index.credit("v", "a", "u") == 0.75  # overwritten, not doubled
+        assert index.credit("w", "a", "u") == 0.25
+        assert index.total_entries == 2
+        assert index.inc["u"]["a"] == {"v": 0.75, "w": 0.25}
+
     def test_negative_truncation_raises(self):
         with pytest.raises(ValueError):
             CreditIndex(truncation=-0.1)

@@ -35,7 +35,10 @@ class TestPageRank:
         assert scores[2] > scores[1]
 
     def test_matches_networkx(self):
-        import networkx as nx
+        # nx.pagerank lazily imports numpy at call time, so require
+        # both on the no-numpy CI profile (any ImportError counts).
+        pytest.importorskip("numpy", exc_type=ImportError)
+        nx = pytest.importorskip("networkx", exc_type=ImportError)
 
         edges = [(0, 1), (1, 2), (2, 0), (2, 3), (3, 1), (0, 3)]
         graph = SocialGraph.from_edges(edges)
