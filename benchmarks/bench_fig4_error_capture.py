@@ -5,34 +5,41 @@ fraction y of the test propagations was predicted within absolute error
 x.  Expected shape: the CD curve dominates IC and LT at (almost) every
 tolerance — the paper reports e.g. 67% vs 46% (IC) and 26% (LT) at
 error 30 on Flixster.
+
+Runs through the unified runtime as
+``ExperimentConfig(task="prediction")``; the capture curves come
+straight off ``ExperimentResult.capture_table``.
 """
 
 from benchmarks.conftest import MAX_TEST_TRACES
-from repro.evaluation.metrics import capture_curve
-from repro.evaluation.prediction import spread_prediction_experiment
+from repro.api import ExperimentConfig, run_experiment
 from repro.evaluation.reporting import format_series
 
 THRESHOLDS = [0, 2, 5, 10, 20, 30, 50, 80]
+NUM_SIMULATIONS = 200  # the legacy predictors' default
 
 
-def _run(dataset):
-    return spread_prediction_experiment(
-        dataset.graph, dataset.log, max_test_traces=MAX_TEST_TRACES
+def _run(dataset, name):
+    config = ExperimentConfig(
+        task="prediction",
+        dataset=name,
+        scale="small",
+        methods=["IC", "LT", "CD"],
+        num_simulations=NUM_SIMULATIONS,
+        max_test_traces=MAX_TEST_TRACES,
     )
+    return run_experiment(config, dataset=dataset)
 
 
-def _series(experiment):
-    return {
-        method: capture_curve(experiment.pairs(method), THRESHOLDS)
-        for method in experiment.methods
-    }
+def _series(result):
+    return result.capture_table(THRESHOLDS)
 
 
 def test_fig4_flixster(benchmark, report, flixster_small):
-    experiment = benchmark.pedantic(
-        lambda: _run(flixster_small), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: _run(flixster_small, "flixster"), rounds=1, iterations=1
     )
-    series = _series(experiment)
+    series = _series(result)
     report(
         format_series(
             "abs-error",
@@ -49,10 +56,10 @@ def test_fig4_flixster(benchmark, report, flixster_small):
 
 
 def test_fig4_flickr(benchmark, report, flickr_small):
-    experiment = benchmark.pedantic(
-        lambda: _run(flickr_small), rounds=1, iterations=1
+    result = benchmark.pedantic(
+        lambda: _run(flickr_small, "flickr"), rounds=1, iterations=1
     )
-    series = _series(experiment)
+    series = _series(result)
     report(
         format_series(
             "abs-error",

@@ -14,11 +14,7 @@ Run with:  python examples/why_data_matters.py
 """
 
 from repro import flixster_like, train_test_split
-from repro.evaluation.metrics import rmse
-from repro.evaluation.prediction import (
-    build_ic_predictors,
-    spread_prediction_experiment,
-)
+from repro.api import ExperimentConfig, run_experiment
 from repro.evaluation.reporting import format_matrix, format_table
 from repro.evaluation.selection import seed_overlap_experiment
 
@@ -41,16 +37,19 @@ def main() -> None:
     )
 
     print("Experiment 2 — spread prediction on held-out traces:")
-    predictors = build_ic_predictors(
-        dataset.graph, train, methods=METHODS, num_simulations=60
+    prediction = run_experiment(
+        ExperimentConfig(
+            task="prediction",
+            dataset="flixster",
+            scale="small",
+            methods=METHODS,
+            num_simulations=60,
+            max_test_traces=40,
+        ),
+        dataset=dataset,
     )
-    experiment = spread_prediction_experiment(
-        dataset.graph, dataset.log, predictors=predictors, max_test_traces=40
-    )
-    rows = [
-        [method, f"{rmse(experiment.pairs(method)):.1f}"]
-        for method in METHODS
-    ]
+    rmse_table = prediction.rmse_table()
+    rows = [[method, f"{rmse_table[method]:.1f}"] for method in METHODS]
     print(format_table(["method", "RMSE"], rows))
     print(
         "\nExpected shape (Figure 2): EM and PT nearly identical and far\n"

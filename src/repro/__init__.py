@@ -24,7 +24,13 @@ every substrate its evaluation depends on:
 * :mod:`repro.api` — the canonical programmatic surface: the selector
   registry (every algorithm above behind one name and calling
   convention), the unified :class:`SeedSelection` result model, and the
-  declarative experiment runner.
+  declarative experiment runner;
+* :mod:`repro.kernels` — NumPy-vectorized compute backends for the
+  scan/EM/Monte-Carlo hot paths (``backend="python"|"numpy"``);
+* :mod:`repro.runtime` — the stage pipeline both experiment protocols
+  (seed selection and spread prediction) compile into, with a pluggable
+  parallel executor seam (``executor="serial"|"thread"|"process"``)
+  whose results are bit-identical across executors.
 
 Quickstart
 ----------
@@ -150,7 +156,7 @@ from repro.probabilities.static import (
     weighted_cascade_probabilities,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # api (the canonical surface)

@@ -41,6 +41,9 @@ from repro.api.registry import (
 from repro.api.results import SeedSelection
 from repro.api import adapters as _adapters  # noqa: F401  (registers built-ins)
 from repro.api.experiment import (
+    PREDICTION_METHODS,
+    TASKS,
+    ConfigError,
     ExperimentConfig,
     ExperimentResult,
     SelectorConfig,
@@ -49,6 +52,9 @@ from repro.api.experiment import (
 )
 
 __all__ = [
+    "ConfigError",
+    "TASKS",
+    "PREDICTION_METHODS",
     "IC_PROBABILITY_METHODS",
     "SelectionContext",
     "SelectorSpec",

@@ -18,6 +18,8 @@ import time
 
 from repro.api.context import SelectionContext
 from repro.api.registry import register_selector
+from repro.api.results import SeedSelection
+from repro.core.budget import cd_budget_maximize
 from repro.core.maximize import cd_maximize
 from repro.maximization.celf import celf_maximize
 from repro.maximization.celfpp import celfpp_maximize
@@ -66,6 +68,53 @@ def _cd(ctx: SelectionContext, k: int, *, time_log=None):
     return result
 
 
+@register_selector(
+    "cd_budget",
+    family="cd",
+    description="Budgeted CD maximizer under per-seed costs (CEF rule, "
+                "Leskovec et al., KDD 2007)",
+    needs_index=True,
+    supports_budget=True,
+)
+def _cd_budget(
+    ctx: SelectionContext,
+    k: int,
+    *,
+    budget: float | None = None,
+    cost_scale: float = 0.0,
+):
+    """Budgeted selection: the cost cap, not ``k``, bounds the seed set.
+
+    ``budget`` defaults to ``float(k)`` — under the default unit costs
+    that makes the budgeted problem coincide with size-``k`` selection,
+    so the selector is runnable without parameters.  ``cost_scale > 0``
+    prices each user as ``1 + activity/cost_scale`` (the analytics
+    CLI's convention); ``0`` means unit costs.
+    """
+    if budget is None:
+        budget = float(k)
+    index = ctx.credit_index()
+    costs = None
+    if cost_scale > 0.0:
+        costs = {
+            user: 1.0 + index.activity[user] / cost_scale
+            for user in index.users()
+        }
+    result = cd_budget_maximize(index, budget=budget, costs=costs)
+    return SeedSelection(
+        seeds=list(result.seeds),
+        gains=list(result.gains),
+        spread=result.spread,
+        oracle_calls=result.oracle_calls,
+        metadata={
+            "budget": result.budget,
+            "spent": result.spent,
+            "rule": result.rule,
+            "costs": list(result.costs),
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # The greedy family over a spread oracle
 # ----------------------------------------------------------------------
@@ -73,10 +122,11 @@ def _oracle_family(ctx, k, maximizer, model, method, seed, time_log):
     started = time.perf_counter()
     oracle = ctx.oracle(model, method=method, seed=seed)
     offset = time.perf_counter() - started
+    executor = ctx.executor
     if maximizer is greedy_maximize:
-        return greedy_maximize(oracle, k)
+        return greedy_maximize(oracle, k, executor=executor)
     inner = [] if time_log is not None else None
-    result = maximizer(oracle, k, time_log=inner)
+    result = maximizer(oracle, k, time_log=inner, executor=executor)
     _merge_time_log(time_log, inner, offset)
     return result
 

@@ -16,7 +16,6 @@ identically — the property the registry's parity guarantees rest on.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Hashable, Mapping
 
 from repro.core.credit import TimeDecayCredit
@@ -31,6 +30,8 @@ from repro.maximization.oracle import (
     LTSpreadOracle,
     SpreadOracle,
 )
+from repro.runtime.executor import Executor, as_executor
+from repro.utils.rng import derive_seed as _derive_seed
 from repro.utils.validation import require
 
 __all__ = ["SelectionContext", "IC_PROBABILITY_METHODS"]
@@ -79,6 +80,12 @@ class SelectionContext:
         ``REPRO_BACKEND`` environment variable (default ``python``).
         Resolution is graceful: requesting ``numpy`` without NumPy
         installed falls back to ``python`` with a warning.
+    executor:
+        Optional :class:`~repro.runtime.executor.Executor` (or kind
+        name) the context's consumers — the greedy/CELF candidate
+        sweeps of the oracle-backed selectors, the experiment runtime's
+        fan-outs — dispatch their parallel units through.  ``None``
+        (the default) keeps every code path exactly serial.
     """
 
     def __init__(
@@ -91,6 +98,7 @@ class SelectionContext:
         seed: int = 7,
         credit_scheme: str = "timedecay",
         backend: str | None = None,
+        executor: Executor | str | None = None,
     ) -> None:
         require(
             probability_method in IC_PROBABILITY_METHODS,
@@ -114,6 +122,7 @@ class SelectionContext:
         self.seed = seed
         self.credit_scheme = credit_scheme
         self.backend = resolve_backend(backend)
+        self.executor = None if executor is None else as_executor(executor)
         self._probabilities: dict[str, dict[Edge, float]] = {}
         self._lt_weights: dict[Edge, float] | None = None
         self._params = None
@@ -147,9 +156,7 @@ class SelectionContext:
         this is how ``ExperimentConfig.seed`` fans out to stochastic
         selectors.
         """
-        tag = "|".join([str(self.seed), *map(repr, labels)])
-        digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
-        return int.from_bytes(digest, "big")
+        return _derive_seed(self.seed, *labels)
 
     # ------------------------------------------------------------------
     # Shared intermediate structures (lazy, cached)
@@ -331,6 +338,7 @@ class SelectionContext:
                     num_simulations=self.num_simulations,
                     seed=seed,
                     backend=self.backend,
+                    executor=self.executor,
                 )
             else:
                 self._oracles[key] = LTSpreadOracle(
@@ -339,6 +347,7 @@ class SelectionContext:
                     num_simulations=self.num_simulations,
                     seed=seed,
                     backend=self.backend,
+                    executor=self.executor,
                 )
         return self._oracles[key]
 

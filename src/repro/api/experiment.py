@@ -1,18 +1,22 @@
-"""Declarative experiments: config in, comparable selections out.
+"""Declarative experiments: config in, comparable results out.
 
-The paper's evaluation is one pipeline repeated many times — build a
-dataset, split the action log, learn probabilities/weights/credits,
-select seeds with each method, score every seed set under the CD proxy.
-:func:`run_experiment` owns that pipeline exactly once;
-:class:`ExperimentConfig` names the knobs (dataset, probability method,
-selectors, k-grid, trials, RNG seed) and everything else — the CLI's
+The paper's evaluation is two protocols over one pipeline shape —
+*selection* (build a dataset, split the action log, learn
+probabilities/weights/credits, select seeds with each method, score
+every seed set under the CD proxy; Figures 6-9) and *prediction* (fit
+every model on the training traces, predict each held-out trace's
+spread from its initiators, score the predictions; Figures 2-4).
+:class:`ExperimentConfig` names the knobs for both (``task`` picks the
+protocol) and :func:`run_experiment` compiles the config into the
+:mod:`repro.runtime` stage pipeline; everything else — the CLI's
 ``repro run``, the comparison benchmarks, the examples — is a thin
 consumer of the :class:`ExperimentResult`.
 
 Determinism: ``ExperimentConfig.seed`` fans out through
 :meth:`~repro.api.context.SelectionContext.derive_seed`, so stochastic
-selectors get stable per-(selector, trial) child seeds and the same
-config always reproduces the same seed sets.
+selectors get stable per-(selector, trial) child seeds, Monte-Carlo
+batches and prediction methods get stable per-task streams, and the
+same config always reproduces the same result on every executor.
 """
 
 from __future__ import annotations
@@ -23,23 +27,30 @@ from typing import Any, Mapping, Sequence
 
 import repro.api.adapters  # noqa: F401  (ensures built-ins are registered)
 from repro.api.context import IC_PROBABILITY_METHODS, SelectionContext
-from repro.api.registry import Selector, get_selector
+from repro.api.registry import Selector, SelectorSpec, get_selector
 from repro.api.results import SeedSelection
 from repro.data.datasets import Dataset
-from repro.data.split import train_test_split
-from repro.utils.timing import Timer
-from repro.utils.validation import require
+from repro.runtime.executor import EXECUTORS
+from repro.utils.validation import ConfigError, require, require_config
 
 __all__ = [
+    "ConfigError",
     "SelectorConfig",
     "ExperimentConfig",
     "SelectorRun",
     "ExperimentResult",
     "run_experiment",
+    "TASKS",
+    "PREDICTION_METHODS",
 ]
 
 _DATASETS = ("toy", "flixster", "flickr")
 _SCALES = ("mini", "small", "large")
+
+TASKS = ("selection", "prediction")
+# Prediction-protocol model names: the five IC probability assignments
+# (Figure 2) plus the Figure-3 trio (IC = EM-learned IC, LT, CD).
+PREDICTION_METHODS = ("UN", "TV", "WC", "EM", "PT", "IC", "LT", "CD")
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,9 @@ class ExperimentConfig:
 
     Attributes
     ----------
+    task:
+        ``"selection"`` (the seed-selection protocol, Figures 6-9) or
+        ``"prediction"`` (the spread-prediction protocol, Figures 2-4).
     dataset:
         ``"toy"``, ``"flixster"`` or ``"flickr"``.
     scale:
@@ -121,6 +135,25 @@ class ExperimentConfig:
     evaluate_spread:
         Score every selection's k-prefixes under the CD proxy (Figure-6
         yardstick).  Disable for pure-runtime experiments (Figure 7).
+    executor / max_workers:
+        Where the pipeline's independent units run: ``"serial"``,
+        ``"thread"``, ``"process"``, or ``"auto"`` (defer to the
+        ``REPRO_EXECUTOR`` environment variable, default ``serial``).
+        Results are bit-identical across executors — only wall time
+        changes.  ``max_workers`` defaults to the CPU count.
+    budget:
+        Optional budget workload for the selection task: the total
+        seed-cost cap handed to budget-aware selectors
+        (``supports_budget``).  Configuring a budget with a selector
+        that lacks the flag raises :class:`ConfigError` up front.
+    methods:
+        Prediction-task model line-up (see :data:`PREDICTION_METHODS`):
+        ``UN``/``TV``/``WC``/``EM``/``PT`` are the Figure-2 IC
+        probability assignments, ``IC`` (EM-learned IC), ``LT`` and
+        ``CD`` the Figure-3 trio.  Ignored by the selection task.
+    max_test_traces:
+        Prediction-task cap on evaluated held-out traces (stratified
+        over the size ranking); ``None`` evaluates all of them.
     """
 
     dataset: str = "flixster"
@@ -137,8 +170,18 @@ class ExperimentConfig:
     split_every: int = 5
     backend: str = "auto"
     evaluate_spread: bool = True
+    task: str = "selection"
+    executor: str = "auto"
+    max_workers: int | None = None
+    budget: float | None = None
+    methods: Sequence[str] = field(default_factory=lambda: ["IC", "LT", "CD"])
+    max_test_traces: int | None = None
 
     def __post_init__(self) -> None:
+        require(
+            self.task in TASKS,
+            f"task must be one of {TASKS}, got {self.task!r}",
+        )
         require(
             self.dataset in _DATASETS,
             f"dataset must be one of {_DATASETS}, got {self.dataset!r}",
@@ -173,13 +216,70 @@ class ExperimentConfig:
             f"backend must be one of ('auto', 'python', 'numpy'), "
             f"got {self.backend!r}",
         )
+        require(
+            self.executor in EXECUTORS + ("auto",),
+            f"executor must be one of {EXECUTORS + ('auto',)}, "
+            f"got {self.executor!r}",
+        )
+        require(
+            self.max_workers is None or self.max_workers >= 1,
+            f"max_workers must be >= 1, got {self.max_workers}",
+        )
+        require(
+            self.budget is None or self.budget > 0,
+            f"budget must be positive, got {self.budget}",
+        )
+        self.methods = [str(m) for m in self.methods]
+        require(bool(self.methods), "methods must be non-empty")
+        unknown_methods = [
+            m for m in self.methods if m not in PREDICTION_METHODS
+        ]
+        require(
+            not unknown_methods,
+            f"unknown prediction method(s) {unknown_methods}; "
+            f"known: {list(PREDICTION_METHODS)}",
+        )
+        require(
+            len(set(self.methods)) == len(self.methods),
+            f"prediction methods must be unique, got {self.methods}",
+        )
+        require(
+            self.max_test_traces is None or self.max_test_traces >= 1,
+            f"max_test_traces must be >= 1, got {self.max_test_traces}",
+        )
         if self.dataset == "toy":
             # The Figure-1 running example is a single action trace; a
             # train/test split would leave nothing to learn from.
             self.split = False
-        # Fail fast on unknown selectors / parameters.
+        if self.task == "prediction":
+            require_config(
+                self.dataset != "toy",
+                "the prediction task holds out test traces via the 80/20 "
+                "split; the single-trace toy example cannot be split",
+            )
+            require_config(
+                self.split,
+                "the prediction task requires split=True (its test traces "
+                "are the held-out fold)",
+            )
+            require_config(
+                self.budget is None,
+                "budget is a selection-task workload; it does not apply "
+                "to task='prediction'",
+            )
+        # Fail fast on unknown selectors / parameters, and make the
+        # supports_budget capability flag load-bearing: a budget
+        # workload is rejected up front unless every selector opts in.
         for entry in self.selectors:
-            get_selector(entry.name, **entry.params)
+            selector = get_selector(entry.name, **entry.params)
+            if self.budget is not None:
+                require_config(
+                    selector.spec.supports_budget,
+                    f"selector {entry.display()!r} does not support budget "
+                    "workloads (supports_budget=False); budget-aware "
+                    "selectors: "
+                    f"{_budget_selector_names()}",
+                )
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -187,6 +287,7 @@ class ExperimentConfig:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-representable view of the config."""
         return {
+            "task": self.task,
             "dataset": self.dataset,
             "scale": self.scale,
             "dataset_seed": self.dataset_seed,
@@ -204,6 +305,11 @@ class ExperimentConfig:
             "split_every": self.split_every,
             "backend": self.backend,
             "evaluate_spread": self.evaluate_spread,
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "budget": self.budget,
+            "methods": list(self.methods),
+            "max_test_traces": self.max_test_traces,
         }
 
     @classmethod
@@ -224,6 +330,44 @@ class ExperimentConfig:
             return cls.from_dict(json.load(handle))
 
 
+def _budget_selector_names() -> list[str]:
+    """Registry names of the budget-aware selectors (for error messages)."""
+    from repro.api.registry import list_selectors
+
+    return [s.name for s in list_selectors() if s.supports_budget]
+
+
+def _missing_artifacts(
+    spec: SelectorSpec, params: Mapping[str, Any], config: "ExperimentConfig"
+) -> list[str]:
+    """Learned artifacts ``spec`` needs that require a training log.
+
+    This is the capability-flag routing rule the pipeline's learn stage
+    consumes: ``needs_index``/``needs_weights`` always require the log;
+    ``needs_probabilities`` only when the resolved assignment method is
+    learned (``EM``/``PT``); ``needs_oracle`` depending on the bound
+    ``model`` (the CD evaluator and LT weights are learned, IC follows
+    the probability rule).
+    """
+    method = params.get("method") or config.probability_method
+    model = params.get("model", "cd")
+    missing: list[str] = []
+    if spec.needs_index:
+        missing.append("the Algorithm-2 credit index")
+    if spec.needs_weights:
+        missing.append("learned LT weights")
+    if spec.needs_probabilities and method in ("EM", "PT"):
+        missing.append(f"{method}-learned IC probabilities")
+    if spec.needs_oracle:
+        if model == "cd":
+            missing.append("the sigma_cd evaluator")
+        elif model == "ic" and method in ("EM", "PT"):
+            missing.append(f"{method}-learned IC probabilities")
+        elif model == "lt":
+            missing.append("learned LT weights")
+    return missing
+
+
 @dataclass
 class SelectorRun:
     """One (selector, trial) cell of an experiment."""
@@ -240,12 +384,21 @@ class SelectorRun:
 
 @dataclass
 class ExperimentResult:
-    """Everything :func:`run_experiment` measured."""
+    """Everything :func:`run_experiment` measured.
+
+    The selection task fills ``runs`` (one
+    :class:`SelectorRun` per (selector, trial) cell); the prediction
+    task fills ``prediction`` (a
+    :class:`~repro.evaluation.prediction.PredictionExperiment` holding
+    per-method ``(actual, predicted)`` pairs).  ``timings`` records the
+    wall time of every compiled pipeline stage under ``<stage>_s``.
+    """
 
     config: ExperimentConfig
     dataset_name: str
     runs: list[SelectorRun] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    prediction: Any | None = None
 
     def labels(self) -> list[str]:
         """Selector labels in config order."""
@@ -279,6 +432,51 @@ class ExperimentResult:
             for label, points in self.spread_series().items()
         }
 
+    # ------------------------------------------------------------------
+    # Prediction-task accessors
+    # ------------------------------------------------------------------
+    def _require_prediction(self):
+        require(
+            self.prediction is not None,
+            "this result has no prediction records "
+            "(run a task='prediction' experiment)",
+        )
+        return self.prediction
+
+    def prediction_methods(self) -> list[str]:
+        """Prediction-model names in config order."""
+        return list(self._require_prediction().methods)
+
+    def pairs(self, method: str) -> list[tuple[float, float]]:
+        """The ``(actual, predicted)`` pairs of one prediction method."""
+        prediction = self._require_prediction()
+        require(
+            method in prediction.records,
+            f"no prediction records for method {method!r}; "
+            f"available: {list(prediction.records)}",
+        )
+        return prediction.records[method]
+
+    def rmse_table(self) -> dict[str, float]:
+        """Per-method prediction RMSE (the Figure-3 summary numbers)."""
+        from repro.evaluation.metrics import rmse
+
+        return {
+            method: rmse(self.pairs(method))
+            for method in self.prediction_methods()
+        }
+
+    def capture_table(
+        self, thresholds: Sequence[float] = (5, 10, 20, 40)
+    ) -> dict[str, list[tuple[float, float]]]:
+        """Per-method Figure-4 capture curves at ``thresholds``."""
+        from repro.evaluation.metrics import capture_curve
+
+        return {
+            method: capture_curve(self.pairs(method), list(thresholds))
+            for method in self.prediction_methods()
+        }
+
     def runtime_curves(self) -> dict[str, list[tuple[int, float]]]:
         """Per-label cumulative runtime-vs-k curves (first trial).
 
@@ -300,6 +498,24 @@ class ExperimentResult:
         """A printable summary table (the ``repro run`` output)."""
         from repro.evaluation.reporting import format_table
 
+        if self.prediction is not None:
+            thresholds = (5, 10, 20, 40)
+            rmse_table = self.rmse_table()
+            capture = self.capture_table(thresholds)
+            rows = [
+                [method, f"{rmse_table[method]:.1f}"]
+                + [f"{fraction:.2f}" for _, fraction in capture[method]]
+                for method in self.prediction_methods()
+            ]
+            return format_table(
+                ["method", "RMSE", *[f"cap@{t:g}" for t in thresholds]],
+                rows,
+                title=(
+                    f"spread prediction on {self.dataset_name} over "
+                    f"{self.prediction.num_test_traces} test traces "
+                    f"(seed={self.config.seed})"
+                ),
+            )
         k_max = self.config.ks[-1]
         rows = []
         for run in self.runs:
@@ -331,6 +547,17 @@ class ExperimentResult:
 
     def to_dict(self) -> dict[str, Any]:
         """A JSON-representable view of the full result."""
+        prediction = None
+        if self.prediction is not None:
+            prediction = {
+                "methods": list(self.prediction.methods),
+                "num_test_traces": self.prediction.num_test_traces,
+                "records": {
+                    method: [[actual, predicted]
+                             for actual, predicted in pairs]
+                    for method, pairs in self.prediction.records.items()
+                },
+            }
         return {
             "config": self.config.to_dict(),
             "dataset": self.dataset_name,
@@ -344,6 +571,7 @@ class ExperimentResult:
                 }
                 for run in self.runs
             ],
+            "prediction": prediction,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -370,8 +598,26 @@ def _make_dataset(config: ExperimentConfig) -> Dataset:
 
 def _bind(config: ExperimentConfig, entry: SelectorConfig,
           context: SelectionContext, trial: int) -> Selector:
-    """Bind the selector, injecting a derived per-trial seed if stochastic."""
+    """Bind the selector to its effective parameters for one cell.
+
+    Consumes the registry capability flags: stochastic selectors get a
+    derived per-trial seed unless the caller pinned one, budget-aware
+    selectors get the config's budget workload injected, and a budget
+    workload bound to a selector without ``supports_budget`` is
+    rejected with a :class:`ConfigError` (the config constructor
+    already enforces this; re-checking here covers hand-built configs
+    that mutated after construction).
+    """
     selector = get_selector(entry.name, **entry.params)
+    if config.budget is not None:
+        require_config(
+            selector.spec.supports_budget,
+            f"selector {entry.display()!r} does not support budget "
+            f"workloads (supports_budget=False); budget-aware selectors: "
+            f"{_budget_selector_names()}",
+        )
+        if "budget" not in selector.params:
+            selector = selector.with_params(budget=config.budget)
     if selector.spec.stochastic and "seed" not in selector.params:
         selector = selector.with_params(
             seed=context.derive_seed(entry.name, trial)
@@ -384,7 +630,13 @@ def run_experiment(
     dataset: Dataset | None = None,
     context: SelectionContext | None = None,
 ) -> ExperimentResult:
-    """Run the full dataset→split→learn→select→evaluate pipeline.
+    """Compile ``config`` into the stage pipeline and run it.
+
+    The selection task runs ``dataset → split → learn → select →
+    evaluate``; the prediction task ``dataset → split → learn →
+    predict → evaluate`` — both through
+    :func:`repro.runtime.pipeline.execute_pipeline`, with every stage's
+    independent units dispatched to the configured executor.
 
     Parameters
     ----------
@@ -398,55 +650,9 @@ def run_experiment(
         Pre-built :class:`~repro.api.context.SelectionContext` to share
         learned artifacts across experiments.  When given, the dataset/
         split stages are skipped entirely and the context's graph/log
-        are authoritative.
+        are authoritative.  Selection task only — the prediction task
+        needs the raw dataset to hold out test traces.
     """
-    timings: dict[str, float] = {}
-    if context is None:
-        with Timer() as timer:
-            data = dataset if dataset is not None else _make_dataset(config)
-        timings["dataset_s"] = timer.elapsed
-        with Timer() as timer:
-            if config.split:
-                train, _ = train_test_split(data.log, every=config.split_every)
-            else:
-                train = data.log
-        timings["split_s"] = timer.elapsed
-        context = SelectionContext(
-            data.graph,
-            train,
-            probability_method=config.probability_method,
-            num_simulations=config.num_simulations,
-            truncation=config.truncation,
-            seed=config.seed,
-            backend=config.backend,
-        )
-        dataset_name = data.name
-    else:
-        dataset_name = dataset.name if dataset is not None else "context"
+    from repro.runtime.pipeline import execute_pipeline
 
-    result = ExperimentResult(config=config, dataset_name=dataset_name)
-    k_max = config.ks[-1]
-    with Timer() as select_timer:
-        for entry in config.selectors:
-            for trial in range(config.trials):
-                selector = _bind(config, entry, context, trial)
-                selection = selector.select(context, k_max)
-                result.runs.append(
-                    SelectorRun(
-                        label=entry.display(),
-                        trial=trial,
-                        selection=selection,
-                    )
-                )
-    timings["select_s"] = select_timer.elapsed
-    if config.evaluate_spread:
-        with Timer() as evaluate_timer:
-            evaluator = context.cd_evaluator()
-            for run in result.runs:
-                run.curve = [
-                    (k, evaluator.spread(run.selection.seeds_at(k)))
-                    for k in config.ks
-                ]
-        timings["evaluate_s"] = evaluate_timer.elapsed
-    result.timings = timings
-    return result
+    return execute_pipeline(config, dataset=dataset, context=context)

@@ -41,7 +41,7 @@ from repro.api import (
     list_selectors,
     run_experiment,
 )
-from repro.data.datasets import flickr_like, flixster_like
+from repro.data.datasets import Dataset, flickr_like, flixster_like
 from repro.data.io import (
     load_action_log,
     load_graph,
@@ -49,8 +49,6 @@ from repro.data.io import (
     save_graph,
 )
 from repro.data.split import train_test_split
-from repro.evaluation.metrics import capture_curve, rmse
-from repro.evaluation.prediction import spread_prediction_experiment
 from repro.evaluation.reporting import format_table
 from repro.evaluation.selection import method_selector
 
@@ -128,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--config", required=True, help="experiment config JSON")
     run.add_argument("--out", default=None,
                      help="also write the full result as JSON")
+    run.add_argument(
+        "--executor", choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="override the config's executor (results are identical; "
+        "only wall time changes)",
+    )
+    run.add_argument("--max-workers", type=int, default=None,
+                     help="override the config's worker count")
 
     predict = commands.add_parser(
         "predict", help="spread-prediction experiment (Figure-3 protocol)"
@@ -135,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--graph", required=True)
     predict.add_argument("--log", required=True)
     predict.add_argument("--max-traces", type=int, default=50)
+    predict.add_argument("--simulations", type=int, default=200,
+                         help="MC simulations per spread prediction")
+    predict.add_argument(
+        "--executor", choices=["auto", "serial", "thread", "process"],
+        default="auto",
+    )
 
     analyze = commands.add_parser(
         "analyze", help="influencer analytics from the credit index"
@@ -303,6 +315,10 @@ def _cmd_list_selectors(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     try:
         config = ExperimentConfig.from_json_file(args.config)
+        if args.executor is not None:
+            config.executor = args.executor
+        if args.max_workers is not None:
+            config.max_workers = args.max_workers
     except (OSError, TypeError, ValueError) as error:
         print(f"bad experiment config: {error}", file=sys.stderr)
         return 2
@@ -322,23 +338,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_predict(args: argparse.Namespace) -> int:
     graph = load_graph(args.graph)
     log = load_action_log(args.log)
-    experiment = spread_prediction_experiment(
-        graph, log, max_test_traces=args.max_traces
+    # Route through the unified runtime: the same stage pipeline (and
+    # executor seam) that `repro run --config` drives, with the on-disk
+    # dataset passed in directly.
+    dataset = Dataset(name=args.graph, graph=graph, log=log)
+    config = ExperimentConfig(
+        task="prediction",
+        methods=["IC", "LT", "CD"],
+        num_simulations=args.simulations,
+        max_test_traces=args.max_traces,
+        executor=args.executor,
     )
-    thresholds = [5, 10, 20, 40]
-    rows = []
-    for method in experiment.methods:
-        pairs = experiment.pairs(method)
-        curve = dict(capture_curve(pairs, thresholds))
-        rows.append(
-            [method, f"{rmse(pairs):.1f}"]
-            + [f"{curve[t]:.2f}" for t in thresholds]
-        )
-    print(format_table(
-        ["method", "RMSE", *[f"cap@{t}" for t in thresholds]],
-        rows,
-        title=f"spread prediction over {experiment.num_test_traces} test traces",
-    ))
+    result = run_experiment(config, dataset=dataset)
+    print(result.render())
     return 0
 
 

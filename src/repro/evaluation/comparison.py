@@ -34,7 +34,7 @@ from repro.api.experiment import (
 )
 from repro.data.actionlog import ActionLog
 from repro.evaluation.metrics import capture_curve, rmse
-from repro.evaluation.prediction import spread_prediction_experiment
+from repro.evaluation.prediction import _spread_prediction_protocol
 from repro.evaluation.reporting import format_series, format_table
 from repro.evaluation.significance import (
     PairedComparison,
@@ -176,7 +176,7 @@ def compare_models(
     )
     require(len(predictors) >= 2, "compare_models needs at least two models")
     require(tolerance > 0.0, f"tolerance must be positive, got {tolerance}")
-    experiment = spread_prediction_experiment(
+    experiment = _spread_prediction_protocol(
         graph, log, predictors, max_test_traces=max_test_traces
     )
     result = ComparisonResult(

@@ -20,6 +20,7 @@ The predictors:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Mapping
 
@@ -44,6 +45,7 @@ from repro.probabilities.static import (
 __all__ = [
     "PredictionExperiment",
     "spread_prediction_experiment",
+    "select_test_traces",
     "build_ic_predictors",
     "build_lt_predictor",
     "build_cd_predictor",
@@ -143,29 +145,37 @@ def build_cd_predictor(graph: SocialGraph, train_log: ActionLog) -> Predictor:
     return evaluator.spread
 
 
-def spread_prediction_experiment(
+def select_test_traces(
+    test_log: ActionLog, max_test_traces: int | None = None
+) -> list[Hashable]:
+    """The evaluated test actions, largest-first, optionally capped.
+
+    The cap samples the size ranking *stratified* (every n-th trace of
+    the ranking), so the evaluated subset keeps the test set's
+    propagation-size distribution — the paper evaluates all test
+    traces.  Shared by this module's legacy driver and the
+    :mod:`repro.runtime` prediction pipeline, so both evaluate exactly
+    the same traces.
+    """
+    test_actions = sorted(
+        test_log.actions(),
+        key=lambda action: -test_log.trace_size(action),
+    )
+    if max_test_traces is not None and max_test_traces < len(test_actions):
+        stride = len(test_actions) / max_test_traces
+        test_actions = [
+            test_actions[int(index * stride)] for index in range(max_test_traces)
+        ]
+    return test_actions
+
+
+def _spread_prediction_protocol(
     graph: SocialGraph,
     log: ActionLog,
     predictors: Mapping[str, Predictor] | None = None,
     max_test_traces: int | None = None,
 ) -> PredictionExperiment:
-    """Run the prediction protocol end to end.
-
-    Parameters
-    ----------
-    graph, log:
-        The dataset.
-    predictors:
-        Mapping method name -> predictor.  Each predictor is built from
-        the *training* half; when omitted, the Figure-3 trio (IC, LT,
-        CD) is used.
-    max_test_traces:
-        Optional cap on evaluated test traces, to bound Monte Carlo time
-        in quick runs.  The cap samples the size ranking *stratified*
-        (every n-th trace of the ranking), so the evaluated subset keeps
-        the test set's propagation-size distribution — the paper
-        evaluates all test traces.
-    """
+    """The protocol body (no deprecation warning — internal callers)."""
     train_log, test_log = train_test_split(log)
     if predictors is None:
         ic = build_ic_predictors(graph, train_log, methods=("EM",))
@@ -177,15 +187,7 @@ def spread_prediction_experiment(
     experiment = PredictionExperiment(methods=list(predictors))
     for method in predictors:
         experiment.records[method] = []
-    test_actions = sorted(
-        test_log.actions(),
-        key=lambda action: -test_log.trace_size(action),
-    )
-    if max_test_traces is not None and max_test_traces < len(test_actions):
-        stride = len(test_actions) / max_test_traces
-        test_actions = [
-            test_actions[int(index * stride)] for index in range(max_test_traces)
-        ]
+    test_actions = select_test_traces(test_log, max_test_traces)
     for action in test_actions:
         propagation = PropagationGraph.build(graph, test_log, action)
         seeds = propagation.initiators()
@@ -195,3 +197,45 @@ def spread_prediction_experiment(
             experiment.records[method].append((actual, predicted))
     experiment.num_test_traces = len(test_actions)
     return experiment
+
+
+def spread_prediction_experiment(
+    graph: SocialGraph,
+    log: ActionLog,
+    predictors: Mapping[str, Predictor] | None = None,
+    max_test_traces: int | None = None,
+) -> PredictionExperiment:
+    """Run the prediction protocol end to end.
+
+    .. deprecated:: 1.5
+        This bespoke driver predates the unified experiment runtime.
+        Prefer ``ExperimentConfig(task="prediction", ...)`` with
+        :func:`repro.api.run_experiment` (or ``repro run --config``),
+        which runs the same protocol through the stage pipeline with
+        executor parallelism and config-file reproducibility.  Direct
+        calls keep working but emit a :class:`DeprecationWarning`.
+
+    Parameters
+    ----------
+    graph, log:
+        The dataset.
+    predictors:
+        Mapping method name -> predictor.  Each predictor is built from
+        the *training* half; when omitted, the Figure-3 trio (IC, LT,
+        CD) is used.
+    max_test_traces:
+        Optional cap on evaluated test traces, to bound Monte Carlo time
+        in quick runs; see :func:`select_test_traces` for the sampling
+        rule.
+    """
+    warnings.warn(
+        "spread_prediction_experiment is deprecated; run the prediction "
+        "protocol through repro.api.run_experiment with "
+        "ExperimentConfig(task='prediction', ...) — the config-driven "
+        "path covers Figures 2-4 and adds executor parallelism",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _spread_prediction_protocol(
+        graph, log, predictors=predictors, max_test_traces=max_test_traces
+    )

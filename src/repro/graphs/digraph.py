@@ -10,12 +10,23 @@ contiguous integers.  Edges are unweighted here — influence probabilities
 and credits live in separate structures keyed by ``(source, target)``
 pairs, mirroring the paper's separation between the social graph and the
 models learned on top of it.
+
+Adjacency is stored *insertion-ordered* (dict-backed, not set-backed):
+neighbor iteration order is the edge-insertion order, everywhere and
+always — including after a round-trip through ``pickle``, which rebuilds
+a ``set`` with a potentially different iteration order but preserves a
+``dict`` exactly.  Every consumer that interleaves random draws with
+neighbor iteration (the Monte-Carlo cascade simulators, RIS sampling)
+or accumulates floats over neighbors (PageRank, IRIE) therefore
+produces bit-identical results whether it runs in this process or in a
+worker the graph was shipped to — the property the
+:mod:`repro.runtime` process executor's parity guarantee rests on.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, KeysView
 
 __all__ = ["SocialGraph"]
 
@@ -35,8 +46,10 @@ class SocialGraph:
     """
 
     def __init__(self) -> None:
-        self._out: dict[Node, set[Node]] = {}
-        self._in: dict[Node, set[Node]] = {}
+        # node -> insertion-ordered adjacency (dict keys as an ordered
+        # set); see the module docstring for why this is not a set.
+        self._out: dict[Node, dict[Node, None]] = {}
+        self._in: dict[Node, dict[Node, None]] = {}
         self._num_edges = 0
 
     # ------------------------------------------------------------------
@@ -57,8 +70,8 @@ class SocialGraph:
     def add_node(self, node: Node) -> None:
         """Add ``node`` if not already present (idempotent)."""
         if node not in self._out:
-            self._out[node] = set()
-            self._in[node] = set()
+            self._out[node] = {}
+            self._in[node] = {}
 
     def add_edge(self, source: Node, target: Node) -> None:
         """Add the directed edge ``source -> target`` (idempotent).
@@ -71,15 +84,15 @@ class SocialGraph:
         self.add_node(source)
         self.add_node(target)
         if target not in self._out[source]:
-            self._out[source].add(target)
-            self._in[target].add(source)
+            self._out[source][target] = None
+            self._in[target][source] = None
             self._num_edges += 1
 
     def remove_edge(self, source: Node, target: Node) -> None:
         """Remove the directed edge ``source -> target``; raise if absent."""
         try:
-            self._out[source].remove(target)
-            self._in[target].remove(source)
+            del self._out[source][target]
+            del self._in[target][source]
         except KeyError as exc:
             raise KeyError(f"edge {source!r} -> {target!r} not in graph") from exc
         self._num_edges -= 1
@@ -118,13 +131,21 @@ class SocialGraph:
         targets = self._out.get(source)
         return targets is not None and target in targets
 
-    def out_neighbors(self, node: Node) -> set[Node]:
-        """Nodes ``u`` with an edge ``node -> u`` (a live view; do not mutate)."""
-        return self._out[node]
+    def out_neighbors(self, node: Node) -> KeysView[Node]:
+        """Nodes ``u`` with an edge ``node -> u``, in edge-insertion order.
 
-    def in_neighbors(self, node: Node) -> set[Node]:
-        """Nodes ``u`` with an edge ``u -> node`` (a live view; do not mutate)."""
-        return self._in[node]
+        A live, set-like view (membership, iteration, ``len``, ``|``);
+        do not mutate the graph while holding it.
+        """
+        return self._out[node].keys()
+
+    def in_neighbors(self, node: Node) -> KeysView[Node]:
+        """Nodes ``u`` with an edge ``u -> node``, in edge-insertion order.
+
+        A live, set-like view (membership, iteration, ``len``, ``|``);
+        do not mutate the graph while holding it.
+        """
+        return self._in[node].keys()
 
     def out_degree(self, node: Node) -> int:
         """Number of outgoing edges of ``node``."""

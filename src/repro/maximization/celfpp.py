@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Hashable, Iterable
 
-from repro.maximization.greedy import GreedyResult
+from repro.maximization.greedy import GreedyResult, _sweep
 from repro.maximization.oracle import SpreadOracle
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
@@ -46,11 +46,70 @@ class _Candidate:
     mg2: float
 
 
+def _initial_round(oracle, pool, result, executor):
+    """CELF++'s first round: ``(mg1, prev_best, mg2)`` per candidate.
+
+    The serial branch is the reference formulation; the executor branch
+    computes the same quantities in two parallel sweeps (all ``mg1``
+    first — the running ``prev_best`` is a pure function of those —
+    then every needed ``sigma({prev_best, node})``), with identical
+    values and oracle-call counts.
+    """
+    if executor is None or not getattr(executor, "is_parallel", False):
+        rows = []
+        best_so_far: User | None = None
+        best_gain = float("-inf")
+        for node in pool:
+            mg1 = oracle.spread([node])
+            result.oracle_calls += 1
+            if best_so_far is None:
+                mg2 = mg1
+            else:
+                mg2 = oracle.spread([best_so_far, node]) - best_gain
+                result.oracle_calls += 1
+            rows.append((node, mg1, best_so_far, mg2))
+            if mg1 > best_gain:
+                best_gain = mg1
+                best_so_far = node
+        return rows
+
+    mg1s = _sweep(oracle, [], pool, executor)
+    result.oracle_calls += len(pool)
+    # prev_best of node i = argmax of mg1 over nodes 0..i-1 (first-wins
+    # tie-break, as in the serial loop).
+    prev_bests: list[tuple[User | None, float]] = []
+    best_so_far, best_gain = None, float("-inf")
+    for node, mg1 in zip(pool, mg1s):
+        prev_bests.append((best_so_far, best_gain))
+        if mg1 > best_gain:
+            best_gain = mg1
+            best_so_far = node
+    # Group the mg2 evaluations by their (few, shared) prev_best bases.
+    by_base: dict[User, list[int]] = {}
+    for index, (base, _) in enumerate(prev_bests):
+        if base is not None:
+            by_base.setdefault(base, []).append(index)
+    mg2_spread: dict[int, float] = {}
+    for base, indices in by_base.items():
+        spreads = _sweep(
+            oracle, [base], [pool[index] for index in indices], executor
+        )
+        result.oracle_calls += len(indices)
+        mg2_spread.update(zip(indices, spreads))
+    rows = []
+    for index, (node, mg1) in enumerate(zip(pool, mg1s)):
+        base, base_gain = prev_bests[index]
+        mg2 = mg1 if base is None else mg2_spread[index] - base_gain
+        rows.append((node, mg1, base, mg2))
+    return rows
+
+
 def celfpp_maximize(
     oracle: SpreadOracle,
     k: int,
     candidates: Iterable[User] | None = None,
     time_log: list[tuple[int, float]] | None = None,
+    executor=None,
 ) -> GreedyResult:
     """Select ``k`` seeds by greedy with the CELF++ optimisation.
 
@@ -61,6 +120,10 @@ def celfpp_maximize(
 
     If ``time_log`` is given, ``(seed_count, elapsed_seconds)`` is
     appended at each selection, as in the CELF implementation.
+
+    ``executor`` parallelises the initial round's candidate sweeps (the
+    bulk of the calls) with bit-identical results; the lazy phase is
+    sequential by nature.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     started = time.perf_counter()
@@ -73,23 +136,13 @@ def celfpp_maximize(
     states: dict[User, _Candidate] = {}
     # Initial round: compute mg1 for every node and mg2 w.r.t. the best
     # node seen so far (its "prev_best").
-    best_so_far: User | None = None
-    best_gain = float("-inf")
-    for node in pool:
-        mg1 = oracle.spread([node])
-        result.oracle_calls += 1
-        if best_so_far is None:
-            mg2 = mg1
-        else:
-            mg2 = oracle.spread([best_so_far, node]) - best_gain
-            result.oracle_calls += 1
+    for node, mg1, prev_best, mg2 in _initial_round(
+        oracle, pool, result, executor
+    ):
         states[node] = _Candidate(
-            node=node, mg1=mg1, iteration=0, prev_best=best_so_far, mg2=mg2
+            node=node, mg1=mg1, iteration=0, prev_best=prev_best, mg2=mg2
         )
         queue.push(node, mg1, iteration=0)
-        if mg1 > best_gain:
-            best_gain = mg1
-            best_so_far = node
 
     selected: list[User] = []
     current_spread = 0.0

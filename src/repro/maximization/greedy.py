@@ -8,6 +8,13 @@ guarantee both the standard approach and the CD model inherit.
 This implementation evaluates every candidate in every iteration (k * n
 oracle calls); :mod:`repro.maximization.celf` is the drop-in replacement
 that avoids most of them.
+
+The per-iteration candidate sweep is embarrassingly parallel — every
+``sigma(S + {v})`` evaluation is independent, and the Monte-Carlo
+oracles re-seed deterministically per seed set — so an optional
+:class:`~repro.runtime.executor.Executor` can fan the sweep out to
+workers with bit-identical results (the argmax is still taken in
+candidate order in the parent).
 """
 
 from __future__ import annotations
@@ -21,6 +28,34 @@ from repro.utils.validation import require
 __all__ = ["GreedyResult", "greedy_maximize"]
 
 User = Hashable
+
+
+def _spread_chunk(payload: tuple) -> list[float]:
+    """Worker task: ``oracle.spread(base + [node])`` per node of a chunk.
+
+    Module-level (picklable) and shared with the CELF/CELF++ initial
+    sweeps.  ``base`` is materialised by the caller so every executor
+    evaluates exactly the same seed lists.
+    """
+    oracle, base, nodes = payload
+    return [oracle.spread(base + [node]) for node in nodes]
+
+
+def _sweep(oracle, base: list[User], nodes: list[User], executor) -> list[float]:
+    """Candidate-sweep spreads, in ``nodes`` order, on any executor."""
+    if (
+        executor is None
+        or not getattr(executor, "is_parallel", False)
+        or len(nodes) <= 1
+    ):
+        return _spread_chunk((oracle, base, nodes))
+    from repro.runtime.executor import split_chunks
+
+    chunks = split_chunks(nodes, executor.workers())
+    results = executor.map(
+        _spread_chunk, [(oracle, base, chunk) for chunk in chunks]
+    )
+    return [spread for chunk in results for spread in chunk]
 
 
 @dataclass
@@ -54,6 +89,7 @@ def greedy_maximize(
     oracle: SpreadOracle,
     k: int,
     candidates: Iterable[User] | None = None,
+    executor=None,
 ) -> GreedyResult:
     """Select ``k`` seeds by plain greedy (Algorithm 1).
 
@@ -65,6 +101,10 @@ def greedy_maximize(
         Seed-set size; capped at the number of candidates.
     candidates:
         Candidate universe; defaults to ``oracle.candidates()``.
+    executor:
+        Optional :class:`~repro.runtime.executor.Executor` for the
+        per-iteration candidate sweep; the selected seeds are identical
+        on every executor.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     pool = list(oracle.candidates() if candidates is None else candidates)
@@ -72,18 +112,17 @@ def greedy_maximize(
     current_spread = 0.0
     selected: set[User] = set()
     for _ in range(min(k, len(pool))):
+        remaining = [node for node in pool if node not in selected]
+        if not remaining:
+            break
+        spreads = _sweep(oracle, list(selected), remaining, executor)
+        result.oracle_calls += len(remaining)
         best_node = None
         best_spread = float("-inf")
-        for node in pool:
-            if node in selected:
-                continue
-            candidate_spread = oracle.spread(list(selected) + [node])
-            result.oracle_calls += 1
+        for node, candidate_spread in zip(remaining, spreads):
             if candidate_spread > best_spread:
                 best_spread = candidate_spread
                 best_node = node
-        if best_node is None:
-            break
         selected.add(best_node)
         result.seeds.append(best_node)
         result.gains.append(best_spread - current_spread)

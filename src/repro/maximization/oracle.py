@@ -10,6 +10,21 @@ skeleton is shared and only ``sigma_m`` changes.
 Monte-Carlo oracles re-seed their generator deterministically per seed
 set, so ``spread(S)`` is a pure function within a run: CELF's lazy
 comparisons stay consistent and experiments are reproducible.
+
+Two Monte-Carlo protocols coexist:
+
+* **legacy** (``executor=None``, the default): one sequential RNG
+  stream per seed set — byte-identical to every release since the
+  oracles were introduced;
+* **runtime** (an :class:`~repro.runtime.executor.Executor` given,
+  which is how :func:`repro.api.run_experiment` builds its contexts):
+  the chunked, order-pinned protocol of
+  :class:`~repro.runtime.estimator.SpreadEstimator`, whose simulation
+  batches parallelize across the executor's workers and whose results
+  are bit-identical on the serial, thread and process executors.
+
+The two protocols are statistically equivalent; they simply consume
+their random draws in different orders.
 """
 
 from __future__ import annotations
@@ -44,6 +59,8 @@ class SpreadOracle(Protocol):
 class _MonteCarloOracle:
     """Shared machinery for the IC and LT Monte Carlo oracles."""
 
+    _model = "ic"
+
     def __init__(
         self,
         graph: SocialGraph,
@@ -51,6 +68,7 @@ class _MonteCarloOracle:
         num_simulations: int,
         seed: int,
         backend: str | None = None,
+        executor=None,
     ) -> None:
         require(
             num_simulations >= 1,
@@ -61,9 +79,12 @@ class _MonteCarloOracle:
         self._num_simulations = num_simulations
         self._seed = seed
         self._backend = resolve_backend(backend)
+        self._executor = executor
         # Compiled CSR edge arrays for the numpy backend, built lazily
         # once and reused by every spread() call (the CELF inner loop).
         self._compiled = None
+        # Runtime-protocol estimator (executor given), built lazily.
+        self._estimator = None
 
     def _compiled_diffusion(self):
         if self._compiled is None:
@@ -71,6 +92,35 @@ class _MonteCarloOracle:
 
             self._compiled = CompiledDiffusion(self._graph, self._edge_values)
         return self._compiled
+
+    def _runtime_estimator(self):
+        if self._estimator is None:
+            from repro.runtime.estimator import SpreadEstimator
+
+            self._estimator = SpreadEstimator(
+                self._graph,
+                self._edge_values,
+                model=self._model,
+                num_simulations=self._num_simulations,
+                seed=self._seed,
+                backend=self._backend,
+                executor=self._executor,
+            )
+        return self._estimator
+
+    def prepare(self) -> "_MonteCarloOracle":
+        """Build the simulation engine eagerly (the prefetch hook).
+
+        Under the runtime protocol the engine pins iteration orders, so
+        it must be compiled in the parent *before* the oracle is
+        pickled into process workers — the pipeline's learn stage calls
+        this for every oracle the configured selectors will touch.
+        """
+        if self._executor is not None:
+            self._runtime_estimator()
+        elif self._backend == "numpy":
+            self._compiled_diffusion()
+        return self
 
     def candidates(self) -> list[User]:
         """All graph nodes are candidate seeds."""
@@ -92,6 +142,8 @@ class _MonteCarloOracle:
 class ICSpreadOracle(_MonteCarloOracle):
     """Monte Carlo oracle for ``sigma_IC`` — the standard approach's engine."""
 
+    _model = "ic"
+
     def __init__(
         self,
         graph: SocialGraph,
@@ -99,12 +151,17 @@ class ICSpreadOracle(_MonteCarloOracle):
         num_simulations: int = 10_000,
         seed: int = 0,
         backend: str | None = None,
+        executor=None,
     ) -> None:
-        super().__init__(graph, probabilities, num_simulations, seed, backend)
+        super().__init__(
+            graph, probabilities, num_simulations, seed, backend, executor
+        )
 
     def spread(self, seeds: Iterable[User]) -> float:
         """Expected IC spread of ``seeds`` by Monte Carlo simulation."""
         seed_list = list(seeds)
+        if self._executor is not None:
+            return self._runtime_estimator().spread(seed_list)
         if self._backend == "numpy":
             return self._compiled_diffusion().spread_ic(
                 seed_list, self._num_simulations, self._per_set_seed(seed_list)
@@ -122,6 +179,8 @@ class ICSpreadOracle(_MonteCarloOracle):
 class LTSpreadOracle(_MonteCarloOracle):
     """Monte Carlo oracle for ``sigma_LT``."""
 
+    _model = "lt"
+
     def __init__(
         self,
         graph: SocialGraph,
@@ -129,12 +188,17 @@ class LTSpreadOracle(_MonteCarloOracle):
         num_simulations: int = 10_000,
         seed: int = 0,
         backend: str | None = None,
+        executor=None,
     ) -> None:
-        super().__init__(graph, weights, num_simulations, seed, backend)
+        super().__init__(
+            graph, weights, num_simulations, seed, backend, executor
+        )
 
     def spread(self, seeds: Iterable[User]) -> float:
         """Expected LT spread of ``seeds`` by Monte Carlo simulation."""
         seed_list = list(seeds)
+        if self._executor is not None:
+            return self._runtime_estimator().spread(seed_list)
         if self._backend == "numpy":
             return self._compiled_diffusion().spread_lt(
                 seed_list, self._num_simulations, self._per_set_seed(seed_list)

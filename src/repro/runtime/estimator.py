@@ -1,0 +1,266 @@
+"""Executor-parallel Monte-Carlo spread estimation.
+
+:class:`SpreadEstimator` is the runtime's spread engine for the IC and
+LT models: one object per ``(graph, edge values, model)`` triple that
+answers ``spread(seeds)`` by Monte-Carlo simulation, decomposed into
+fixed-size *batches* that can be dispatched to any
+:class:`~repro.runtime.executor.Executor`.
+
+The decomposition is part of the estimate's definition, not an executor
+detail: ``num_simulations`` is always split into the same batch sizes,
+every batch ``i`` draws from its own child generator seeded with
+``derive_seed(derive_seed(seed, "spread", canonical_seeds), i)``, and
+the batch means are reduced in batch order.  Serial, thread and process
+executors therefore return bit-identical floats — the parallelism only
+moves where the batches run.  (This is a different — chunked — stream
+from the single sequential stream of the legacy
+``estimate_spread_ic``/``estimate_spread_lt`` protocol, which the
+Monte-Carlo *oracles* keep for backward compatibility; statistically the
+two are equivalent.)
+
+Cross-process determinism requires more than derived seeds: the python
+reference cascades consume their RNG stream in *neighbor-set iteration
+order*, and a pickled ``set`` may iterate differently after being
+rebuilt in a worker.  The estimator therefore compiles the graph once,
+in the parent, into an order-pinned adjacency snapshot
+(:class:`_PinnedCascades` — plain lists, which pickle order-identically)
+under the ``python`` backend, and into the CSR arrays of
+:class:`~repro.kernels.mc_numpy.CompiledDiffusion` under ``numpy``.
+Workers only ever replay the snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.graphs.digraph import SocialGraph
+from repro.kernels import resolve_backend
+from repro.runtime.executor import Executor, split_chunks
+from repro.utils.ordering import node_sort_key
+from repro.utils.rng import derive_seed
+from repro.utils.validation import require
+
+__all__ = ["SpreadEstimator", "SIMULATION_BATCH"]
+
+User = Hashable
+Edge = tuple[User, User]
+
+# Simulations per batch.  A constant (never derived from the worker
+# count) so the decomposition — and therefore the estimate — is
+# identical on every executor.
+SIMULATION_BATCH = 25
+
+MODELS = ("ic", "lt")
+
+
+class _PinnedCascades:
+    """Python-backend IC/LT cascades over an order-pinned snapshot.
+
+    Semantics mirror :func:`repro.diffusion.ic.simulate_ic` and
+    :func:`repro.diffusion.lt.simulate_lt` (one Bernoulli trial per
+    positive-probability edge when its source activates; lazy LT
+    thresholds), but every iteration order — adjacency rows, the
+    initial frontier — is fixed by plain lists snapshotted at
+    construction, so the RNG stream is consumed identically in the
+    parent and in any worker the object is pickled into.
+    """
+
+    def __init__(
+        self, graph: SocialGraph, edge_values: Mapping[Edge, float]
+    ) -> None:
+        self.members = list(graph.nodes())
+        member_set = set(self.members)
+        self.adjacency: dict[User, list[tuple[User, float]]] = {}
+        for node in self.members:
+            row = [
+                (target, edge_values.get((node, target), 0.0))
+                for target in graph.out_neighbors(node)
+            ]
+            row = [(target, value) for target, value in row if value > 0.0]
+            if row:
+                self.adjacency[node] = row
+        self._member_set = member_set
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_member_set")  # rebuilt from the pinned list
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._member_set = set(self.members)
+
+    def _initial(self, seeds: Iterable[User]) -> list[User]:
+        """The canonical initial frontier: in-graph seeds, deduplicated
+        and ordered by the library-wide :func:`node_sort_key` — so a
+        seed *set* maps to exactly one simulation stream regardless of
+        the order the caller listed it in (matching the canonical
+        per-set seed derivation)."""
+        unique = {seed for seed in seeds if seed in self._member_set}
+        return sorted(unique, key=node_sort_key)
+
+    def spread_ic(self, seeds, num_simulations: int, seed: int) -> float:
+        rng = random.Random(seed)
+        initial = self._initial(seeds)
+        total = 0
+        for _ in range(num_simulations):
+            active = set(initial)
+            frontier = deque(initial)
+            while frontier:
+                node = frontier.popleft()
+                for target, probability in self.adjacency.get(node, ()):
+                    if target in active:
+                        continue
+                    if rng.random() < probability:
+                        active.add(target)
+                        frontier.append(target)
+            total += len(active)
+        return total / num_simulations
+
+    def spread_lt(self, seeds, num_simulations: int, seed: int) -> float:
+        rng = random.Random(seed)
+        initial = self._initial(seeds)
+        total = 0
+        for _ in range(num_simulations):
+            active = set(initial)
+            thresholds: dict[User, float] = {}
+            pressure: dict[User, float] = {}
+            frontier = deque(initial)
+            while frontier:
+                node = frontier.popleft()
+                for target, weight in self.adjacency.get(node, ()):
+                    if target in active:
+                        continue
+                    if target not in thresholds:
+                        thresholds[target] = rng.random()
+                    new_pressure = pressure.get(target, 0.0) + weight
+                    pressure[target] = new_pressure
+                    if new_pressure >= thresholds[target]:
+                        active.add(target)
+                        frontier.append(target)
+            total += len(active)
+        return total / num_simulations
+
+
+def _run_batch_chunk(payload: tuple) -> list[float]:
+    """Worker task: run a chunk of simulation batches, one mean each.
+
+    ``payload`` is ``(engine, model, seeds, [(num_simulations, seed),
+    ...])`` where ``engine`` is a :class:`_PinnedCascades` or a
+    :class:`~repro.kernels.mc_numpy.CompiledDiffusion` — both picklable
+    and order-pinned, so the same function serves the serial, thread
+    and process executors.
+    """
+    engine, model, seeds, batches = payload
+    run = engine.spread_ic if model == "ic" else engine.spread_lt
+    return [run(seeds, num_simulations, seed) for num_simulations, seed in batches]
+
+
+class SpreadEstimator:
+    """Batched Monte-Carlo ``sigma_IC``/``sigma_LT`` with an executor seam.
+
+    Parameters
+    ----------
+    graph, edge_values:
+        The diffusion network: IC probabilities or LT weights.
+    model:
+        ``"ic"`` or ``"lt"``.
+    num_simulations:
+        Total simulations per estimate (split into
+        :data:`SIMULATION_BATCH`-sized batches).
+    seed:
+        Base RNG seed; fans out per (seed set, batch) as described in
+        the module docstring.
+    backend:
+        Compute backend per :func:`repro.kernels.resolve_backend`.
+    executor:
+        Where batches run; ``None`` means serial.
+    """
+
+    def __init__(
+        self,
+        graph: SocialGraph,
+        edge_values: Mapping[Edge, float],
+        model: str = "ic",
+        num_simulations: int = 100,
+        seed: int = 0,
+        backend: str | None = None,
+        executor: Executor | None = None,
+        batch_size: int = SIMULATION_BATCH,
+    ) -> None:
+        require(model in MODELS, f"model must be one of {MODELS}, got {model!r}")
+        require(
+            num_simulations >= 1,
+            f"num_simulations must be >= 1, got {num_simulations}",
+        )
+        require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
+        self.graph = graph
+        self.edge_values = dict(edge_values)
+        self.model = model
+        self.num_simulations = num_simulations
+        self.seed = seed
+        self.backend = resolve_backend(backend)
+        self.executor = executor
+        self.batch_size = batch_size
+        # Built eagerly, in the constructing (parent) process: the
+        # engine pins every iteration order, so workers that receive a
+        # pickled estimator replay exactly the parent's snapshot.
+        self._engine = None
+        self.engine()
+
+    # ------------------------------------------------------------------
+    def batch_sizes(self) -> list[int]:
+        """The fixed simulation-count decomposition of one estimate."""
+        full, rest = divmod(self.num_simulations, self.batch_size)
+        sizes = [self.batch_size] * full
+        if rest:
+            sizes.append(rest)
+        return sizes
+
+    def engine(self):
+        """The order-pinned cascade engine (compiled once, in the parent)."""
+        if self._engine is None:
+            if self.backend == "numpy":
+                from repro.kernels.mc_numpy import CompiledDiffusion
+
+                self._engine = CompiledDiffusion(self.graph, self.edge_values)
+            else:
+                self._engine = _PinnedCascades(self.graph, self.edge_values)
+        return self._engine
+
+    def candidates(self) -> list[User]:
+        """All graph nodes (the :class:`SpreadOracle` protocol)."""
+        return list(self.graph.nodes())
+
+    def spread(self, seeds: Iterable[User]) -> float:
+        """Monte-Carlo estimate of the expected spread of ``seeds``.
+
+        Deterministic per seed set (canonicalised, so order does not
+        matter) and identical on every executor.
+        """
+        seed_list = list(seeds)
+        canonical = repr(sorted(repr(node) for node in seed_list))
+        set_seed = derive_seed(self.seed, "spread", canonical)
+        batches = [
+            (size, derive_seed(set_seed, index))
+            for index, size in enumerate(self.batch_sizes())
+        ]
+        means = self._run(seed_list, batches)
+        total = sum(mean * size for mean, (size, _) in zip(means, batches))
+        return total / self.num_simulations
+
+    def _run(
+        self, seeds: list[User], batches: Sequence[tuple[int, int]]
+    ) -> list[float]:
+        engine = self.engine()
+        executor = self.executor
+        if executor is None or not executor.is_parallel or len(batches) <= 1:
+            return _run_batch_chunk((engine, self.model, seeds, list(batches)))
+        chunks = split_chunks(list(batches), executor.workers())
+        results = executor.map(
+            _run_batch_chunk,
+            [(engine, self.model, seeds, chunk) for chunk in chunks],
+        )
+        return [mean for chunk_means in results for mean in chunk_means]

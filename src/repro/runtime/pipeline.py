@@ -1,0 +1,477 @@
+"""The stage-graph experiment runtime both protocols compile into.
+
+The paper's evaluation is two protocols over one pipeline shape:
+
+* **selection** (Figures 6-9): ``dataset → split → learn → select →
+  evaluate`` — pick seeds with every configured selector, score the
+  k-grid prefixes under the CD proxy;
+* **prediction** (Figures 2-4): ``dataset → split → learn → predict →
+  evaluate`` — fit every model on the training traces, predict each
+  held-out trace's spread from its initiators, score the predictions.
+
+:func:`compile_pipeline` turns an
+:class:`~repro.api.experiment.ExperimentConfig` into the stage list for
+its ``task``; :func:`execute_pipeline` runs the stages, timing each one
+into ``ExperimentResult.timings`` (``<stage>_s`` keys).
+
+Parallelism.  Each stage dispatches its independent units through the
+experiment's :class:`~repro.runtime.executor.Executor` — (selector,
+trial) cells in ``select``, per-run k-grid scoring in ``evaluate``,
+(method, trace-chunk) tasks in ``predict`` — and the selectors
+themselves thread the executor into the greedy/CELF candidate sweeps
+and :class:`~repro.runtime.estimator.SpreadEstimator` batches.  Every
+unit draws its randomness from label-derived seeds and every reduction
+happens in submission order, so ``serial``/``thread``/``process`` runs
+are bit-identical (``tests/test_runtime_parallel.py``).
+
+The ``learn`` stage is where the registry's capability flags become
+load-bearing: before anything runs, every selector entry is validated
+against the workload (budget vs ``supports_budget``) and the context
+(``needs_index``/``needs_oracle``/``needs_probabilities``/
+``needs_weights`` vs the availability of a training log), raising
+:class:`~repro.utils.validation.ConfigError` up front; under a parallel
+executor the same flags drive artifact *prefetching*, so worker tasks
+only ever read the shared context instead of racing to build it (or,
+under the process executor, rebuilding it per task and throwing the
+result away).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+from repro.api.context import SelectionContext
+from repro.api.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    SelectorRun,
+    _bind,
+    _make_dataset,
+    _missing_artifacts,
+)
+from repro.api.registry import get_selector
+from repro.data.split import train_test_split
+from repro.evaluation.prediction import PredictionExperiment, select_test_traces
+from repro.runtime.estimator import SpreadEstimator
+from repro.runtime.executor import Executor, as_executor, split_chunks
+from repro.utils.rng import derive_seed
+from repro.utils.timing import Timer
+from repro.utils.validation import ConfigError, require_config
+
+__all__ = [
+    "Stage",
+    "PipelineState",
+    "PredictorSpec",
+    "compile_pipeline",
+    "execute_pipeline",
+]
+
+User = Hashable
+
+
+# ----------------------------------------------------------------------
+# Worker task functions (module-level: picklable for the process executor)
+# ----------------------------------------------------------------------
+def _select_chunk(payload: tuple) -> list:
+    """Run a chunk of (selector, trial) cells against the shared context.
+
+    Cells are chunked so the (large, prefetched) context is pickled
+    once per worker task rather than once per cell; each cell's result
+    is a pure function of the cell, so chunking never changes it.
+    """
+    import repro.api.adapters  # noqa: F401  (populate the registry in workers)
+
+    context, k, cells = payload
+    return [
+        get_selector(name, **params).select(context, k)
+        for name, params in cells
+    ]
+
+
+def _evaluate_chunk(payload: tuple) -> list[list[float]]:
+    """CD-proxy spreads of a chunk of runs' k-grid seed prefixes."""
+    evaluator, runs_seed_sets = payload
+    return [
+        [evaluator.spread(seeds) for seeds in seed_sets]
+        for seed_sets in runs_seed_sets
+    ]
+
+
+def _predict_chunk(payload: tuple) -> list[float]:
+    """One predictor over a chunk of test-trace seed sets."""
+    spec, seed_sets = payload
+    return [spec.predict(list(seeds)) for seeds in seed_sets]
+
+
+# ----------------------------------------------------------------------
+# Predictors (the prediction protocol's per-method engines)
+# ----------------------------------------------------------------------
+@dataclass
+class PredictorSpec:
+    """One spread predictor of the prediction protocol, picklable.
+
+    ``estimator`` is set for the Monte-Carlo models (the five IC
+    probability assignments, the EM-learned ``IC`` entry, ``LT``);
+    ``evaluator`` for the closed-form ``CD`` model.
+    """
+
+    method: str
+    estimator: SpreadEstimator | None = None
+    evaluator: Any | None = None
+
+    def predict(self, seeds: list[User]) -> float:
+        """The predicted spread of ``seeds`` under this model."""
+        if self.evaluator is not None:
+            return float(self.evaluator.spread(seeds))
+        assert self.estimator is not None
+        return self.estimator.spread(seeds)
+
+
+def _build_predictor(
+    method: str, context: SelectionContext, config: ExperimentConfig,
+    executor: Executor,
+) -> PredictorSpec:
+    """Build (and thereby prefetch the artifacts of) one predictor.
+
+    ``IC`` is the paper's Figure-3 entry — the IC model with EM-learned
+    probabilities; the five assignment names (``UN``/``TV``/``WC``/
+    ``EM``/``PT``) are the Figure-2 line-up; ``LT`` and ``CD`` learn
+    their weights/credits from the training fold.
+    """
+    if method == "CD":
+        return PredictorSpec(method=method, evaluator=context.cd_evaluator())
+    if method == "LT":
+        edge_values, model = context.lt_weights(), "lt"
+    else:
+        assignment = "EM" if method == "IC" else method
+        edge_values, model = context.ic_probabilities(assignment), "ic"
+    return PredictorSpec(
+        method=method,
+        estimator=SpreadEstimator(
+            context.graph,
+            edge_values,
+            model=model,
+            num_simulations=config.num_simulations,
+            seed=derive_seed(config.seed, "predict", method),
+            backend=context.backend,
+            executor=executor,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline state and stages
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineState:
+    """Everything the stages read and write."""
+
+    config: ExperimentConfig
+    executor: Executor
+    result: ExperimentResult
+    dataset: Any | None = None
+    context: SelectionContext | None = None
+    train_log: Any | None = None
+    test_log: Any | None = None
+    predictors: list[PredictorSpec] = field(default_factory=list)
+    # Held-out traces as (initiator seed set, actual spread) pairs, and
+    # per-method raw predictions aligned with them.
+    traces: list[tuple[tuple, float]] = field(default_factory=list)
+    predictions: dict[str, list[float]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One named step of the compiled pipeline."""
+
+    name: str
+    run: Callable[[PipelineState], None]
+
+
+def _stage_dataset(state: PipelineState) -> None:
+    if state.dataset is None:
+        state.dataset = _make_dataset(state.config)
+    state.result.dataset_name = state.dataset.name
+
+
+def _stage_split(state: PipelineState) -> None:
+    config = state.config
+    log = state.dataset.log
+    if config.split:
+        state.train_log, state.test_log = train_test_split(
+            log, every=config.split_every
+        )
+    else:
+        state.train_log = log
+
+
+def _make_context(state: PipelineState) -> SelectionContext:
+    config = state.config
+    return SelectionContext(
+        state.dataset.graph,
+        state.train_log,
+        probability_method=config.probability_method,
+        num_simulations=config.num_simulations,
+        truncation=config.truncation,
+        seed=config.seed,
+        backend=config.backend,
+        executor=state.executor,
+    )
+
+
+def _validate_entries(config: ExperimentConfig,
+                      context: SelectionContext) -> None:
+    """Reject selector/context combinations up front (capability flags)."""
+    if context.train_log is not None:
+        return
+    for entry in config.selectors:
+        spec = get_selector(entry.name).spec
+        missing = _missing_artifacts(spec, entry.params, config)
+        require_config(
+            not missing,
+            f"selector {entry.display()!r} needs {', '.join(missing)}, "
+            "which require a training action log, but the context was "
+            "built without one",
+        )
+
+
+def _prefetch_artifacts(config: ExperimentConfig,
+                        context: SelectionContext) -> None:
+    """Build the flagged artifacts once, in the parent, before fan-out.
+
+    Under the thread executor this keeps worker cells read-only over
+    the shared context; under the process executor it is what makes the
+    fan-out profitable at all — a worker's lazily built artifact dies
+    with the worker.  For oracle-backed selectors the per-trial oracles
+    themselves are prepared (simulation engines compiled), so workers
+    receive ready-to-run engines in the pickled context instead of each
+    recompiling them.
+    """
+    if context.train_log is None:
+        return
+    for entry in config.selectors:
+        spec = get_selector(entry.name).spec
+        method = entry.params.get("method") or config.probability_method
+        model = entry.params.get("model", "cd")
+        if spec.needs_index:
+            context.credit_index()
+        if spec.needs_probabilities:
+            context.ic_probabilities(method)
+        if spec.needs_weights:
+            context.lt_weights()
+        if spec.needs_oracle:
+            if model == "cd":
+                context.cd_evaluator()
+            else:
+                for trial in range(config.trials):
+                    bound = _bind(config, entry, context, trial)
+                    # Mirror the adapter's oracle() call exactly so the
+                    # prefetched cache key matches the worker's lookup.
+                    context.oracle(
+                        model,
+                        method=bound.params.get("method"),
+                        seed=bound.params.get("seed"),
+                    ).prepare()
+    if config.evaluate_spread:
+        context.cd_evaluator()
+
+
+def _stage_learn_selection(state: PipelineState) -> None:
+    if state.context is None:
+        state.context = _make_context(state)
+    _validate_entries(state.config, state.context)
+    if state.executor.is_parallel:
+        _prefetch_artifacts(state.config, state.context)
+
+
+def _stage_select(state: PipelineState) -> None:
+    config = state.config
+    context = state.context
+    k_max = config.ks[-1]
+    bound = [
+        (entry.display(), trial, _bind(config, entry, context, trial))
+        for entry in config.selectors
+        for trial in range(config.trials)
+    ]
+    executor = state.executor
+    if executor.is_parallel and len(bound) > 1:
+        chunks = split_chunks(bound, executor.workers())
+        payloads = [
+            (
+                context,
+                k_max,
+                [(selector.spec.name, selector.params)
+                 for _, _, selector in chunk],
+            )
+            for chunk in chunks
+        ]
+        selections = [
+            selection
+            for chunk_result in executor.map(_select_chunk, payloads)
+            for selection in chunk_result
+        ]
+    else:
+        selections = [
+            selector.select(context, k_max) for _, _, selector in bound
+        ]
+    for (label, trial, _), selection in zip(bound, selections):
+        state.result.runs.append(
+            SelectorRun(label=label, trial=trial, selection=selection)
+        )
+
+
+def _stage_evaluate_selection(state: PipelineState) -> None:
+    config = state.config
+    evaluator = state.context.cd_evaluator()
+    runs = state.result.runs
+    per_run_seed_sets = [
+        [run.selection.seeds_at(k) for k in config.ks] for run in runs
+    ]
+    executor = state.executor
+    if executor.is_parallel and len(runs) > 1:
+        chunks = split_chunks(per_run_seed_sets, executor.workers())
+        spreads_per_run = [
+            spreads
+            for chunk_result in executor.map(
+                _evaluate_chunk, [(evaluator, chunk) for chunk in chunks]
+            )
+            for spreads in chunk_result
+        ]
+    else:
+        spreads_per_run = _evaluate_chunk((evaluator, per_run_seed_sets))
+    for run, spreads in zip(runs, spreads_per_run):
+        run.curve = list(zip(config.ks, spreads))
+
+
+def _stage_learn_prediction(state: PipelineState) -> None:
+    state.context = _make_context(state)
+    state.predictors = [
+        _build_predictor(method, state.context, state.config, state.executor)
+        for method in state.config.methods
+    ]
+
+
+def _stage_predict(state: PipelineState) -> None:
+    from repro.data.propagation import PropagationGraph
+
+    config = state.config
+    graph = state.dataset.graph
+    test_log = state.test_log
+    actions = select_test_traces(test_log, config.max_test_traces)
+    traces: list[tuple[tuple, float]] = []
+    for action in actions:
+        propagation = PropagationGraph.build(graph, test_log, action)
+        traces.append(
+            (tuple(propagation.initiators()), float(propagation.num_nodes))
+        )
+    state.traces = traces
+    seed_sets = [seeds for seeds, _ in traces]
+    executor = state.executor
+    tasks: list[tuple[str, list]] = []
+    for spec in state.predictors:
+        chunks = (
+            split_chunks(seed_sets, executor.workers())
+            if executor.is_parallel and len(seed_sets) > 1
+            else [seed_sets]
+        )
+        tasks.extend((spec.method, (spec, chunk)) for chunk in chunks)
+    if executor.is_parallel and len(tasks) > 1:
+        outputs = executor.map(_predict_chunk, [p for _, p in tasks])
+    else:
+        outputs = [_predict_chunk(payload) for _, payload in tasks]
+    predictions: dict[str, list[float]] = {
+        spec.method: [] for spec in state.predictors
+    }
+    for (method, _), chunk_output in zip(tasks, outputs):
+        predictions[method].extend(chunk_output)
+    state.predictions = predictions
+
+
+def _stage_evaluate_prediction(state: PipelineState) -> None:
+    actuals = [actual for _, actual in state.traces]
+    experiment = PredictionExperiment(
+        methods=[spec.method for spec in state.predictors],
+        num_test_traces=len(state.traces),
+    )
+    for spec in state.predictors:
+        predicted = state.predictions[spec.method]
+        experiment.records[spec.method] = list(zip(actuals, predicted))
+    state.result.prediction = experiment
+
+
+# ----------------------------------------------------------------------
+# Compilation and execution
+# ----------------------------------------------------------------------
+def compile_pipeline(
+    config: ExperimentConfig,
+    have_dataset: bool = False,
+    have_context: bool = False,
+) -> list[Stage]:
+    """The stage list ``config.task`` compiles into.
+
+    ``have_dataset``/``have_context`` mirror the ``run_experiment``
+    arguments: a pre-built context makes the dataset/split stages
+    unnecessary for the selection task (its graph/log are
+    authoritative), and is rejected for the prediction task, which
+    needs the raw dataset to hold out test traces.
+    """
+    if config.task == "prediction":
+        require_config(
+            not have_context,
+            "the prediction task re-splits the raw dataset into "
+            "train/test traces; pass dataset=, not context=",
+        )
+        return [
+            Stage("dataset", _stage_dataset),
+            Stage("split", _stage_split),
+            Stage("learn", _stage_learn_prediction),
+            Stage("predict", _stage_predict),
+            Stage("evaluate", _stage_evaluate_prediction),
+        ]
+    stages: list[Stage] = []
+    if not have_context:
+        stages.append(Stage("dataset", _stage_dataset))
+        stages.append(Stage("split", _stage_split))
+    stages.append(Stage("learn", _stage_learn_selection))
+    stages.append(Stage("select", _stage_select))
+    if config.evaluate_spread:
+        stages.append(Stage("evaluate", _stage_evaluate_selection))
+    return stages
+
+
+def execute_pipeline(
+    config: ExperimentConfig,
+    dataset=None,
+    context: SelectionContext | None = None,
+) -> ExperimentResult:
+    """Compile ``config`` into stages and run them, timing each.
+
+    This is the engine behind :func:`repro.api.run_experiment`; see
+    there for the argument contract.
+    """
+    executor = as_executor(config.executor, config.max_workers)
+    result = ExperimentResult(config=config, dataset_name="")
+    state = PipelineState(
+        config=config, executor=executor, result=result, dataset=dataset,
+    )
+    if context is not None:
+        if config.task == "prediction":
+            raise ConfigError(
+                "the prediction task re-splits the raw dataset into "
+                "train/test traces; pass dataset=, not context="
+            )
+        state.context = context
+        result.dataset_name = dataset.name if dataset is not None else "context"
+    try:
+        for stage in compile_pipeline(config, dataset is not None,
+                                      context is not None):
+            with Timer() as timer:
+                stage.run(state)
+            result.timings[f"{stage.name}_s"] = timer.elapsed
+    finally:
+        # The pipeline owns this executor (built from the config above);
+        # release its worker pool.  A retained reference transparently
+        # respawns the pool on the next parallel map.
+        executor.close()
+    return result

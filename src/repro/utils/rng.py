@@ -10,9 +10,26 @@ the same benchmark tables.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
-__all__ = ["make_rng", "spawn_rngs", "integer_seed"]
+__all__ = ["make_rng", "spawn_rngs", "integer_seed", "derive_seed"]
+
+
+def derive_seed(base: int, *labels: object) -> int:
+    """A deterministic child seed for ``(base, labels)``.
+
+    The fan-out rule behind every deterministic decomposition in the
+    library: :meth:`repro.api.context.SelectionContext.derive_seed`
+    (per-(selector, trial) streams) and the runtime's per-task seeds
+    (Monte-Carlo simulation batches, prediction methods) all hash
+    through here.  Stable across processes — blake2b of the labels'
+    ``repr``, not the salted built-in ``hash`` — so the same base seed
+    and labels always yield the same stream on any executor.
+    """
+    tag = "|".join([str(base), *map(repr, labels)])
+    digest = hashlib.blake2b(tag.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 def make_rng(seed: int | random.Random | None = None) -> random.Random:

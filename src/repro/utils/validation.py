@@ -9,17 +9,38 @@ re-validate.
 from __future__ import annotations
 
 __all__ = [
+    "ConfigError",
     "require",
+    "require_config",
     "require_positive",
     "require_non_negative",
     "require_probability",
 ]
 
 
+class ConfigError(ValueError):
+    """An experiment configuration names an impossible combination.
+
+    Raised up front — at :class:`~repro.api.experiment.ExperimentConfig`
+    construction or during the pipeline's learn-stage validation —
+    when a selector's capability flags are incompatible with the
+    requested workload (e.g. a budget workload given to a selector
+    without ``supports_budget``, or a selector needing learned
+    artifacts bound to a context that has no training log).  Subclasses
+    ``ValueError`` so existing broad handlers keep working.
+    """
+
+
 def require(condition: bool, message: str) -> None:
     """Raise ``ValueError(message)`` unless ``condition`` holds."""
     if not condition:
         raise ValueError(message)
+
+
+def require_config(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError(message)` unless ``condition`` holds."""
+    if not condition:
+        raise ConfigError(message)
 
 
 def require_positive(value: float, name: str) -> None:

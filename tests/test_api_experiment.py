@@ -163,6 +163,8 @@ class TestRunExperiment:
         from repro.maximization.ris import ris_maximize
         from repro.maximization.simpath import simpath_maximize
 
+        from repro.core.budget import cd_budget_maximize
+
         k = 2
         config = ExperimentConfig(
             dataset="toy",
@@ -189,6 +191,9 @@ class TestRunExperiment:
         weights = ctx.lt_weights()
         direct = {
             "cd": cd_maximize(ctx.credit_index(), k, mutate=False).seeds,
+            "cd_budget": cd_budget_maximize(
+                ctx.credit_index(), budget=float(k)
+            ).seeds,
             "greedy": greedy_maximize(ctx.cd_evaluator(), k).seeds,
             "celf": celf_maximize(ctx.cd_evaluator(), k).seeds,
             "celfpp": celfpp_maximize(ctx.cd_evaluator(), k).seeds,
