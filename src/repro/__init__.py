@@ -30,7 +30,13 @@ every substrate its evaluation depends on:
 * :mod:`repro.runtime` — the stage pipeline both experiment protocols
   (seed selection and spread prediction) compile into, with a pluggable
   parallel executor seam (``executor="serial"|"thread"|"process"``)
-  whose results are bit-identical across executors.
+  whose results are bit-identical across executors;
+* :mod:`repro.store` — the persistent artifact store and warm-start
+  query service: learned artifacts are saved once
+  (``ExperimentConfig(store=...)`` or ``repro learn --store``) and
+  reused by later runs (byte-identical, learning skipped) and by the
+  ``repro serve`` HTTP endpoint, which answers ``select``/``spread``/
+  ``predict`` queries without touching the raw action log.
 
 Quickstart
 ----------
@@ -155,8 +161,9 @@ from repro.probabilities.static import (
     uniform_probabilities,
     weighted_cascade_probabilities,
 )
+from repro.store import ArtifactStore
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # api (the canonical surface)
@@ -172,6 +179,8 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    # store
+    "ArtifactStore",
     # graphs
     "SocialGraph",
     "GraphSummary",

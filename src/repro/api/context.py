@@ -34,7 +34,7 @@ from repro.runtime.executor import Executor, as_executor
 from repro.utils.rng import derive_seed as _derive_seed
 from repro.utils.validation import require
 
-__all__ = ["SelectionContext", "IC_PROBABILITY_METHODS"]
+__all__ = ["SelectionContext", "IC_PROBABILITY_METHODS", "ARTIFACT_NAMES"]
 
 User = Hashable
 Edge = tuple[User, User]
@@ -42,6 +42,20 @@ Edge = tuple[User, User]
 IC_PROBABILITY_METHODS = ("UN", "TV", "WC", "EM", "PT")
 ORACLE_MODELS = ("cd", "ic", "lt")
 CREDIT_SCHEMES = ("timedecay", "uniform")
+
+# The persistable learned-artifact slots (the vocabulary of
+# :mod:`repro.store`): per-method IC probabilities plus the four
+# singleton caches and the interned CSR form.
+_PROBABILITY_PREFIX = "ic_probabilities/"
+ARTIFACT_NAMES = tuple(
+    f"{_PROBABILITY_PREFIX}{method}" for method in IC_PROBABILITY_METHODS
+) + (
+    "lt_weights",
+    "influence_params",
+    "credit_index",
+    "cd_evaluator",
+    "compiled_log",
+)
 
 
 class SelectionContext:
@@ -157,6 +171,86 @@ class SelectionContext:
         selectors.
         """
         return _derive_seed(self.seed, *labels)
+
+    # ------------------------------------------------------------------
+    # Artifact slots (the repro.store vocabulary)
+    # ------------------------------------------------------------------
+    def learn_spec(self) -> dict:
+        """The parameters that determine every learned artifact's value.
+
+        This is the ``learn`` component of a :mod:`repro.store` cache
+        key: two contexts over the same (graph, train log) pair with
+        equal specs produce byte-identical artifacts, so stored
+        payloads can be injected across runs, processes and executors.
+        (``num_simulations`` is deliberately absent — it parameterizes
+        the Monte-Carlo *oracles*, which are derived from the artifacts
+        at query time, never stored.)
+        """
+        return {
+            "truncation": self.truncation,
+            "seed": self.seed,
+            "credit_scheme": self.credit_scheme,
+            "backend": self.backend,
+        }
+
+    def _artifact_slot(self, name: str):
+        """(getter, setter) for one artifact slot, validating ``name``."""
+        require(
+            name in ARTIFACT_NAMES,
+            f"unknown artifact {name!r}; known: {list(ARTIFACT_NAMES)}",
+        )
+        if name.startswith(_PROBABILITY_PREFIX):
+            method = name[len(_PROBABILITY_PREFIX):]
+            return (
+                lambda: self._probabilities.get(method),
+                lambda value: self._probabilities.__setitem__(method, value),
+            )
+        attr = {
+            "lt_weights": "_lt_weights",
+            "influence_params": "_params",
+            "credit_index": "_credit_index",
+            "cd_evaluator": "_cd_evaluator",
+            "compiled_log": "_compiled_log",
+        }[name]
+        return (
+            lambda: getattr(self, attr),
+            lambda value: setattr(self, attr, value),
+        )
+
+    def artifact_names(self) -> list[str]:
+        """Names of the artifact slots currently populated."""
+        return [
+            name for name in ARTIFACT_NAMES
+            if self._artifact_slot(name)[0]() is not None
+        ]
+
+    def get_artifact(self, name: str):
+        """The cached artifact in slot ``name`` (``None`` if unbuilt)."""
+        return self._artifact_slot(name)[0]()
+
+    def set_artifact(self, name: str, value) -> None:
+        """Inject a pre-built artifact into slot ``name``.
+
+        This is the warm-start seam: :mod:`repro.store` loads a
+        persisted payload and places it here, after which the lazy
+        accessors (:meth:`ic_probabilities`, :meth:`credit_index`, ...)
+        find the cache populated and never learn.  The caller is
+        responsible for the value matching this context's
+        :meth:`learn_spec` and (graph, train log) pair.
+        """
+        self._artifact_slot(name)[1](value)
+
+    def build_artifact(self, name: str):
+        """Build (or return the cached) artifact for slot ``name``."""
+        if name.startswith(_PROBABILITY_PREFIX):
+            return self.ic_probabilities(name[len(_PROBABILITY_PREFIX):])
+        return {
+            "lt_weights": self.lt_weights,
+            "influence_params": self.influence_params,
+            "credit_index": self.credit_index,
+            "cd_evaluator": self.cd_evaluator,
+            "compiled_log": self.compiled_log,
+        }[name]()
 
     # ------------------------------------------------------------------
     # Shared intermediate structures (lazy, cached)

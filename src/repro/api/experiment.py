@@ -141,6 +141,16 @@ class ExperimentConfig:
         ``REPRO_EXECUTOR`` environment variable, default ``serial``).
         Results are bit-identical across executors — only wall time
         changes.  ``max_workers`` defaults to the CPU count.
+    store / warm_start:
+        ``store`` names an :class:`~repro.store.store.ArtifactStore`
+        directory; the runtime learn stage then consults it before any
+        fan-out — stored artifacts for this (dataset fingerprint, split
+        spec, learn spec) are loaded instead of learned, misses are
+        learned once and saved back, and
+        ``ExperimentResult.store_events`` records which was which.  A
+        store hit skips learning entirely and returns results identical
+        to the cold run on every executor.  ``warm_start=False`` keeps
+        the store write-only (re-learn and refresh: cache priming).
     budget:
         Optional budget workload for the selection task: the total
         seed-cost cap handed to budget-aware selectors
@@ -173,6 +183,8 @@ class ExperimentConfig:
     task: str = "selection"
     executor: str = "auto"
     max_workers: int | None = None
+    store: str | None = None
+    warm_start: bool = True
     budget: float | None = None
     methods: Sequence[str] = field(default_factory=lambda: ["IC", "LT", "CD"])
     max_test_traces: int | None = None
@@ -224,6 +236,14 @@ class ExperimentConfig:
         require(
             self.max_workers is None or self.max_workers >= 1,
             f"max_workers must be >= 1, got {self.max_workers}",
+        )
+        require(
+            self.store is None or isinstance(self.store, str),
+            f"store must be a directory path or None, got {self.store!r}",
+        )
+        require(
+            isinstance(self.warm_start, bool),
+            f"warm_start must be a bool, got {self.warm_start!r}",
         )
         require(
             self.budget is None or self.budget > 0,
@@ -307,6 +327,8 @@ class ExperimentConfig:
             "evaluate_spread": self.evaluate_spread,
             "executor": self.executor,
             "max_workers": self.max_workers,
+            "store": self.store,
+            "warm_start": self.warm_start,
             "budget": self.budget,
             "methods": list(self.methods),
             "max_test_traces": self.max_test_traces,
@@ -399,6 +421,10 @@ class ExperimentResult:
     runs: list[SelectorRun] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
     prediction: Any | None = None
+    # Warm-start bookkeeping when the config named a store: the context
+    # key plus per-artifact hit/miss/corrupt/saved lists (see
+    # repro.store.warm.warm_start).
+    store_events: dict[str, Any] | None = None
 
     def labels(self) -> list[str]:
         """Selector labels in config order."""
@@ -562,6 +588,7 @@ class ExperimentResult:
             "config": self.config.to_dict(),
             "dataset": self.dataset_name,
             "timings": dict(self.timings),
+            "store": self.store_events,
             "runs": [
                 {
                     "label": run.label,

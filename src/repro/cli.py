@@ -22,10 +22,18 @@ without writing Python:
 * ``repro graphstats`` — structural statistics of the social graph
   (degrees, clustering, cores, components);
 * ``repro learn`` — learn edge probabilities / LT weights from a
-  training log and persist them as a weighted edge list.
+  training log and persist them as a weighted edge list, and/or save
+  the full warm-start artifact bundle into an artifact store
+  (``--store``);
+* ``repro store`` — inspect (``ls``) and garbage-collect (``gc``) an
+  artifact store directory;
+* ``repro serve`` — the warm-start HTTP query service: answer
+  ``select``/``spread``/``predict`` requests from stored artifacts
+  without touching the raw action log.
 
-Every subcommand reads/writes the TSV formats of :mod:`repro.data.io`.
-Run ``python -m repro.cli <command> --help`` for per-command options.
+Every subcommand reads/writes the TSV formats of :mod:`repro.data.io`;
+the store subcommands use the :mod:`repro.store` layout.  Run
+``python -m repro.cli <command> --help`` for per-command options.
 """
 
 from __future__ import annotations
@@ -62,12 +70,17 @@ _METHODS = [
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduction of 'A Data-Based Approach to Social Influence "
             "Maximization' (VLDB 2011)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -203,9 +216,53 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["em", "bernoulli", "jaccard", "partial-credits", "lt"],
         default="em",
         help="em/bernoulli/jaccard/partial-credits give IC probabilities; "
-        "lt gives Linear Threshold weights",
+        "lt gives Linear Threshold weights (the --out TSV path)",
     )
-    learn.add_argument("--out", required=True, help="output edge-value TSV")
+    learn.add_argument("--out", default=None, help="output edge-value TSV")
+    learn.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="also learn and persist the full warm-start artifact bundle "
+        "(credit index, sigma_cd evaluator, EM probabilities, LT weights, "
+        "influenceability) into this artifact store — what `repro serve` "
+        "answers queries from",
+    )
+    learn.add_argument("--probability-method",
+                       choices=["UN", "TV", "WC", "EM", "PT"], default="EM",
+                       help="IC assignment stored for --store bundles")
+    learn.add_argument("--truncation", type=float, default=0.001)
+    learn.add_argument("--seed", type=int, default=7)
+    learn.add_argument("--credit-scheme",
+                       choices=["timedecay", "uniform"], default="timedecay")
+    learn.add_argument("--simulations", type=int, default=100,
+                       help="MC simulations recorded for serve-side oracles")
+
+    store = commands.add_parser(
+        "store", help="inspect or garbage-collect an artifact store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_commands.add_parser(
+        "ls", help="list the store's contexts and artifacts"
+    )
+    store_ls.add_argument("--store", required=True, metavar="DIR")
+    store_gc = store_commands.add_parser(
+        "gc", help="remove broken entries (and optionally expire by age)"
+    )
+    store_gc.add_argument("--store", required=True, metavar="DIR")
+    store_gc.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="also expire healthy entries older than this many days",
+    )
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="report what would be removed, remove nothing")
+
+    serve = commands.add_parser(
+        "serve", help="answer select/spread/predict queries from a store"
+    )
+    serve.add_argument("--store", required=True, metavar="DIR")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8734)
+    serve.add_argument("--cache", type=int, default=4,
+                       help="LRU capacity for loaded contexts")
     return parser
 
 
@@ -225,6 +282,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "budget": _cmd_budget,
         "graphstats": _cmd_graphstats,
         "learn": _cmd_learn,
+        "store": _cmd_store,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -300,12 +359,31 @@ def _cmd_maximize(args: argparse.Namespace) -> int:
 def _cmd_list_selectors(args: argparse.Namespace) -> int:
     rows = []
     for spec in list_selectors(family=args.family):
-        flags = [name for name, on in spec.capabilities().items() if on]
+        capabilities = spec.capabilities()
+        # The needs_* flags name the stored artifacts a selector pulls
+        # (`repro store ls` lists what a store holds), the rest are
+        # behavioral: supports_budget / supports_time_log / stochastic.
+        needs = [
+            name.removeprefix("needs_")
+            for name, on in capabilities.items()
+            if on and name.startswith("needs_")
+        ]
+        flags = [
+            name.removeprefix("supports_")
+            for name, on in capabilities.items()
+            if on and not name.startswith("needs_")
+        ]
         rows.append(
-            [spec.name, spec.family, ", ".join(flags) or "-", spec.description]
+            [
+                spec.name,
+                spec.family,
+                ", ".join(needs) or "-",
+                ", ".join(flags) or "-",
+                spec.description,
+            ]
         )
     print(format_table(
-        ["selector", "family", "capabilities", "description"],
+        ["selector", "family", "needs", "flags", "description"],
         rows,
         title=f"registered selectors ({len(rows)})",
     ))
@@ -479,19 +557,116 @@ def _cmd_learn(args: argparse.Namespace) -> int:
     from repro.probabilities.goyal import learn_static_probabilities
     from repro.probabilities.lt_weights import learn_lt_weights
 
+    if args.out is None and args.store is None:
+        print("learn: give --out (edge-value TSV) and/or --store (artifact "
+              "store directory)", file=sys.stderr)
+        return 2
     graph = load_graph(args.graph)
     log = load_action_log(args.log)
-    if args.model == "em":
-        values = learn_ic_probabilities_em(graph, log).probabilities
-    elif args.model == "lt":
-        values = learn_lt_weights(graph, log)
-    else:
-        values = learn_static_probabilities(graph, log, args.model)
-    save_edge_values(values, args.out)
-    print(
-        f"learned {len(values)} edge values with model '{args.model}' "
-        f"-> {args.out}"
+    if args.out is not None:
+        if args.model == "em":
+            values = learn_ic_probabilities_em(graph, log).probabilities
+        elif args.model == "lt":
+            values = learn_lt_weights(graph, log)
+        else:
+            values = learn_static_probabilities(graph, log, args.model)
+        save_edge_values(values, args.out)
+        print(
+            f"learned {len(values)} edge values with model '{args.model}' "
+            f"-> {args.out}"
+        )
+    if args.store is not None:
+        from repro.store.store import ArtifactStore
+        from repro.store.warm import warm_start
+
+        context = SelectionContext(
+            graph,
+            log,
+            probability_method=args.probability_method,
+            num_simulations=args.simulations,
+            truncation=args.truncation,
+            seed=args.seed,
+            credit_scheme=args.credit_scheme,
+        )
+        needed = [
+            "credit_index",
+            "cd_evaluator",
+            f"ic_probabilities/{args.probability_method}",
+            "lt_weights",
+        ]
+        if args.credit_scheme == "timedecay":
+            needed.append("influence_params")
+        events = warm_start(
+            ArtifactStore(args.store),
+            context,
+            needed,
+            dataset_name=args.log,
+        )
+        print(
+            f"stored context {events['context_key'][:12]}... -> {args.store} "
+            f"(hits: {len(events['hits'])}, learned: {len(events['misses'])}, "
+            f"saved: {len(events['saved'])})"
+        )
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store.store import ArtifactStore, StoreError
+
+    try:
+        store = ArtifactStore(args.store, create=False)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.store_command == "ls":
+        entries = store.entries()
+        contexts = sorted(
+            {entry.meta.get("context", "?") for entry in entries}
+        )
+        rows = [
+            [
+                entry.key[:12],
+                entry.meta.get("context", "?")[:12],
+                entry.meta.get("artifact", "?"),
+                entry.meta.get("dataset", "-") or "-",
+                entry.payload_bytes,
+            ]
+            for entry in sorted(
+                entries,
+                key=lambda e: (e.meta.get("context", ""), e.meta.get("artifact", "")),
+            )
+        ]
+        print(format_table(
+            ["key", "context", "artifact", "dataset", "bytes"],
+            rows,
+            title=(
+                f"artifact store {store.root}: {len(entries)} entries, "
+                f"{len(contexts)} context(s), {store.size_bytes()} payload bytes"
+            ),
+        ))
+        return 0
+    # gc
+    older_than_s = (
+        None if args.older_than is None else args.older_than * 86400.0
     )
+    removed = store.gc(older_than_s=older_than_s, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"gc {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}")
+    for key in removed:
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.store.service import serve
+    from repro.store.store import StoreError
+
+    try:
+        serve(args.store, host=args.host, port=args.port,
+              cache_size=args.cache)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     return 0
 
 

@@ -28,6 +28,7 @@ __all__ = [
     "load_action_log",
     "save_edge_values",
     "load_edge_values",
+    "parse_id",
 ]
 
 
@@ -125,9 +126,18 @@ def load_edge_values(
     return values
 
 
-def _parse_id(token: str) -> Hashable:
-    """Convert integer-looking identifiers back to ``int``."""
+def parse_id(token: str) -> Hashable:
+    """Convert an integer-looking identifier back to ``int``.
+
+    The coercion rule of every loader in this module, shared with the
+    ``repro serve`` request layer so JSON-borne seed ids match the ids
+    stored artifacts are keyed by.
+    """
     try:
         return int(token)
     except ValueError:
         return token
+
+
+# Backward-compatible private alias (pre-1.6 internal name).
+_parse_id = parse_id

@@ -27,6 +27,19 @@ per action rather than per-user Python loops), so the scan benchmark's
 Instances are built lazily by
 :class:`~repro.api.context.SelectionContext` and cached for every
 kernel that needs them.
+
+Serialization.  Compiled forms travel — the process executor pickles
+them into workers, and :mod:`repro.store` persists them as warm-start
+payloads — so all three classes implement compact pickle state:
+:class:`IdMap` drops its reverse dict (rebuilt from the value list),
+:class:`CompiledGraph` drops its derived arrays (``in_indices_wide``,
+``edge_keys``), and :class:`CompiledLog` drops the per-action
+:class:`CompiledAction` views entirely.  Those views are *slices* of
+the whole-log flat arrays, which pickle as independent copies — without
+this the serialized form would store every trace twice.  On load the
+per-action views are reconstructed from the flat arrays alone
+(:meth:`CompiledLog._rebuild_actions`), bit-identically to what
+compilation produced.
 """
 
 from __future__ import annotations
@@ -95,6 +108,14 @@ class IdMap:
     def value_of(self, interned: int) -> User:
         """The original node id behind an interned id."""
         return self.values[interned]
+
+    def __getstate__(self) -> dict:
+        # The forward dict is half the footprint and fully derivable.
+        return {"values": self.values}
+
+    def __setstate__(self, state: dict) -> None:
+        self.values = state["values"]
+        self.ids = {value: index for index, value in enumerate(self.values)}
 
 
 def _gather_csr(
@@ -181,6 +202,25 @@ class CompiledGraph:
         self.in_indices_wide = self.in_indices.astype(np.int64)
         self.edge_keys = (
             self.edge_src.astype(np.int64) * n
+            + self.out_indices.astype(np.int64)
+        )
+        self.num_edges = len(self.edge_keys)
+
+    # Arrays derivable from the canonical CSR state; dropped from the
+    # pickle payload and rebuilt on load.
+    _DERIVED = ("in_indices_wide", "edge_keys", "num_edges")
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for name in self._DERIVED:
+            state.pop(name)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.in_indices_wide = self.in_indices.astype(np.int64)
+        self.edge_keys = (
+            self.edge_src.astype(np.int64) * self.n
             + self.out_indices.astype(np.int64)
         )
         self.num_edges = len(self.edge_keys)
@@ -440,6 +480,58 @@ class CompiledLog:
                 )
             )
         return base + total
+
+    # ------------------------------------------------------------------
+    # Compact pickling: per-action views are slices of the flat arrays
+    # (they would pickle as full copies), so only the flat form travels
+    # and the views are rebuilt on load.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["actions"] = [compiled.action for compiled in self.actions]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        names = state.pop("actions")
+        self.__dict__.update(state)
+        self.actions = self._rebuild_actions(names)
+
+    def _rebuild_actions(self, names: list[Hashable]) -> list[CompiledAction]:
+        """Reconstruct every :class:`CompiledAction` from the flat arrays.
+
+        Action ``i`` owns global trace positions ``offsets[i]:offsets[i+1]``
+        and (because ``link_child`` is sorted by global child position)
+        the contiguous link range ``searchsorted`` finds for those
+        bounds.  A parent's local trace position is its global position
+        minus the action's base, and its interned id is one gather into
+        the flat trace — so the rebuilt arrays equal the compiled ones
+        bit for bit.
+        """
+        bounds = np.searchsorted(self.link_child, self.offsets)
+        actions: list[CompiledAction] = []
+        for index, name in enumerate(names):
+            lo, hi = int(self.offsets[index]), int(self.offsets[index + 1])
+            link_lo, link_hi = int(bounds[index]), int(bounds[index + 1])
+            size = hi - lo
+            local_child = self.link_child[link_lo:link_hi] - lo
+            parent_indptr = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(
+                np.bincount(local_child, minlength=size),
+                out=parent_indptr[1:],
+            )
+            parent_global = self.link_parent[link_lo:link_hi]
+            actions.append(
+                CompiledAction(
+                    action=name,
+                    node_ids=self.node_ids_flat[lo:hi],
+                    times=self.times_flat[lo:hi],
+                    parent_indptr=parent_indptr,
+                    parent_pos=(parent_global - lo).astype(np.int32),
+                    parent_ids=self.node_ids_flat[parent_global],
+                    edge_ids=self.link_edge_ids[link_lo:link_hi],
+                )
+            )
+        return actions
 
     def _empty_action(self, action: Hashable) -> CompiledAction:
         return CompiledAction(

@@ -277,10 +277,48 @@ def _prefetch_artifacts(config: ExperimentConfig,
         context.cd_evaluator()
 
 
+def _consult_store(state: PipelineState) -> None:
+    """Warm-start the context from the configured artifact store.
+
+    Runs before any fan-out: stored artifacts for this (dataset
+    fingerprint, split spec, learn spec) are injected into the shared
+    context (hit), everything else the config's selectors/methods need
+    is built through the context's own lazy accessors (miss → learn)
+    and saved back.  On a full hit the learn functions never run — the
+    warm run's artifacts are the *same bytes* the cold run produced, so
+    results are identical on every executor.  Corrupt store entries
+    warn and fall back to re-learning.
+    """
+    from repro.store.store import ArtifactStore
+    from repro.store.warm import required_artifacts, warm_start
+
+    config = state.config
+    context = state.context
+    split = None
+    dataset = state.dataset if state.train_log is not None else None
+    if dataset is not None:
+        split = (
+            {"split": True, "every": config.split_every}
+            if config.split
+            else {"split": False}
+        )
+    state.result.store_events = warm_start(
+        ArtifactStore(config.store),
+        context,
+        required_artifacts(config),
+        consult=config.warm_start,
+        dataset=dataset,
+        split=split,
+        dataset_name=state.result.dataset_name,
+    )
+
+
 def _stage_learn_selection(state: PipelineState) -> None:
     if state.context is None:
         state.context = _make_context(state)
     _validate_entries(state.config, state.context)
+    if state.config.store is not None:
+        _consult_store(state)
     if state.executor.is_parallel:
         _prefetch_artifacts(state.config, state.context)
 
@@ -346,6 +384,8 @@ def _stage_evaluate_selection(state: PipelineState) -> None:
 
 def _stage_learn_prediction(state: PipelineState) -> None:
     state.context = _make_context(state)
+    if state.config.store is not None:
+        _consult_store(state)
     state.predictors = [
         _build_predictor(method, state.context, state.config, state.executor)
         for method in state.config.methods

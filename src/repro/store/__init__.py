@@ -1,0 +1,61 @@
+"""``repro.store`` — persistent artifacts and warm-start serving.
+
+The paper's premise is that influence artifacts are *learned once* from
+the action log and then reused to answer many maximization/prediction
+queries.  This package makes that literal:
+
+* :mod:`repro.store.keys` — deterministic, content-derived cache keys
+  (dataset fingerprint x split spec x learn spec x format version);
+* :mod:`repro.store.serialize` — exact payload codec + checksums;
+* :mod:`repro.store.store` — :class:`ArtifactStore`: the versioned,
+  content-addressed on-disk store with atomic, corruption-safe writes;
+* :mod:`repro.store.warm` — warm-starting
+  :class:`~repro.api.context.SelectionContext` caches from the store
+  (``ExperimentConfig(store=..., warm_start=True)`` routes the runtime
+  learn stage through here);
+* :mod:`repro.store.service` — the ``repro serve`` HTTP query service
+  answering ``select``/``spread``/``predict`` from preloaded artifacts,
+  without ever reading the raw action log.
+
+The invariant everything here protects: a warm (store-hit) run returns
+results **byte-identical** to the cold run that populated the store, on
+every executor and backend.
+"""
+
+from repro.store.keys import (
+    FORMAT_VERSION,
+    artifact_key,
+    context_key,
+    fingerprint_dataset,
+)
+from repro.store.store import (
+    ArtifactStore,
+    StoreCorruption,
+    StoreEntry,
+    StoreError,
+    StoreMiss,
+)
+from repro.store.warm import (
+    load_context_record,
+    load_serving_context,
+    list_context_records,
+    required_artifacts,
+    warm_start,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "fingerprint_dataset",
+    "context_key",
+    "artifact_key",
+    "ArtifactStore",
+    "StoreEntry",
+    "StoreError",
+    "StoreMiss",
+    "StoreCorruption",
+    "required_artifacts",
+    "warm_start",
+    "load_context_record",
+    "load_serving_context",
+    "list_context_records",
+]

@@ -1,0 +1,407 @@
+"""``repro serve`` — a warm-start JSON query service over a store.
+
+The paper's architecture splits expensive *offline* work (scan the
+action log, learn probabilities/credits) from cheap *online* queries
+(pick seeds, score a seed set).  This module is the online half: it
+loads persisted artifacts from an :class:`~repro.store.store.ArtifactStore`
+and answers maximization/prediction queries over plain HTTP — the raw
+action log is never opened.
+
+Endpoints (JSON in, JSON out)::
+
+    GET  /healthz            liveness + store summary
+    GET  /contexts           the store's context records
+    GET  /selectors          the registry with capability flags
+    POST /select             {"selector", "k", "params"?, "trial"?,
+                              "budget"?, "context"?}
+    POST /spread             {"seeds", "context"?}        (CD proxy)
+    POST /predict            {"seeds", "method"?, "context"?}
+
+``context`` is a context key (or unique prefix); it may be omitted when
+the store holds exactly one.  Loaded contexts live in a small LRU so
+repeated queries hit warm in-memory state.
+
+Determinism: a stochastic selector that was not given an explicit
+``seed`` parameter gets ``derive_seed(context seed, selector, trial)``
+— exactly the experiment runner's per-(selector, trial) fan-out — and
+the Monte-Carlo predictors derive per-(method, seed-set) streams the
+same way the prediction pipeline does.  Identical requests therefore
+return identical payloads, which the smoke tests assert.
+
+The server is stdlib ``http.server`` (threaded); it is an internal
+query service, not an internet-facing deployment.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Hashable, Mapping
+
+from repro.api.context import SelectionContext
+from repro.api.registry import get_selector, list_selectors
+from repro.data.io import parse_id
+from repro.runtime.estimator import SpreadEstimator
+from repro.store.store import ArtifactStore, StoreError, StoreMiss
+from repro.store.warm import (
+    CONTEXT_RECORD,
+    load_context_record,
+    load_serving_context,
+)
+from repro.utils.rng import derive_seed
+
+__all__ = ["QueryService", "ServiceError", "make_server", "serve"]
+
+PREDICT_METHODS = ("CD", "IC", "LT")
+
+
+class ServiceError(ValueError):
+    """A client-visible request failure (mapped to HTTP 400/404)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def _parse_id(value: Any) -> Hashable:
+    """Coerce a JSON seed id to the library's convention (ints stay ints).
+
+    String ids go through :func:`repro.data.io.parse_id` — the exact
+    rule the TSV loaders apply — so JSON-borne seeds match the ids
+    stored artifacts are keyed by.
+    """
+    if isinstance(value, str):
+        return parse_id(value)
+    return value
+
+
+class _ServingSlot:
+    """One loaded context plus its lazily built prediction estimators."""
+
+    def __init__(self, record: Mapping[str, Any], context: SelectionContext) -> None:
+        self.record = dict(record)
+        self.context = context
+        self._estimators: dict[str, SpreadEstimator] = {}
+        self._lock = threading.Lock()
+
+    def estimator(self, method: str) -> SpreadEstimator:
+        # ThreadingHTTPServer handles each request in its own thread;
+        # estimator construction mutates the dict, so it is serialized.
+        with self._lock:
+            if method not in self._estimators:
+                context = self.context
+                if method == "LT":
+                    edge_values, model = context.lt_weights(), "lt"
+                else:  # "IC": the EM-learned IC model, as in the pipeline
+                    edge_values, model = context.ic_probabilities("EM"), "ic"
+                self._estimators[method] = SpreadEstimator(
+                    context.graph,
+                    edge_values,
+                    model=model,
+                    num_simulations=context.num_simulations,
+                    seed=derive_seed(context.seed, "predict", method),
+                    backend=context.backend,
+                )
+            return self._estimators[method]
+
+
+class QueryService:
+    """The request handlers, independent of any HTTP plumbing."""
+
+    def __init__(self, store_root: str, cache_size: int = 4) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.store = ArtifactStore(store_root, create=False)
+        self.cache_size = cache_size
+        self._slots: "OrderedDict[str, _ServingSlot]" = OrderedDict()
+        # The LRU and the pinned default are shared across the
+        # ThreadingHTTPServer's request threads.
+        self._lock = threading.RLock()
+        self._default_key: str | None = None
+
+    # ------------------------------------------------------------------
+    # Context loading (LRU)
+    # ------------------------------------------------------------------
+    def slot(self, context_ref: str | None) -> _ServingSlot:
+        """Resolve ``context_ref`` to a loaded context.
+
+        Hot paths never rescan the store: a full context key hits the
+        in-memory LRU directly, and an omitted ``context`` reuses the
+        default pinned at its first resolution (a service restart — or
+        an explicit key — picks up contexts stored later).  Prefixes
+        and cache misses resolve through the store, where ambiguity is
+        checked against *every* stored record, so a prefix never
+        silently binds to whatever happens to be cached.
+        """
+        with self._lock:
+            if context_ref is None and self._default_key is not None:
+                context_ref = self._default_key
+            if context_ref in self._slots:
+                self._slots.move_to_end(context_ref)
+                return self._slots[context_ref]
+        # Resolve and load OUTSIDE the lock: pulling a cold context is
+        # a multi-read unpickle of the whole bundle, and holding the
+        # lock across it would stall every concurrent LRU hit.  Two
+        # threads racing the same cold context both load it; the second
+        # insert below wins nothing but wastes only its own work.
+        try:
+            record = load_context_record(self.store, context_ref)
+        except StoreMiss as error:
+            raise ServiceError(str(error), status=404) from error
+        key = record["context_key"]
+        with self._lock:
+            if context_ref is None:
+                self._default_key = key
+            if key in self._slots:
+                self._slots.move_to_end(key)
+                return self._slots[key]
+        try:
+            context = load_serving_context(self.store, record)
+        except StoreError as error:
+            raise ServiceError(
+                f"context {key} cannot be loaded from the store: {error}",
+                status=404,
+            ) from error
+        slot = _ServingSlot(record, context)
+        with self._lock:
+            existing = self._slots.get(key)
+            if existing is not None:
+                self._slots.move_to_end(key)
+                return existing
+            self._slots[key] = slot
+            while len(self._slots) > self.cache_size:
+                self._slots.popitem(last=False)
+            return slot
+
+    def _record_keys(self) -> list[str]:
+        return [
+            entry.meta.get("context", "")
+            for entry in self.store.entries()
+            if entry.meta.get("artifact") == CONTEXT_RECORD
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict[str, Any]:
+        with self._lock:
+            loaded = list(self._slots)
+        return {
+            "status": "ok",
+            "store": str(self.store.root),
+            "contexts": len(self._record_keys()),
+            "loaded": loaded,
+        }
+
+    def contexts(self) -> dict[str, Any]:
+        from repro.store.warm import list_context_records
+
+        return {"contexts": list_context_records(self.store)}
+
+    def selectors(self) -> dict[str, Any]:
+        return {
+            "selectors": [
+                {
+                    "name": spec.name,
+                    "family": spec.family,
+                    "description": spec.description,
+                    **spec.capabilities(),
+                }
+                for spec in list_selectors()
+            ]
+        }
+
+    def select(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        name = payload.get("selector")
+        if not isinstance(name, str):
+            raise ServiceError("'selector' (a registry name) is required")
+        try:
+            k = int(payload.get("k", 0))
+        except (TypeError, ValueError):
+            raise ServiceError("'k' must be an integer") from None
+        if k < 1:
+            raise ServiceError("'k' must be >= 1")
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ServiceError("'params' must be a JSON object")
+        slot = self.slot(payload.get("context"))
+        try:
+            selector = get_selector(name, **params)
+        except ValueError as error:
+            raise ServiceError(str(error)) from None
+        budget = payload.get("budget")
+        if budget is not None:
+            if not selector.spec.supports_budget:
+                raise ServiceError(
+                    f"selector {name!r} does not support budget workloads"
+                )
+            try:
+                selector = selector.with_params(budget=float(budget))
+            except (TypeError, ValueError):
+                raise ServiceError("'budget' must be a number") from None
+        try:
+            trial = int(payload.get("trial", 0))
+        except (TypeError, ValueError):
+            raise ServiceError("'trial' must be an integer") from None
+        if selector.spec.stochastic and "seed" not in selector.params:
+            selector = selector.with_params(
+                seed=slot.context.derive_seed(name, trial)
+            )
+        try:
+            selection = selector.select(slot.context, k)
+        except ValueError as error:
+            raise ServiceError(
+                f"selector {name!r} cannot be served from the stored "
+                f"artifacts: {error}"
+            ) from None
+        body = selection.to_dict()
+        # Responses are deterministic payloads (identical request →
+        # identical bytes); wall-clock telemetry would break that.
+        body.pop("wall_time_s", None)
+        body.get("metadata", {}).pop("time_log", None)
+        return {
+            "context": slot.record["context_key"],
+            "selector": name,
+            "k": k,
+            "trial": trial,
+            "selection": body,
+        }
+
+    def _seeds(self, payload: Mapping[str, Any]) -> list[Hashable]:
+        seeds = payload.get("seeds")
+        if not isinstance(seeds, list) or not seeds:
+            raise ServiceError("'seeds' (a non-empty list) is required")
+        return [_parse_id(seed) for seed in seeds]
+
+    def spread(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        slot = self.slot(payload.get("context"))
+        seeds = self._seeds(payload)
+        try:
+            evaluator = slot.context.cd_evaluator()
+        except ValueError as error:
+            raise ServiceError(
+                f"the stored artifacts lack the sigma_cd evaluator: {error}"
+            ) from None
+        return {
+            "context": slot.record["context_key"],
+            "seeds": payload["seeds"],
+            "model": "cd",
+            "spread": evaluator.spread(seeds),
+        }
+
+    def predict(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        method = str(payload.get("method", "CD"))
+        if method not in PREDICT_METHODS:
+            raise ServiceError(
+                f"'method' must be one of {list(PREDICT_METHODS)}, got {method!r}"
+            )
+        slot = self.slot(payload.get("context"))
+        seeds = self._seeds(payload)
+        try:
+            if method == "CD":
+                predicted = float(slot.context.cd_evaluator().spread(seeds))
+            else:
+                predicted = slot.estimator(method).spread(seeds)
+        except ValueError as error:
+            raise ServiceError(
+                f"method {method!r} cannot be served from the stored "
+                f"artifacts: {error}"
+            ) from None
+        return {
+            "context": slot.record["context_key"],
+            "seeds": payload["seeds"],
+            "method": method,
+            "predicted_spread": predicted,
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: QueryService  # injected by make_server
+
+    # Quiet by default; the CLI passes a logger hook if it wants access logs.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    def _respond(self, status: int, body: dict[str, Any]) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _run(self, fn, *args) -> None:
+        try:
+            self._respond(200, fn(*args))
+        except ServiceError as error:
+            self._respond(error.status, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._respond(500, {"error": f"internal error: {error}"})
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        routes = {
+            "/healthz": self.service.healthz,
+            "/contexts": self.service.contexts,
+            "/selectors": self.service.selectors,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        self._run(handler)
+
+    def do_POST(self) -> None:  # noqa: N802
+        routes = {
+            "/select": self.service.select,
+            "/spread": self.service.spread,
+            "/predict": self.service.predict,
+        }
+        handler = routes.get(self.path)
+        if handler is None:
+            self._respond(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(payload, dict):
+                raise ValueError("request body must be a JSON object")
+        except (ValueError, TypeError) as error:
+            self._respond(400, {"error": f"bad request body: {error}"})
+            return
+        self._run(handler, payload)
+
+
+def make_server(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_size: int = 4,
+) -> ThreadingHTTPServer:
+    """A ready-to-run HTTP server over ``store_root`` (not yet serving).
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.server_address``.
+    """
+    service = QueryService(store_root, cache_size=cache_size)
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    store_root: str,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    cache_size: int = 4,
+) -> None:
+    """Run the query service until interrupted (the CLI entry point)."""
+    server = make_server(store_root, host=host, port=port, cache_size=cache_size)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: http://{bound_host}:{bound_port} over store {store_root}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()

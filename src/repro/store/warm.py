@@ -1,0 +1,357 @@
+"""Warm-starting contexts from the store (learn once, reuse everywhere).
+
+This module is the bridge between :class:`~repro.store.store.ArtifactStore`
+and :class:`~repro.api.context.SelectionContext`:
+
+* :func:`required_artifacts` maps an
+  :class:`~repro.api.experiment.ExperimentConfig` to the artifact slots
+  its selectors / prediction methods / evaluation will pull — the same
+  capability-flag routing the runtime's learn stage validates against;
+* :func:`warm_start` loads whatever the store holds for the context's
+  key (hit), builds what is missing through the context's own lazy
+  accessors (miss → learn), and saves every newly built artifact back —
+  so the *next* run with the same key skips learning entirely;
+* :func:`save_context`/:func:`load_context_record` persist the *context
+  record*: the graph plus the learn parameters and artifact inventory
+  the ``repro serve`` query service needs to rebuild a servable context
+  without ever touching the raw action log.
+
+Because stored payloads are the exact objects a cold run would have
+built (see :mod:`repro.store.serialize`), a warm run's results are
+byte-identical to the cold run's on every executor; the parity tests
+pin this.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Mapping
+
+from repro.api.context import ARTIFACT_NAMES, SelectionContext
+from repro.store.keys import artifact_key, context_key, fingerprint_dataset
+from repro.store.store import ArtifactStore, StoreCorruption, StoreMiss
+
+__all__ = [
+    "GRAPH_ARTIFACT",
+    "CONTEXT_RECORD",
+    "required_artifacts",
+    "context_key_for",
+    "warm_start",
+    "load_context_record",
+    "list_context_records",
+]
+
+# Two extra store slots beyond the context's learned artifacts: the
+# social graph (serving needs it to rebuild a context) and the context
+# record (the serving layer's table of contents).
+GRAPH_ARTIFACT = "graph"
+CONTEXT_RECORD = "__context__"
+
+
+def required_artifacts(config: Any) -> list[str]:
+    """The artifact slots ``config`` will pull, from the capability flags.
+
+    Mirrors the routing rule of the runtime learn stage
+    (``_missing_artifacts`` / ``_prefetch_artifacts``): ``needs_index``
+    → the credit index, ``needs_probabilities`` → the resolved
+    assignment's probabilities, ``needs_weights`` → LT weights,
+    ``needs_oracle`` → whatever the bound model consumes; the CD-proxy
+    evaluation and the prediction task add their own.  The
+    influenceability parameters ride along whenever the time-decay
+    credit scheme backs an index/evaluator build.
+    """
+    from repro.api.registry import get_selector
+
+    needed: list[str] = []
+
+    def _add(name: str) -> None:
+        if name not in needed:
+            needed.append(name)
+
+    if config.task == "prediction":
+        for method in config.methods:
+            if method == "CD":
+                _add("cd_evaluator")
+            elif method == "LT":
+                _add("lt_weights")
+            else:
+                assignment = "EM" if method == "IC" else method
+                _add(f"ic_probabilities/{assignment}")
+    else:
+        for entry in config.selectors:
+            spec = get_selector(entry.name).spec
+            method = entry.params.get("method") or config.probability_method
+            model = entry.params.get("model", "cd")
+            if spec.needs_index:
+                _add("credit_index")
+            if spec.needs_probabilities:
+                _add(f"ic_probabilities/{method}")
+            if spec.needs_weights:
+                _add("lt_weights")
+            if spec.needs_oracle:
+                if model == "cd":
+                    _add("cd_evaluator")
+                elif model == "ic":
+                    _add(f"ic_probabilities/{method}")
+                else:
+                    _add("lt_weights")
+        if config.evaluate_spread:
+            _add("cd_evaluator")
+    if config.probability_method == "PT" or any(
+        name == "ic_probabilities/PT" for name in needed
+    ):
+        # PT perturbs the EM probabilities; storing EM too means a PT
+        # miss still warm-starts its expensive half.
+        _add("ic_probabilities/EM")
+    if ("credit_index" in needed or "cd_evaluator" in needed) and (
+        getattr(config, "credit_scheme", "timedecay") == "timedecay"
+    ):
+        _add("influence_params")
+    return needed
+
+
+def context_key_for(
+    context: SelectionContext,
+    dataset: Any | None = None,
+    split: Mapping[str, Any] | None = None,
+) -> str:
+    """The store namespace key of ``context``.
+
+    When the pipeline built the training fold itself, pass the raw
+    ``dataset`` and its ``split`` spec — the fingerprint then covers the
+    *full* log, so selection and prediction runs over the same dataset
+    share entries.  A pre-built context (no dataset in hand)
+    fingerprints its own graph/train-log under ``split="external"``.
+    """
+    if dataset is not None:
+        fingerprint = fingerprint_dataset(dataset.graph, dataset.log)
+        split_spec = dict(split or {"split": False})
+    else:
+        fingerprint = fingerprint_dataset(context.graph, context.train_log)
+        split_spec = {"split": "external"}
+    return context_key(fingerprint, split_spec, context.learn_spec())
+
+
+def _load_one(
+    store: ArtifactStore, key: str, events: dict, label: str
+) -> Any | None:
+    try:
+        value = store.get(key)
+    except StoreMiss:
+        return None
+    except StoreCorruption as error:
+        warnings.warn(
+            f"artifact store entry for {label!r} is corrupt and will be "
+            f"re-learned: {error}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        events["corrupt"].append(label)
+        return None
+    return value
+
+
+def warm_start(
+    store: ArtifactStore,
+    context: SelectionContext,
+    needed: list[str],
+    *,
+    consult: bool = True,
+    dataset: Any | None = None,
+    split: Mapping[str, Any] | None = None,
+    dataset_name: str = "",
+    num_simulations: int | None = None,
+) -> dict[str, Any]:
+    """Load hits, learn misses, save what was learned; returns the events.
+
+    The returned mapping records the context key and, per artifact
+    name, whether it was a ``hit`` (loaded), ``miss`` (learned) or
+    ``corrupt`` (store entry discarded, then learned); ``saved`` lists
+    what this call committed.  ``consult=False`` (``warm_start=False``
+    on the config) skips the read side — every needed artifact is
+    rebuilt and the store refreshed, a cache-priming mode.
+    """
+    ckey = context_key_for(context, dataset=dataset, split=split)
+    events: dict[str, Any] = {
+        "context_key": ckey,
+        "hits": [],
+        "misses": [],
+        "corrupt": [],
+        "saved": [],
+    }
+    if consult:
+        for name in needed:
+            if context.get_artifact(name) is not None:
+                continue
+            value = _load_one(store, artifact_key(ckey, name), events, name)
+            if value is None:
+                events["misses"].append(name)
+            else:
+                context.set_artifact(name, value)
+                events["hits"].append(name)
+        if events["misses"] and context.backend == "numpy":
+            # A kernel-built artifact must be relearned: pulling the
+            # interned CSR form (if stored) skips recompilation too.
+            if context.get_artifact("compiled_log") is None:
+                compiled = _load_one(
+                    store, artifact_key(ckey, "compiled_log"), events,
+                    "compiled_log",
+                )
+                if compiled is not None:
+                    context.set_artifact("compiled_log", compiled)
+                    events["hits"].append("compiled_log")
+    else:
+        events["misses"] = [
+            name for name in needed if context.get_artifact(name) is None
+        ]
+    for name in needed:
+        context.build_artifact(name)
+
+    meta_base = {
+        "context": ckey,
+        "dataset": dataset_name or (dataset.name if dataset is not None else ""),
+        "learn": context.learn_spec(),
+    }
+    stored_names = set()
+    for name in context.artifact_names():
+        key = artifact_key(ckey, name)
+        stored_names.add(name)
+        # Rewrite entries whose payload proved corrupt (the manifest may
+        # still look healthy, so a plain contains() check would skip the
+        # repair forever) and everything in the explicit cache-priming
+        # mode; otherwise an existing entry is authoritative.
+        refresh = (not consult) or name in events["corrupt"]
+        if store.contains(key) and not refresh:
+            continue
+        store.put(
+            key,
+            context.get_artifact(name),
+            meta={**meta_base, "artifact": name},
+            refresh=refresh,
+        )
+        events["saved"].append(name)
+    # The graph is written for the serving layer but never *read* by
+    # warm runs, so a corrupt payload would go unnoticed by the load
+    # phase above; probe the bytes (no decode) and rewrite on any doubt.
+    graph_key = artifact_key(ckey, GRAPH_ARTIFACT)
+    if not consult or not store.verify(graph_key):
+        store.put(
+            graph_key,
+            context.graph,
+            meta={**meta_base, "artifact": GRAPH_ARTIFACT},
+            refresh=True,
+        )
+        events["saved"].append(GRAPH_ARTIFACT)
+
+    # Refresh the context record (the serving layer's entry point) with
+    # the union of everything now stored for this namespace.
+    record_key = artifact_key(ckey, CONTEXT_RECORD)
+    previous = _load_one(store, record_key, events, CONTEXT_RECORD) or {}
+    artifacts = sorted(set(previous.get("artifacts", [])) | stored_names)
+    record = {
+        "context_key": ckey,
+        "dataset": meta_base["dataset"],
+        "learn": context.learn_spec(),
+        "probability_method": context.probability_method,
+        "num_simulations": (
+            context.num_simulations
+            if num_simulations is None
+            else num_simulations
+        ),
+        "artifacts": artifacts,
+    }
+    if record != previous:
+        store.put(
+            record_key,
+            record,
+            meta={**meta_base, "artifact": CONTEXT_RECORD},
+            refresh=True,
+        )
+    return events
+
+
+# ----------------------------------------------------------------------
+# Serving-side loading
+# ----------------------------------------------------------------------
+def list_context_records(store: ArtifactStore) -> list[dict[str, Any]]:
+    """Every context record in the store (unreadable ones skipped)."""
+    records = []
+    for entry in store.entries():
+        if entry.meta.get("artifact") != CONTEXT_RECORD:
+            continue
+        try:
+            records.append(store.get(entry.key))
+        except StoreMiss:
+            continue
+        except StoreCorruption as error:
+            warnings.warn(
+                f"skipping corrupt context record: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return sorted(records, key=lambda record: record["context_key"])
+
+
+def load_context_record(
+    store: ArtifactStore, context_key_or_prefix: str | None = None
+) -> dict[str, Any]:
+    """Resolve one context record by full key, unique prefix, or default.
+
+    With ``None``, the store must hold exactly one context — the
+    zero-configuration serving case.
+    """
+    records = list_context_records(store)
+    if not records:
+        raise StoreMiss("the store holds no context records; run "
+                        "`repro learn --store` or a store-backed experiment")
+    if context_key_or_prefix is None:
+        if len(records) == 1:
+            return records[0]
+        keys = [record["context_key"] for record in records]
+        raise StoreMiss(
+            f"the store holds {len(records)} contexts; name one of {keys}"
+        )
+    matches = [
+        record
+        for record in records
+        if record["context_key"].startswith(context_key_or_prefix)
+    ]
+    if not matches:
+        raise StoreMiss(f"no context matches {context_key_or_prefix!r}")
+    if len(matches) > 1:
+        raise StoreMiss(
+            f"context prefix {context_key_or_prefix!r} is ambiguous: "
+            f"{[record['context_key'] for record in matches]}"
+        )
+    return matches[0]
+
+
+def load_serving_context(
+    store: ArtifactStore, record: Mapping[str, Any]
+) -> SelectionContext:
+    """Rebuild a query-ready context from stored artifacts alone.
+
+    The returned context has **no training log** — every learned
+    artifact named by the record is preloaded into its cache slots, so
+    selectors and evaluators run purely from persisted state.  An
+    artifact a query would need that is absent raises the context's
+    usual "needs a training action log" error, which the service maps
+    to a client-visible message.
+    """
+    ckey = record["context_key"]
+    graph = store.get(artifact_key(ckey, GRAPH_ARTIFACT))
+    learn = record["learn"]
+    context = SelectionContext(
+        graph,
+        train_log=None,
+        probability_method=record.get("probability_method", "EM"),
+        num_simulations=int(record.get("num_simulations", 100)),
+        truncation=float(learn["truncation"]),
+        seed=int(learn["seed"]),
+        credit_scheme=str(learn["credit_scheme"]),
+        backend=str(learn["backend"]),
+    )
+    for name in record.get("artifacts", []):
+        if name in ARTIFACT_NAMES:
+            context.set_artifact(name, store.get(artifact_key(ckey, name)))
+    return context

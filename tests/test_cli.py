@@ -380,3 +380,101 @@ class TestLearn:
         graph = load_graph(graph_path)
         for edge in load_edge_values(out_path):
             assert graph.has_edge(*edge)
+
+
+class TestVersion:
+    def test_version_flag_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_setup_py_agrees_with_package_version(self):
+        # Single source of truth: the packaging metadata must track
+        # repro.__version__ (and the CLI prints that same string).
+        import re
+        from pathlib import Path
+
+        import repro
+
+        setup_text = Path(__file__).parent.parent.joinpath(
+            "setup.py"
+        ).read_text(encoding="utf-8")
+        match = re.search(r"version=\"([^\"]+)\"", setup_text)
+        assert match, "setup.py has no version= field"
+        assert match.group(1) == repro.__version__
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def store_dir(self, dataset_files, tmp_path, capsys):
+        graph_path, log_path = dataset_files
+        store_path = tmp_path / "store"
+        code = main(
+            [
+                "learn", "--graph", graph_path, "--log", log_path,
+                "--store", str(store_path),
+            ]
+        )
+        assert code == 0
+        assert "stored context" in capsys.readouterr().out
+        return str(store_path)
+
+    def test_learn_requires_out_or_store(self, dataset_files, capsys):
+        graph_path, log_path = dataset_files
+        code = main(["learn", "--graph", graph_path, "--log", log_path])
+        assert code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_store_ls_lists_artifacts(self, store_dir, capsys):
+        code = main(["store", "ls", "--store", store_dir])
+        assert code == 0
+        output = capsys.readouterr().out
+        for artifact in ("credit_index", "cd_evaluator", "lt_weights",
+                         "ic_probabilities/EM", "graph", "__context__"):
+            assert artifact in output
+        assert "1 context(s)" in output
+
+    def test_store_gc_clean_store_removes_nothing(self, store_dir, capsys):
+        code = main(["store", "gc", "--store", store_dir])
+        assert code == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+
+    def test_store_gc_dry_run_reports_broken_entry(self, store_dir, capsys):
+        from pathlib import Path
+
+        payload = next(Path(store_dir).glob("objects/*/*/payload.bin"))
+        payload.write_bytes(b"garbage")
+        code = main(["store", "gc", "--store", store_dir, "--dry-run"])
+        assert code == 0
+        assert "would remove 1" in capsys.readouterr().out
+        code = main(["store", "gc", "--store", store_dir])
+        assert code == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_stored_bundle_serves_selection(self, store_dir):
+        from repro.store.service import QueryService
+
+        service = QueryService(store_dir)
+        response = service.select({"selector": "cd", "k": 3})
+        assert len(response["selection"]["seeds"]) == 3
+
+
+class TestListSelectorCapabilities:
+    def test_needs_and_flags_columns(self, capsys):
+        code = main(["list-selectors"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "needs" in output and "flags" in output
+        cd_row = next(
+            line for line in output.splitlines()
+            if line.startswith("cd ")
+        )
+        assert "index" in cd_row
+        budget_row = next(
+            line for line in output.splitlines()
+            if line.startswith("cd_budget")
+        )
+        assert "budget" in budget_row
