@@ -332,7 +332,9 @@ class SelectionContext:
 
         if self._lt_weights is None:
             self._lt_weights = learn_lt_weights(
-                self.graph, self._require_log("LT weight learning")
+                self.graph,
+                self._require_log("LT weight learning"),
+                propagations=self.propagation,
             )
         return self._lt_weights
 

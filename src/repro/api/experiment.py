@@ -151,6 +151,15 @@ class ExperimentConfig:
         store hit skips learning entirely and returns results identical
         to the cold run on every executor.  ``warm_start=False`` keeps
         the store write-only (re-learn and refresh: cache priming).
+    delta:
+        Optional path to an action-log delta file
+        (:func:`repro.stream.delta.load_action_log_delta` format).  The
+        selection pipeline then runs an ``ingest`` stage after
+        ``learn``: the delta's closed traces are folded into the
+        learned artifacts (:func:`repro.stream.update.fold_delta`) and
+        selection proceeds over the *union* log — with ``store`` set,
+        the fold goes through :func:`repro.stream.derive.derive_bundle`
+        so the derived bundle is committed with its lineage link.
     budget:
         Optional budget workload for the selection task: the total
         seed-cost cap handed to budget-aware selectors
@@ -185,6 +194,7 @@ class ExperimentConfig:
     max_workers: int | None = None
     store: str | None = None
     warm_start: bool = True
+    delta: str | None = None
     budget: float | None = None
     methods: Sequence[str] = field(default_factory=lambda: ["IC", "LT", "CD"])
     max_test_traces: int | None = None
@@ -245,6 +255,17 @@ class ExperimentConfig:
             isinstance(self.warm_start, bool),
             f"warm_start must be a bool, got {self.warm_start!r}",
         )
+        require(
+            self.delta is None or isinstance(self.delta, str),
+            f"delta must be a file path or None, got {self.delta!r}",
+        )
+        if self.delta is not None:
+            require_config(
+                self.task == "selection",
+                "delta ingest extends the learned selection context; the "
+                "prediction task re-splits the raw dataset and has no "
+                "ingest stage",
+            )
         require(
             self.budget is None or self.budget > 0,
             f"budget must be positive, got {self.budget}",
@@ -329,6 +350,7 @@ class ExperimentConfig:
             "max_workers": self.max_workers,
             "store": self.store,
             "warm_start": self.warm_start,
+            "delta": self.delta,
             "budget": self.budget,
             "methods": list(self.methods),
             "max_test_traces": self.max_test_traces,
@@ -425,6 +447,10 @@ class ExperimentResult:
     # key plus per-artifact hit/miss/corrupt/saved lists (see
     # repro.store.warm.warm_start).
     store_events: dict[str, Any] | None = None
+    # Ingest-stage bookkeeping when the config named a delta: the fold
+    # report (updated/carried/relearned routing) and, with a store, the
+    # derived bundle's identity (see repro.stream).
+    ingest: dict[str, Any] | None = None
 
     def labels(self) -> list[str]:
         """Selector labels in config order."""
@@ -589,6 +615,7 @@ class ExperimentResult:
             "dataset": self.dataset_name,
             "timings": dict(self.timings),
             "store": self.store_events,
+            "ingest": self.ingest,
             "runs": [
                 {
                     "label": run.label,

@@ -25,11 +25,17 @@ without writing Python:
   training log and persist them as a weighted edge list, and/or save
   the full warm-start artifact bundle into an artifact store
   (``--store``);
-* ``repro store`` — inspect (``ls``) and garbage-collect (``gc``) an
-  artifact store directory;
+* ``repro store`` — inspect (``ls``, with per-context lineage depth)
+  and garbage-collect (``gc``) an artifact store directory; ``gc``
+  never expires a bundle that a live delta-derived bundle still
+  references;
+* ``repro ingest`` — fold an action-log delta file into a stored
+  bundle (:mod:`repro.stream`): incremental artifact maintenance, a
+  new lineage-linked bundle under the union dataset's fingerprint;
 * ``repro serve`` — the warm-start HTTP query service: answer
   ``select``/``spread``/``predict`` requests from stored artifacts
-  without touching the raw action log.
+  without touching the raw action log (and ``/ingest`` deltas with a
+  zero-downtime context swap).
 
 Every subcommand reads/writes the TSV formats of :mod:`repro.data.io`;
 the store subcommands use the :mod:`repro.store` layout.  Run
@@ -255,6 +261,25 @@ def build_parser() -> argparse.ArgumentParser:
     store_gc.add_argument("--dry-run", action="store_true",
                           help="report what would be removed, remove nothing")
 
+    ingest = commands.add_parser(
+        "ingest", help="fold an action-log delta into a stored bundle"
+    )
+    ingest.add_argument("--store", required=True, metavar="DIR")
+    ingest.add_argument("--delta", required=True, metavar="FILE",
+                        help="action-log delta TSV (see repro.stream.delta)")
+    ingest.add_argument(
+        "--context", default=None, metavar="KEY",
+        help="base context key or unique prefix "
+        "(default: the store's only context)",
+    )
+    ingest.add_argument("--dataset-name", default=None,
+                        help="dataset label recorded on the derived bundle")
+    ingest.add_argument(
+        "--verify", action="store_true",
+        help="re-learn over the union log and assert every incrementally "
+        "updated artifact is byte-identical to the rescan",
+    )
+
     serve = commands.add_parser(
         "serve", help="answer select/spread/predict queries from a store"
     )
@@ -283,6 +308,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "graphstats": _cmd_graphstats,
         "learn": _cmd_learn,
         "store": _cmd_store,
+        "ingest": _cmd_ingest,
         "serve": _cmd_serve,
     }[args.command]
     return handler(args)
@@ -618,17 +644,31 @@ def _cmd_store(args: argparse.Namespace) -> int:
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2
+    from repro.store.warm import list_context_records
+
     if args.store_command == "ls":
         entries = store.entries()
         contexts = sorted(
             {entry.meta.get("context", "?") for entry in entries}
         )
+        # Lineage: how deep each context sits in its derived_from chain
+        # (base bundles are depth 0; a bundle derived by `repro ingest`
+        # from a depth-n bundle is depth n+1).
+        depth = {
+            record["context_key"]: int(record.get("lineage_depth", 0))
+            for record in list_context_records(store)
+        }
         rows = [
             [
                 entry.key[:12],
                 entry.meta.get("context", "?")[:12],
                 entry.meta.get("artifact", "?"),
                 entry.meta.get("dataset", "-") or "-",
+                (
+                    str(depth[entry.meta["context"]])
+                    if entry.meta.get("context") in depth
+                    else "-"
+                ),
                 entry.payload_bytes,
             ]
             for entry in sorted(
@@ -637,7 +677,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
             )
         ]
         print(format_table(
-            ["key", "context", "artifact", "dataset", "bytes"],
+            ["key", "context", "artifact", "dataset", "lineage", "bytes"],
             rows,
             title=(
                 f"artifact store {store.root}: {len(entries)} entries, "
@@ -645,15 +685,85 @@ def _cmd_store(args: argparse.Namespace) -> int:
             ),
         ))
         return 0
-    # gc
+    # gc — contexts that live derived bundles still reference are never
+    # age-expired: a derived bundle aliases (rather than copies) the
+    # artifacts a delta cannot change, so collecting its ancestor would
+    # tear it.
+    from repro.stream.derive import referenced_context_keys
+
+    protected = referenced_context_keys(store)
     older_than_s = (
         None if args.older_than is None else args.older_than * 86400.0
     )
-    removed = store.gc(older_than_s=older_than_s, dry_run=args.dry_run)
+    removed = store.gc(
+        older_than_s=older_than_s,
+        dry_run=args.dry_run,
+        protect_contexts=protected,
+    )
     verb = "would remove" if args.dry_run else "removed"
     print(f"gc {verb} {len(removed)} entr{'y' if len(removed) == 1 else 'ies'}")
     for key in removed:
         print(f"  {key}")
+    if older_than_s is not None and protected:
+        print(
+            f"kept {len(protected)} context(s) referenced by derived "
+            "bundles (lineage protection)"
+        )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.store.store import ArtifactStore, StoreError
+    from repro.stream.delta import load_action_log_delta
+
+    try:
+        store = ArtifactStore(args.store, create=False)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        delta = load_action_log_delta(args.delta)
+    except (OSError, ValueError) as error:
+        print(f"ingest: cannot read delta {args.delta}: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = store.derive(
+            delta,
+            context=args.context,
+            dataset_name=args.dataset_name,
+            verify=args.verify,
+        )
+    except (StoreError, ValueError, AssertionError) as error:
+        print(f"ingest: {error}", file=sys.stderr)
+        return 2
+    report = result.report
+    print(
+        f"ingested {report.delta_tuples} tuple(s) / "
+        f"{report.closed_actions} closed action(s) "
+        f"into context {result.base_key[:12]}..."
+    )
+    if result.derived_key == result.base_key:
+        print(
+            f"no action closed: bundle unchanged, "
+            f"{report.pending_tuples} tuple(s) pending"
+        )
+        return 0
+    print(
+        f"derived context {result.derived_key[:12]}... "
+        f"(lineage depth {result.record.get('lineage_depth', 0)})"
+    )
+    for label, names in (
+        ("updated", report.updated),
+        ("carried", report.carried),
+        ("relearned", report.relearned),
+    ):
+        if names:
+            print(f"  {label}: {', '.join(names)}")
+    if report.pending_tuples:
+        print(f"  pending: {report.pending_tuples} open tuple(s)")
+    if report.verified:
+        print("  verified: incremental updates byte-identical to a rescan")
     return 0
 
 

@@ -69,13 +69,23 @@ class CDSpreadEvaluator:
         actions: Iterable[Hashable] | None = None,
         propagations: Callable[[Hashable], PropagationGraph] | None = None,
     ) -> None:
-        credit_fn = UniformCredit() if credit is None else credit
-        if propagations is None:
-            propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
         self._activity: dict[User, int] = {}
         # One entry per action: [(user, [(influencer, gamma), ...]), ...]
         # in chronological order.
         self._compiled: list[list[tuple[User, list[tuple[User, float]]]]] = []
+        self._compile_into(graph, log, credit, actions, propagations)
+
+    def _compile_into(
+        self,
+        graph: SocialGraph,
+        log: ActionLog,
+        credit: DirectCredit | None,
+        actions: Iterable[Hashable] | None,
+        propagations: Callable[[Hashable], PropagationGraph] | None,
+    ) -> None:
+        credit_fn = UniformCredit() if credit is None else credit
+        if propagations is None:
+            propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
         wanted = list(log.actions()) if actions is None else list(actions)
         for action in wanted:
             propagation = propagations(action)
@@ -88,6 +98,33 @@ class CDSpreadEvaluator:
                 ]
                 compiled_action.append((user, incoming))
             self._compiled.append(compiled_action)
+
+    def extend(
+        self,
+        graph: SocialGraph,
+        log: ActionLog,
+        credit: DirectCredit | None = None,
+        actions: Iterable[Hashable] | None = None,
+        propagations: Callable[[Hashable], PropagationGraph] | None = None,
+    ) -> "CDSpreadEvaluator":
+        """A new evaluator covering this one's log plus ``log``'s traces.
+
+        Per-action compilation is independent (Eq. 5 never crosses
+        actions), so appending the new actions' compiled traces yields
+        exactly the evaluator a from-scratch build over the union log
+        would produce — *provided* ``credit`` is per-propagation (the
+        uniform scheme).  Time-decay credits depend on globally learned
+        influenceability and must be re-built over the union instead.
+
+        ``self`` is left untouched: the compiled structure and activity
+        counts are copied shallowly (entries are never mutated), so an
+        evaluator currently serving queries stays valid.
+        """
+        extended = CDSpreadEvaluator.__new__(CDSpreadEvaluator)
+        extended._activity = dict(self._activity)
+        extended._compiled = list(self._compiled)
+        extended._compile_into(graph, log, credit, actions, propagations)
+        return extended
 
     def candidates(self) -> list[User]:
         """Users with at least one action — the useful seed universe."""

@@ -36,6 +36,7 @@ from repro.core.maximize import cd_maximize
 from repro.core.scan import scan_action_log
 from repro.data.actionlog import ActionLog
 from repro.graphs.digraph import SocialGraph
+from repro.kernels import resolve_backend
 from repro.maximization.greedy import GreedyResult
 from repro.utils.validation import require, require_non_negative
 
@@ -65,14 +66,30 @@ class StreamingCreditIndex:
         graph: SocialGraph,
         credit: DirectCredit | None = None,
         truncation: float = 0.001,
+        index: CreditIndex | None = None,
+        flushed: Iterable[Action] = (),
+        backend: str | None = None,
     ) -> None:
+        """``index``/``flushed`` adopt an existing standing state.
+
+        Pass an index that was built (by scan or by streaming) over
+        exactly the actions in ``flushed`` to continue folding where a
+        previous scan stopped — the seam :mod:`repro.stream` uses to
+        maintain stored indexes from deltas.  The adopted index is
+        mutated in place; copy it first if the original must survive.
+        ``backend`` selects the fold implementation (``"python"`` or
+        ``"numpy"``, same semantics and byte-identical results).
+        """
         require_non_negative(truncation, "truncation")
         self._graph = graph
         self._credit = credit
-        self._index = CreditIndex(truncation=truncation)
+        if index is None:
+            index = CreditIndex(truncation=truncation)
+        self._index = index
+        self._backend = resolve_backend(backend)
         self._buffer: dict[Action, list[tuple[User, float]]] = {}
         self._buffered_pairs: set[tuple[User, Action]] = set()
-        self._flushed: set[Action] = set()
+        self._flushed: set[Action] = set(flushed)
         self._tuples_ingested = 0
 
     # ------------------------------------------------------------------
@@ -102,8 +119,28 @@ class StreamingCreditIndex:
     def observe_many(
         self, tuples: Iterable[tuple[User, Action, float]]
     ) -> None:
-        """Buffer a batch of tuples (same checks as :meth:`observe`)."""
-        for user, action, time in tuples:
+        """Buffer a batch of tuples (same checks as :meth:`observe`).
+
+        The batch is all-or-nothing: every tuple is validated (frozen
+        actions, duplicate pairs — including duplicates *within* the
+        batch) before any is buffered, so a mid-batch ``ValueError``
+        leaves the stream exactly as it was.
+        """
+        batch = list(tuples)
+        seen: set[tuple[User, Action]] = set()
+        for user, action, _time in batch:
+            if action in self._flushed:
+                raise ValueError(
+                    f"action {action!r} was already flushed; its trace is "
+                    "frozen and cannot accept late tuples"
+                )
+            pair = (user, action)
+            if pair in self._buffered_pairs or pair in seen:
+                raise ValueError(
+                    f"user {user!r} already performed action {action!r}"
+                )
+            seen.add(pair)
+        for user, action, time in batch:
             self.observe(user, action, time)
 
     # ------------------------------------------------------------------
@@ -136,12 +173,7 @@ class StreamingCreditIndex:
         for action in wanted:
             for user, time in self._buffer[action]:
                 batch.add(user, action, time)
-        scan_action_log(
-            self._graph,
-            batch,
-            credit=self._credit,
-            index=self._index,
-        )
+        self._fold(batch)
         for action in wanted:
             trace = self._buffer.pop(action)
             self._buffered_pairs.difference_update(
@@ -149,6 +181,31 @@ class StreamingCreditIndex:
             )
             self._flushed.add(action)
         return len(wanted)
+
+    def _fold(self, batch: ActionLog) -> None:
+        """Fold one batch of complete traces into the standing index."""
+        if self._backend == "numpy":
+            from repro.kernels.scan_numpy import (
+                UnsupportedCreditScheme,
+                scan_action_log_numpy,
+            )
+
+            try:
+                scan_action_log_numpy(
+                    self._graph,
+                    batch,
+                    credit=self._credit,
+                    index=self._index,
+                )
+                return
+            except UnsupportedCreditScheme:
+                pass
+        scan_action_log(
+            self._graph,
+            batch,
+            credit=self._credit,
+            index=self._index,
+        )
 
     # ------------------------------------------------------------------
     # Queries

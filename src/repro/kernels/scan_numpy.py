@@ -513,6 +513,7 @@ def _bulk_load(
 
     # Activity: one global bincount, one dict update per touched user.
     activity = index.activity
+    incremental = bool(activity)
     if len(node_ids_flat):
         counts = np.bincount(
             node_ids_flat.astype(np.int64), minlength=graph.n
@@ -522,6 +523,21 @@ def _bulk_load(
             values_obj[touched].tolist(), counts[touched].tolist()
         ):
             activity[user] = activity.get(user, 0) + count
+        if incremental:
+            # A fresh scan inserts activity keys in node-id order (the
+            # bincount walk above).  When folding into a pre-populated
+            # index (streaming), restore that canonical order so the
+            # incremental result is byte-identical to one global scan
+            # of the union log.
+            position = {
+                user: rank for rank, user in enumerate(values_obj.tolist())
+            }
+            index.activity = dict(
+                sorted(
+                    activity.items(),
+                    key=lambda item: position.get(item[0], len(position)),
+                )
+            )
 
     populated = np.nonzero(pool.length)[0]
     if len(populated) == 0:

@@ -12,23 +12,43 @@ each node sum to 1 — the LT model's admissibility condition.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Callable, Hashable
 
 from repro.data.actionlog import ActionLog
 from repro.data.propagation import PropagationGraph
 from repro.graphs.digraph import SocialGraph
 
-__all__ = ["learn_lt_weights", "count_propagations"]
+__all__ = [
+    "learn_lt_weights",
+    "count_propagations",
+    "lt_weights_from_counts",
+]
 
 User = Hashable
 Edge = tuple[User, User]
 
 
-def count_propagations(graph: SocialGraph, log: ActionLog) -> dict[Edge, int]:
-    """``A_{v2u}``: per-edge count of actions that propagated v -> u."""
-    counts: dict[Edge, int] = {}
+def count_propagations(
+    graph: SocialGraph,
+    log: ActionLog,
+    propagations: Callable[[Hashable], PropagationGraph] | None = None,
+    counts: dict[Edge, int] | None = None,
+) -> dict[Edge, int]:
+    """``A_{v2u}``: per-edge count of actions that propagated v -> u.
+
+    ``propagations`` reuses memoized DAGs (e.g.
+    :meth:`~repro.api.context.SelectionContext.propagation`); ``counts``
+    folds into an existing tally in place — the sufficient-statistics
+    seam :mod:`repro.stream` updates LT weights through.  Edge insertion
+    order is first-propagation order, so folding a delta log into a base
+    log's counts reproduces the union log's count dict byte for byte.
+    """
+    if counts is None:
+        counts = {}
+    if propagations is None:
+        propagations = lambda action: PropagationGraph.build(graph, log, action)  # noqa: E731
     for action in log.actions():
-        propagation = PropagationGraph.build(graph, log, action)
+        propagation = propagations(action)
         for user in propagation.nodes():
             for parent in propagation.parents(user):
                 edge = (parent, user)
@@ -36,7 +56,29 @@ def count_propagations(graph: SocialGraph, log: ActionLog) -> dict[Edge, int]:
     return counts
 
 
-def learn_lt_weights(graph: SocialGraph, log: ActionLog) -> dict[Edge, float]:
+def lt_weights_from_counts(
+    counts: dict[Edge, int], log: ActionLog
+) -> dict[Edge, float]:
+    """LT weights from pre-tallied propagation counts and ``log``'s activity.
+
+    ``log`` supplies the ``A_u`` normaliser, so it must be the same log
+    (or union of logs) the counts were tallied over.
+    """
+    incoming_totals: dict[User, int] = {}
+    for (_, target), count in counts.items():
+        incoming_totals[target] = incoming_totals.get(target, 0) + count
+    weights: dict[Edge, float] = {}
+    for (source, target), count in counts.items():
+        normaliser = max(log.activity(target), incoming_totals[target])
+        weights[(source, target)] = count / normaliser
+    return weights
+
+
+def learn_lt_weights(
+    graph: SocialGraph,
+    log: ActionLog,
+    propagations: Callable[[Hashable], PropagationGraph] | None = None,
+) -> dict[Edge, float]:
     """Learn LT weights ``p(v, u) = A_{v2u} / N`` from the training log.
 
     Following the papers the authors combine ("we take ideas from [10]
@@ -48,12 +90,5 @@ def learn_lt_weights(graph: SocialGraph, log: ActionLog) -> dict[Edge, float]:
     weights summing past 1), in which case it rescales them onto the
     simplex.
     """
-    counts = count_propagations(graph, log)
-    incoming_totals: dict[User, int] = {}
-    for (_, target), count in counts.items():
-        incoming_totals[target] = incoming_totals.get(target, 0) + count
-    weights: dict[Edge, float] = {}
-    for (source, target), count in counts.items():
-        normaliser = max(log.activity(target), incoming_totals[target])
-        weights[(source, target)] = count / normaliser
-    return weights
+    counts = count_propagations(graph, log, propagations=propagations)
+    return lt_weights_from_counts(counts, log)

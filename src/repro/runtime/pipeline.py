@@ -4,7 +4,9 @@ The paper's evaluation is two protocols over one pipeline shape:
 
 * **selection** (Figures 6-9): ``dataset → split → learn → select →
   evaluate`` — pick seeds with every configured selector, score the
-  k-grid prefixes under the CD proxy;
+  k-grid prefixes under the CD proxy (an ``ingest`` stage slots in
+  after ``learn`` when ``config.delta`` names an action-log delta —
+  see :mod:`repro.stream`);
 * **prediction** (Figures 2-4): ``dataset → split → learn → predict →
   evaluate`` — fit every model on the training traces, predict each
   held-out trace's spread from its initiators, score the predictions.
@@ -323,6 +325,45 @@ def _stage_learn_selection(state: PipelineState) -> None:
         _prefetch_artifacts(state.config, state.context)
 
 
+def _stage_ingest(state: PipelineState) -> None:
+    """Fold the config's action-log delta into the learned context.
+
+    Runs between ``learn`` and ``select`` when ``config.delta`` names a
+    delta file: selection then operates over the *union* log with
+    incrementally maintained artifacts (see :mod:`repro.stream`).  With
+    a store configured the fold goes through the store's derive path,
+    so the derived bundle — lineage link and all — is committed as a
+    side effect and later warm runs over the union hit it.
+    """
+    from repro.stream.delta import load_action_log_delta
+
+    config = state.config
+    delta = load_action_log_delta(config.delta)
+    if config.store is not None:
+        from repro.store.store import ArtifactStore
+        from repro.stream.derive import derive_bundle
+
+        result = derive_bundle(
+            ArtifactStore(config.store),
+            delta,
+            context=state.result.store_events["context_key"],
+            dataset_name=state.result.dataset_name,
+        )
+        context = result.context
+        state.result.ingest = result.to_dict()
+    else:
+        from repro.stream.update import fold_delta
+
+        fold = fold_delta(state.context, delta)
+        context = fold.context
+        state.result.ingest = fold.report.to_dict()
+    context.executor = state.executor
+    state.context = context
+    state.train_log = context.train_log
+    if state.executor.is_parallel:
+        _prefetch_artifacts(config, context)
+
+
 def _stage_select(state: PipelineState) -> None:
     config = state.config
     context = state.context
@@ -474,6 +515,8 @@ def compile_pipeline(
         stages.append(Stage("dataset", _stage_dataset))
         stages.append(Stage("split", _stage_split))
     stages.append(Stage("learn", _stage_learn_selection))
+    if config.delta is not None:
+        stages.append(Stage("ingest", _stage_ingest))
     stages.append(Stage("select", _stage_select))
     if config.evaluate_spread:
         stages.append(Stage("evaluate", _stage_evaluate_selection))

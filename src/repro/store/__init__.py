@@ -15,7 +15,9 @@ queries.  This package makes that literal:
   learn stage through here);
 * :mod:`repro.store.service` — the ``repro serve`` HTTP query service
   answering ``select``/``spread``/``predict`` from preloaded artifacts,
-  without ever reading the raw action log.
+  without ever reading the raw action log (and ``/ingest``-ing
+  action-log deltas into derived bundles with a zero-downtime context
+  swap, via :mod:`repro.stream`).
 
 The invariant everything here protects: a warm (store-hit) run returns
 results **byte-identical** to the cold run that populated the store, on
@@ -36,6 +38,9 @@ from repro.store.store import (
     StoreMiss,
 )
 from repro.store.warm import (
+    STREAM_STATS_ARTIFACT,
+    TRAIN_LOG_ARTIFACT,
+    artifact_source_key,
     load_context_record,
     load_serving_context,
     list_context_records,
@@ -58,4 +63,7 @@ __all__ = [
     "load_context_record",
     "load_serving_context",
     "list_context_records",
+    "artifact_source_key",
+    "TRAIN_LOG_ARTIFACT",
+    "STREAM_STATS_ARTIFACT",
 ]

@@ -12,14 +12,28 @@ Endpoints (JSON in, JSON out)::
     GET  /healthz            liveness + store summary
     GET  /contexts           the store's context records
     GET  /selectors          the registry with capability flags
+    GET  /ingest             status of past/running ingest jobs
     POST /select             {"selector", "k", "params"?, "trial"?,
                               "budget"?, "context"?}
     POST /spread             {"seeds", "context"?}        (CD proxy)
     POST /predict            {"seeds", "method"?, "context"?}
+    POST /ingest             {"tuples": [[user, action, time], ...],
+                              "closed"?, "context"?, "wait"?, "verify"?}
 
 ``context`` is a context key (or unique prefix); it may be omitted when
 the store holds exactly one.  Loaded contexts live in a small LRU so
 repeated queries hit warm in-memory state.
+
+``/ingest`` applies an action-log delta (:mod:`repro.stream`): the
+derived bundle is built in a background thread and, once committed,
+the serving default is atomically swapped to it.  Queries keep being
+served from the base context the whole time — serving slots are
+immutable and the swap is one pointer flip under the service lock, so
+there is no downtime and no torn read; in-flight requests finish on
+whichever slot they resolved.  One ingest runs at a time (a concurrent
+request gets HTTP 409); ``wait=true`` blocks until the job finishes
+(the CLI's mode), otherwise the response returns a job id to poll via
+``GET /ingest``.
 
 Determinism: a stochastic selector that was not given an explicit
 ``seed`` parameter gets ``derive_seed(context seed, selector, trial)``
@@ -120,6 +134,11 @@ class QueryService:
         # ThreadingHTTPServer's request threads.
         self._lock = threading.RLock()
         self._default_key: str | None = None
+        # Ingest bookkeeping: one job at a time, history kept for
+        # GET /ingest polling.
+        self._ingests: "OrderedDict[int, dict[str, Any]]" = OrderedDict()
+        self._ingest_seq = 0
+        self._ingest_active = False
 
     # ------------------------------------------------------------------
     # Context loading (LRU)
@@ -316,6 +335,126 @@ class QueryService:
             "predicted_spread": predicted,
         }
 
+    # ------------------------------------------------------------------
+    # Streaming ingest (delta -> derived bundle -> atomic swap)
+    # ------------------------------------------------------------------
+    def ingest(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply an action-log delta; swap the serving default when done.
+
+        The derive runs on a background thread (``wait=true`` joins it).
+        The base context serves queries throughout; once the derived
+        bundle is committed, the default context pointer flips to it
+        under the service lock — an atomic swap, never a torn read,
+        because serving slots are immutable once built.  A failed
+        derive (bad delta, frozen action) leaves serving untouched and
+        is reported on the job, not as a 5xx.
+        """
+        from repro.stream.delta import ActionLogDelta
+
+        raw = payload.get("tuples", [])
+        if not isinstance(raw, list):
+            raise ServiceError(
+                "'tuples' must be a list of [user, action, time] triples"
+            )
+        delta = ActionLogDelta()
+        for item in raw:
+            if not isinstance(item, (list, tuple)) or len(item) != 3:
+                raise ServiceError(
+                    "each tuple must be a [user, action, time] triple"
+                )
+            user, action, time = item
+            try:
+                delta.add(_parse_id(user), _parse_id(action), float(time))
+            except (TypeError, ValueError):
+                raise ServiceError("tuple times must be numbers") from None
+        closed = payload.get("closed")
+        if closed is None:
+            # The common case: the delta's traces are complete batches.
+            for action in delta.actions():
+                delta.close(action)
+        elif isinstance(closed, list):
+            for action in closed:
+                delta.close(_parse_id(action))
+        else:
+            raise ServiceError("'closed' must be a list of action ids")
+        if not delta.tuples and not delta.closed:
+            raise ServiceError("an ingest needs 'tuples' and/or 'closed'")
+        try:
+            record = load_context_record(self.store, payload.get("context"))
+        except StoreMiss as error:
+            raise ServiceError(str(error), status=404) from error
+        verify = bool(payload.get("verify", False))
+        with self._lock:
+            if self._ingest_active:
+                raise ServiceError(
+                    "another ingest is already in progress", status=409
+                )
+            self._ingest_active = True
+            self._ingest_seq += 1
+            job: dict[str, Any] = {
+                "job": self._ingest_seq,
+                "base": record["context_key"],
+                "status": "running",
+                "derived": None,
+                "error": None,
+                "report": None,
+            }
+            self._ingests[job["job"]] = job
+        thread = threading.Thread(
+            target=self._run_ingest,
+            args=(job, record, delta, verify),
+            daemon=True,
+        )
+        thread.start()
+        if payload.get("wait"):
+            thread.join()
+        with self._lock:
+            return dict(job)
+
+    def _run_ingest(
+        self,
+        job: dict[str, Any],
+        record: Mapping[str, Any],
+        delta: Any,
+        verify: bool,
+    ) -> None:
+        try:
+            from repro.stream.derive import derive_bundle
+
+            result = derive_bundle(
+                self.store, delta, record=record, verify=verify
+            )
+            context = load_serving_context(self.store, result.record)
+            slot = _ServingSlot(result.record, context)
+            with self._lock:
+                key = result.derived_key
+                self._slots[key] = slot
+                self._slots.move_to_end(key)
+                while len(self._slots) > self.cache_size:
+                    self._slots.popitem(last=False)
+                if self._default_key in (None, job["base"]):
+                    self._default_key = key
+                job["status"] = "done"
+                job["derived"] = key
+                job["lineage_depth"] = int(
+                    result.record.get("lineage_depth", 0)
+                )
+                job["report"] = result.report.to_dict()
+        except Exception as error:
+            with self._lock:
+                job["status"] = "failed"
+                job["error"] = str(error)
+        finally:
+            with self._lock:
+                self._ingest_active = False
+
+    def ingest_status(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "ingests": [dict(job) for job in self._ingests.values()],
+                "default": self._default_key,
+            }
+
 
 class _Handler(BaseHTTPRequestHandler):
     service: QueryService  # injected by make_server
@@ -345,6 +484,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/healthz": self.service.healthz,
             "/contexts": self.service.contexts,
             "/selectors": self.service.selectors,
+            "/ingest": self.service.ingest_status,
         }
         handler = routes.get(self.path)
         if handler is None:
@@ -357,6 +497,7 @@ class _Handler(BaseHTTPRequestHandler):
             "/select": self.service.select,
             "/spread": self.service.spread,
             "/predict": self.service.predict,
+            "/ingest": self.service.ingest,
         }
         handler = routes.get(self.path)
         if handler is None:

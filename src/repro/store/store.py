@@ -29,7 +29,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Collection, Iterator
 
 from repro.store.keys import FORMAT_VERSION
 from repro.store.serialize import (
@@ -294,7 +294,10 @@ class ArtifactStore:
             pass
 
     def gc(
-        self, older_than_s: float | None = None, dry_run: bool = False
+        self,
+        older_than_s: float | None = None,
+        dry_run: bool = False,
+        protect_contexts: Collection[str] = (),
     ) -> list[str]:
         """Collect garbage; returns the keys/paths that were (or would be)
         removed.
@@ -304,9 +307,15 @@ class ArtifactStore:
         ``older_than_s`` additionally expires healthy entries whose
         manifest is older than that many seconds (age-based cache
         rotation; the key scheme makes any entry safe to drop — the
-        next run re-learns and re-saves).
+        next run re-learns and re-saves).  ``protect_contexts`` exempts
+        healthy entries whose ``meta["context"]`` is listed from age
+        expiry — the lineage guard: a delta-derived bundle aliases
+        artifacts of its ancestors instead of copying them, so
+        collecting a still-referenced ancestor would tear the derived
+        bundle (see :func:`repro.stream.derive.referenced_context_keys`).
         """
         removed: list[str] = []
+        protected = set(protect_contexts)
         now = time.time()
         for directory in list(self._entry_dirs()):
             key = directory.name
@@ -339,10 +348,38 @@ class ArtifactStore:
                     self.delete(key)
                 continue
             if older_than_s is not None and now - entry.created_at > older_than_s:
+                if entry.meta.get("context") in protected:
+                    continue
                 removed.append(key)
                 if not dry_run:
                     self.delete(key)
         return removed
+
+    def derive(
+        self,
+        delta: Any,
+        context: str | None = None,
+        dataset_name: str | None = None,
+        verify: bool = False,
+    ) -> Any:
+        """Apply an action-log delta to a stored bundle (see repro.stream).
+
+        Thin delegate to :func:`repro.stream.derive.derive_bundle`:
+        folds ``delta`` into the bundle selected by ``context`` (key or
+        prefix; default the store's only context) and commits the
+        updated bundle under the union dataset's fingerprint with a
+        ``derived_from`` lineage link.  Returns the
+        :class:`~repro.stream.derive.DeriveResult`.
+        """
+        from repro.stream.derive import derive_bundle
+
+        return derive_bundle(
+            self,
+            delta,
+            context=context,
+            dataset_name=dataset_name,
+            verify=verify,
+        )
 
     def size_bytes(self) -> int:
         """Total payload bytes across committed entries."""

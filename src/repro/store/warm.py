@@ -34,18 +34,38 @@ from repro.store.store import ArtifactStore, StoreCorruption, StoreMiss
 __all__ = [
     "GRAPH_ARTIFACT",
     "CONTEXT_RECORD",
+    "TRAIN_LOG_ARTIFACT",
+    "STREAM_STATS_ARTIFACT",
     "required_artifacts",
     "context_key_for",
+    "artifact_source_key",
     "warm_start",
     "load_context_record",
     "list_context_records",
 ]
 
-# Two extra store slots beyond the context's learned artifacts: the
-# social graph (serving needs it to rebuild a context) and the context
-# record (the serving layer's table of contents).
+# Extra store slots beyond the context's learned artifacts: the social
+# graph (serving needs it to rebuild a context), the context record
+# (the serving layer's table of contents), the training action log and
+# the streaming sufficient statistics (both feed `repro ingest`, which
+# validates deltas against the log and updates LT weights from the
+# statistics — see :mod:`repro.stream`).
 GRAPH_ARTIFACT = "graph"
 CONTEXT_RECORD = "__context__"
+TRAIN_LOG_ARTIFACT = "__train_log__"
+STREAM_STATS_ARTIFACT = "__stream_stats__"
+
+
+def artifact_source_key(record: Mapping[str, Any], name: str) -> str:
+    """The context key artifact ``name`` actually lives under.
+
+    Delta-derived bundles alias artifacts a delta cannot change (the
+    graph, graph-only probabilities) instead of copying them; the
+    record's ``artifact_sources`` maps those names to the ancestor
+    bundle holding the bytes.  Base bundles have no sources — every
+    artifact lives under the record's own key.
+    """
+    return record.get("artifact_sources", {}).get(name, record["context_key"])
 
 
 def required_artifacts(config: Any) -> list[str]:
@@ -178,12 +198,25 @@ def warm_start(
         "misses": [],
         "corrupt": [],
         "saved": [],
+        "derived": None,
     }
+    # The record comes first: a delta-derived bundle's record carries the
+    # artifact_sources aliases the reads below must follow, and warm runs
+    # report whether they hit a base or derived bundle through it.
+    record_key = artifact_key(ckey, CONTEXT_RECORD)
+    previous = _load_one(store, record_key, events, CONTEXT_RECORD) or {}
+    sources: Mapping[str, str] = previous.get("artifact_sources", {})
+    if previous.get("derived_from"):
+        events["derived"] = {
+            "derived_from": previous["derived_from"],
+            "lineage_depth": int(previous.get("lineage_depth", 0)),
+        }
     if consult:
         for name in needed:
             if context.get_artifact(name) is not None:
                 continue
-            value = _load_one(store, artifact_key(ckey, name), events, name)
+            key = artifact_key(sources.get(name, ckey), name)
+            value = _load_one(store, key, events, name)
             if value is None:
                 events["misses"].append(name)
             else:
@@ -209,7 +242,11 @@ def warm_start(
 
     meta_base = {
         "context": ckey,
-        "dataset": dataset_name or (dataset.name if dataset is not None else ""),
+        "dataset": (
+            dataset_name
+            or (dataset.name if dataset is not None else "")
+            or previous.get("dataset", "")
+        ),
         "learn": context.learn_spec(),
     }
     stored_names = set()
@@ -221,6 +258,12 @@ def warm_start(
         # repair forever) and everything in the explicit cache-priming
         # mode; otherwise an existing entry is authoritative.
         refresh = (not consult) or name in events["corrupt"]
+        source = sources.get(name)
+        if source and not refresh and store.contains(artifact_key(source, name)):
+            # The record aliases this artifact to an ancestor bundle and
+            # the aliased entry is healthy — writing a copy under our own
+            # key would only duplicate bytes.
+            continue
         if store.contains(key) and not refresh:
             continue
         store.put(
@@ -233,7 +276,9 @@ def warm_start(
     # The graph is written for the serving layer but never *read* by
     # warm runs, so a corrupt payload would go unnoticed by the load
     # phase above; probe the bytes (no decode) and rewrite on any doubt.
-    graph_key = artifact_key(ckey, GRAPH_ARTIFACT)
+    graph_key = artifact_key(
+        sources.get(GRAPH_ARTIFACT, ckey), GRAPH_ARTIFACT
+    )
     if not consult or not store.verify(graph_key):
         store.put(
             graph_key,
@@ -242,13 +287,44 @@ def warm_start(
             refresh=True,
         )
         events["saved"].append(GRAPH_ARTIFACT)
+    # The training log and streaming statistics feed `repro ingest`
+    # (delta validation, re-learn paths, incremental LT updates).  The
+    # statistics are only computed when LT weights were learned in this
+    # run — the propagation DAGs are then already memoized, so the tally
+    # is nearly free; on a warm hit, recomputing would cost a full DAG
+    # sweep for a by-definition-unchanged value.
+    if context.train_log is not None:
+        log_key = artifact_key(ckey, TRAIN_LOG_ARTIFACT)
+        if not consult or not store.verify(log_key):
+            store.put(
+                log_key,
+                context.train_log,
+                meta={**meta_base, "artifact": TRAIN_LOG_ARTIFACT},
+                refresh=True,
+            )
+            events["saved"].append(TRAIN_LOG_ARTIFACT)
+        stats_key = artifact_key(ckey, STREAM_STATS_ARTIFACT)
+        if "lt_weights" in stored_names and (
+            "lt_weights" in events["misses"] or not consult
+        ):
+            if not consult or not store.contains(stats_key):
+                from repro.stream.update import compute_stream_stats
+
+                store.put(
+                    stats_key,
+                    compute_stream_stats(context),
+                    meta={**meta_base, "artifact": STREAM_STATS_ARTIFACT},
+                    refresh=not consult,
+                )
+                events["saved"].append(STREAM_STATS_ARTIFACT)
 
     # Refresh the context record (the serving layer's entry point) with
-    # the union of everything now stored for this namespace.
-    record_key = artifact_key(ckey, CONTEXT_RECORD)
-    previous = _load_one(store, record_key, events, CONTEXT_RECORD) or {}
+    # the union of everything now stored for this namespace.  Spreading
+    # ``previous`` first preserves streaming fields (``derived_from``,
+    # ``artifact_sources``, ``pending``, ...) a derive wrote earlier.
     artifacts = sorted(set(previous.get("artifacts", [])) | stored_names)
     record = {
+        **previous,
         "context_key": ckey,
         "dataset": meta_base["dataset"],
         "learn": context.learn_spec(),
@@ -339,7 +415,9 @@ def load_serving_context(
     to a client-visible message.
     """
     ckey = record["context_key"]
-    graph = store.get(artifact_key(ckey, GRAPH_ARTIFACT))
+    graph = store.get(
+        artifact_key(artifact_source_key(record, GRAPH_ARTIFACT), GRAPH_ARTIFACT)
+    )
     learn = record["learn"]
     context = SelectionContext(
         graph,
@@ -353,5 +431,6 @@ def load_serving_context(
     )
     for name in record.get("artifacts", []):
         if name in ARTIFACT_NAMES:
-            context.set_artifact(name, store.get(artifact_key(ckey, name)))
+            source = artifact_source_key(record, name)
+            context.set_artifact(name, store.get(artifact_key(source, name)))
     return context

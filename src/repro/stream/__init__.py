@@ -1,0 +1,57 @@
+"""repro.stream — incremental artifact maintenance from action-log deltas.
+
+The paper's pipeline is batch (scan the full action log, then select),
+but its Eq. 5 credit model is exactly incremental per trace.  This
+package turns that property into a subsystem:
+
+* :mod:`repro.stream.delta` — the versioned :class:`ActionLogDelta`
+  format (new ``(user, action, time)`` tuples plus closed-action
+  markers) with a TSV reader/writer, and :func:`apply_delta`, which
+  folds a delta into a base log to produce the union log a batch rerun
+  would have scanned;
+* :mod:`repro.stream.update` — per-artifact incremental updaters
+  (:func:`fold_delta`): exact trace-folding for the credit index and
+  CD evaluator, recount-based updates for LT weights from stored
+  sufficient statistics, and an explicit fall-back-to-relearn path for
+  artifacts whose statistics do not decompose (EM, time-decay credits);
+* :mod:`repro.stream.derive` — store integration
+  (:func:`derive_bundle`): writes the updated bundle under the union
+  dataset's fingerprint with a ``derived_from`` lineage link, so
+  warm-start, serving and GC compose with streaming.
+
+The contract throughout is *equivalence, not approximation*: every
+derived artifact is byte-identical to what a cold re-learn over the
+union log would build (``fold_delta(verify=True)`` asserts it).
+"""
+
+from repro.stream.delta import (
+    DELTA_FORMAT_VERSION,
+    ActionLogDelta,
+    DeltaApplication,
+    apply_delta,
+    load_action_log_delta,
+    save_action_log_delta,
+)
+from repro.stream.derive import DeriveResult, derive_bundle, referenced_context_keys
+from repro.stream.update import (
+    FoldReport,
+    StreamStats,
+    compute_stream_stats,
+    fold_delta,
+)
+
+__all__ = [
+    "DELTA_FORMAT_VERSION",
+    "ActionLogDelta",
+    "DeltaApplication",
+    "apply_delta",
+    "load_action_log_delta",
+    "save_action_log_delta",
+    "FoldReport",
+    "StreamStats",
+    "compute_stream_stats",
+    "fold_delta",
+    "DeriveResult",
+    "derive_bundle",
+    "referenced_context_keys",
+]

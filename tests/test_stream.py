@@ -1,0 +1,756 @@
+"""repro.stream: deltas, incremental folds, derived bundles, /ingest.
+
+The contract under test is the streaming equivalence guarantee: folding
+an action-log delta into learned artifacts produces, for every
+incrementally updated artifact, the *same bytes* a cold re-learn over
+the union log (base traces first, newly closed traces after) would
+produce — on every backend — and therefore the same seed selections.
+On top of that sit the store's lineage-linked ``derive`` (warm runs
+over the union hit the derived bundle; ``gc`` never tears an ancestor
+out from under it) and the query service's zero-downtime ``/ingest``
+swap.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.api import ExperimentConfig, SelectionContext, run_experiment
+from repro.api.registry import get_selector
+from repro.data.actionlog import ActionLog
+from repro.store import ArtifactStore
+from repro.store.serialize import dump_payload
+from repro.store.service import QueryService, ServiceError, make_server
+from repro.store.warm import (
+    TRAIN_LOG_ARTIFACT,
+    list_context_records,
+    load_context_record,
+)
+from repro.stream import (
+    ActionLogDelta,
+    apply_delta,
+    derive_bundle,
+    fold_delta,
+    load_action_log_delta,
+    referenced_context_keys,
+    save_action_log_delta,
+)
+from repro.stream.update import compute_stream_stats
+
+
+def split_base_delta(log: ActionLog, holdout: int = 5):
+    """Hold out the last ``holdout`` traces of ``log`` as a closed delta."""
+    actions = list(log.actions())
+    base = log.restrict_to_actions(actions[:-holdout])
+    held = log.restrict_to_actions(actions[-holdout:])
+    return base, ActionLogDelta.from_log(held)
+
+
+# ----------------------------------------------------------------------
+# Delta format
+# ----------------------------------------------------------------------
+class TestDeltaFormat:
+    def test_round_trip(self, tmp_path):
+        delta = ActionLogDelta()
+        delta.add(1, "a", 0.5)
+        delta.add("u2", "a", 1.0)
+        delta.add(3, "b", 2.0)
+        delta.close("a")
+        path = tmp_path / "delta.tsv"
+        save_action_log_delta(delta, path)
+        loaded = load_action_log_delta(path)
+        assert loaded.tuples == [(1, "a", 0.5), ("u2", "a", 1.0), (3, "b", 2.0)]
+        assert loaded.closed == ["a"]
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "delta.tsv"
+        path.write_text("1\ta\t0.0\n")
+        with pytest.raises(ValueError, match="missing"):
+            load_action_log_delta(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "delta.tsv"
+        path.write_text("# repro-delta v99\n1\ta\t0.0\n")
+        with pytest.raises(ValueError, match="v99"):
+            load_action_log_delta(path)
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "delta.tsv"
+        path.write_text("# repro-delta v1\n1\ta\n")
+        with pytest.raises(ValueError, match="3-field"):
+            load_action_log_delta(path)
+
+    def test_close_marker_round_trips_pending(self, tmp_path):
+        delta = ActionLogDelta()
+        delta.add(1, "open", 0.0)  # no close marker: stays pending
+        path = tmp_path / "delta.tsv"
+        save_action_log_delta(delta, path)
+        loaded = load_action_log_delta(path)
+        assert loaded.closed == []
+        assert loaded.actions() == ["open"]
+
+
+class TestApplyDelta:
+    @pytest.fixture()
+    def base_log(self):
+        return ActionLog.from_tuples([(1, "a", 0.0), (2, "a", 1.0)])
+
+    def test_union_orders_base_then_closed(self, base_log):
+        delta = ActionLogDelta.from_log(
+            ActionLog.from_tuples([(1, "b", 0.0), (3, "b", 1.0)])
+        )
+        application = apply_delta(base_log, delta)
+        assert list(application.union_log.actions()) == ["a", "b"]
+        assert application.closed_log.num_actions == 1
+        assert application.pending == []
+
+    def test_frozen_action_rejected(self, base_log):
+        delta = ActionLogDelta()
+        delta.add(3, "a", 2.0)
+        with pytest.raises(ValueError, match="frozen"):
+            apply_delta(base_log, delta)
+
+    def test_duplicate_pair_rejected(self, base_log):
+        delta = ActionLogDelta()
+        delta.add(1, "b", 0.0)
+        delta.add(1, "b", 1.0)
+        with pytest.raises(ValueError, match="already performed"):
+            apply_delta(base_log, delta)
+
+    def test_close_without_tuples_rejected(self, base_log):
+        delta = ActionLogDelta()
+        delta.close("ghost")
+        with pytest.raises(ValueError, match="no tuples"):
+            apply_delta(base_log, delta)
+
+    def test_pending_feeds_a_later_close(self, base_log):
+        first = ActionLogDelta()
+        first.add(1, "b", 0.0)
+        application = apply_delta(base_log, first)
+        assert application.pending == [(1, "b", 0.0)]
+        assert application.union_log.num_actions == base_log.num_actions
+        second = ActionLogDelta()
+        second.add(3, "b", 1.0)
+        second.close("b")
+        final = apply_delta(base_log, second, pending=application.pending)
+        assert final.pending == []
+        assert final.closed_log.trace("b") == [(1, 0.0), (3, 1.0)]
+
+
+# ----------------------------------------------------------------------
+# observe_many is all-or-nothing (streaming index ingestion)
+# ----------------------------------------------------------------------
+class TestObserveManyAtomicity:
+    @pytest.fixture()
+    def stream(self, chain_graph):
+        from repro.core.streaming import StreamingCreditIndex
+
+        stream = StreamingCreditIndex(chain_graph)
+        stream.observe(1, "done", 0.0)
+        stream.flush()
+        return stream
+
+    def test_frozen_action_leaves_batch_unbuffered(self, stream):
+        with pytest.raises(ValueError, match="frozen"):
+            stream.observe_many([(1, "new", 0.0), (2, "done", 1.0)])
+        assert stream.pending_tuples() == 0
+
+    def test_intra_batch_duplicate_leaves_batch_unbuffered(self, stream):
+        with pytest.raises(ValueError, match="already performed"):
+            stream.observe_many([(1, "new", 0.0), (1, "new", 1.0)])
+        assert stream.pending_tuples() == 0
+
+    def test_valid_batch_lands_whole(self, stream):
+        stream.observe_many([(1, "new", 0.0), (2, "new", 1.0)])
+        assert stream.pending_tuples() == 2
+
+
+# ----------------------------------------------------------------------
+# Fold parity: incremental == rescan, per backend
+# ----------------------------------------------------------------------
+class TestFoldParity:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_uniform_fold_matches_union_rescan(self, flixster_mini, backend):
+        if backend == "numpy":
+            pytest.importorskip("numpy")
+        base_log, delta = split_base_delta(flixster_mini.log)
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3,
+            credit_scheme="uniform", backend=backend,
+        )
+        context.credit_index()
+        context.cd_evaluator()
+        context.lt_weights()
+        fold = fold_delta(
+            context, delta, stats=compute_stream_stats(context), verify=True,
+        )
+        assert sorted(fold.report.updated) == [
+            "cd_evaluator", "credit_index", "lt_weights",
+        ]
+        assert fold.report.verified
+        reference = SelectionContext(
+            flixster_mini.graph, fold.context.train_log, seed=3,
+            credit_scheme="uniform", backend=backend,
+        )
+        for name in ("credit_index", "cd_evaluator", "lt_weights"):
+            assert dump_payload(fold.context.get_artifact(name)) == (
+                dump_payload(reference.build_artifact(name))
+            ), name
+        # ... and therefore the same CD seed set.
+        selector = get_selector("cd")
+        assert selector.select(fold.context, 5).seeds == (
+            selector.select(reference, 5).seeds
+        )
+
+    def test_verify_numpy_batch_composition_carve_out(self):
+        """verify=True passes where numpy loses byte-identity.
+
+        At the ``small`` scale the NumPy scan's dense-vs-sorted merge
+        choice differs between the closed-delta batch and one global
+        union batch, so the folded credit index drifts from a rescan in
+        the last float bit.  The verify contract accepts that via the
+        kernel-parity tolerance (and stays byte-strict on python —
+        covered by ``test_uniform_fold_matches_union_rescan``).
+        """
+        pytest.importorskip("numpy")
+        from repro.data.datasets import flixster_like
+
+        dataset = flixster_like("small")
+        base_log, delta = split_base_delta(
+            dataset.log, holdout=dataset.log.num_actions // 20
+        )
+        context = SelectionContext(
+            dataset.graph, base_log, seed=3,
+            credit_scheme="uniform", backend="numpy",
+        )
+        context.credit_index()
+        fold = fold_delta(context, delta, verify=True)
+        assert fold.report.verified
+        reference = SelectionContext(
+            dataset.graph, fold.context.train_log, seed=3,
+            credit_scheme="uniform", backend="numpy",
+        )
+        selector = get_selector("cd")
+        assert selector.select(fold.context, 5).seeds == (
+            selector.select(reference, 5).seeds
+        )
+
+    def test_verify_rejects_real_divergence(self, flixster_mini):
+        """The tolerance carve-out must not mask genuine fold bugs."""
+        from repro.stream.update import _assert_union_equivalence
+
+        base_log, delta = split_base_delta(flixster_mini.log)
+        for backend in ("python", "numpy"):
+            if backend == "numpy":
+                pytest.importorskip("numpy")
+            context = SelectionContext(
+                flixster_mini.graph, base_log, seed=3,
+                credit_scheme="uniform", backend=backend,
+            )
+            context.credit_index()
+            fold = fold_delta(context, delta)
+            index = fold.context.get_artifact("credit_index")
+            influencer = next(iter(index.out))
+            action = next(iter(index.out[influencer]))
+            influenced = next(iter(index.out[influencer][action]))
+            index.out[influencer][action][influenced] += 1e-6
+            with pytest.raises(AssertionError, match="diverged"):
+                _assert_union_equivalence(fold.context, ["credit_index"])
+
+    def test_timedecay_relearns_credits(self, flixster_mini):
+        base_log, delta = split_base_delta(flixster_mini.log)
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="timedecay",
+        )
+        context.credit_index()
+        fold = fold_delta(context, delta)
+        assert "credit_index" in fold.report.relearned
+        reference = SelectionContext(
+            flixster_mini.graph, fold.context.train_log, seed=3,
+            credit_scheme="timedecay",
+        )
+        assert dump_payload(fold.context.get_artifact("credit_index")) == (
+            dump_payload(reference.build_artifact("credit_index"))
+        )
+
+    def test_graph_only_probabilities_carried_by_reference(self, flixster_mini):
+        base_log, delta = split_base_delta(flixster_mini.log)
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        artifact = context.ic_probabilities("UN")
+        fold = fold_delta(context, delta)
+        assert fold.report.carried == ["ic_probabilities/UN"]
+        assert fold.context.get_artifact("ic_probabilities/UN") is artifact
+
+    def test_base_context_left_untouched(self, flixster_mini):
+        base_log, delta = split_base_delta(flixster_mini.log)
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        before = dump_payload(context.credit_index())
+        fold_delta(context, delta)
+        assert dump_payload(context.credit_index()) == before
+        assert context.train_log is base_log
+
+    def test_empty_close_set_carries_everything(self, flixster_mini):
+        base_log, _ = split_base_delta(flixster_mini.log)
+        delta = ActionLogDelta()
+        delta.add(1, "open-action", 0.0)
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        context.credit_index()
+        fold = fold_delta(context, delta)
+        assert fold.report.carried == ["credit_index"]
+        assert fold.pending == [(1, "open-action", 0.0)]
+
+
+class TestPipelineIngestStage:
+    @pytest.fixture()
+    def delta_path(self, flixster_mini, tmp_path):
+        users = sorted(flixster_mini.graph.nodes())[:4]
+        delta = ActionLogDelta()
+        for rank, user in enumerate(users):
+            delta.add(user, 987654, float(rank))
+        delta.close(987654)
+        path = tmp_path / "delta.tsv"
+        save_action_log_delta(delta, path)
+        return str(path)
+
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_ingest_stage_matches_union_rescan(
+        self, flixster_mini, delta_path, executor
+    ):
+        config = dict(
+            dataset="flixster", scale="mini", selectors=["cd", "high_degree"],
+            ks=[3], seed=11,
+        )
+        ingested = run_experiment(
+            ExperimentConfig(**config, delta=delta_path, executor=executor)
+        )
+        assert "ingest_s" in ingested.timings
+        assert ingested.ingest["closed_actions"] == 1
+        from repro.data.split import train_test_split
+
+        train, _ = train_test_split(flixster_mini.log, every=5)
+        union = apply_delta(
+            train, load_action_log_delta(delta_path)
+        ).union_log
+        reference = run_experiment(
+            ExperimentConfig(**config),
+            context=SelectionContext(flixster_mini.graph, union, seed=11),
+        )
+        for label in ("cd", "high_degree"):
+            assert ingested.selections(label)[0].seeds == (
+                reference.selections(label)[0].seeds
+            ), (label, executor)
+
+    def test_delta_requires_selection_task(self):
+        from repro.utils.validation import ConfigError
+
+        with pytest.raises(ConfigError, match="ingest"):
+            ExperimentConfig(task="prediction", delta="delta.tsv")
+
+
+# ----------------------------------------------------------------------
+# Store derive: lineage, warm hits, gc protection
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def derived_store(tmp_path_factory, flixster_mini):
+    """A store holding a base bundle and one delta-derived bundle."""
+    root = str(tmp_path_factory.mktemp("stream") / "store")
+    base_log, delta = split_base_delta(flixster_mini.log)
+    from repro.store.warm import warm_start
+
+    context = SelectionContext(
+        flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+    )
+    warm_start(
+        ArtifactStore(root),
+        context,
+        ["credit_index", "cd_evaluator", "lt_weights",
+         "ic_probabilities/UN"],
+        dataset_name=flixster_mini.name,
+    )
+    result = derive_bundle(ArtifactStore(root), delta, verify=True)
+    return root, result
+
+
+class TestDerive:
+    def test_lineage_record(self, derived_store):
+        _, result = derived_store
+        assert result.derived_key != result.base_key
+        assert result.record["derived_from"] == result.base_key
+        assert result.record["lineage_depth"] == 1
+        assert result.report.verified
+
+    def test_carried_artifacts_aliased_not_copied(self, derived_store):
+        root, result = derived_store
+        sources = result.record["artifact_sources"]
+        assert sources["graph"] == result.base_key
+        assert sources["ic_probabilities/UN"] == result.base_key
+        assert "credit_index" not in sources  # updated: own bytes
+
+    def test_warm_run_over_union_hits_derived_bundle(
+        self, derived_store, flixster_mini
+    ):
+        root, result = derived_store
+        union = result.context.train_log
+        context = SelectionContext(
+            flixster_mini.graph, union, seed=3, credit_scheme="uniform",
+        )
+        from repro.store.warm import warm_start
+
+        events = warm_start(
+            ArtifactStore(root), context,
+            ["credit_index", "cd_evaluator", "lt_weights"],
+        )
+        assert events["context_key"] == result.derived_key
+        assert events["misses"] == []
+        assert events["derived"] == {
+            "derived_from": result.base_key, "lineage_depth": 1,
+        }
+
+    def test_derived_bundle_is_servable(self, derived_store):
+        root, result = derived_store
+        service = QueryService(root)
+        response = service.select(
+            {"selector": "cd", "k": 3, "context": result.derived_key}
+        )
+        assert len(response["selection"]["seeds"]) == 3
+
+    def test_gc_protects_referenced_ancestors(self, derived_store):
+        root, result = derived_store
+        store = ArtifactStore(root)
+        protected = referenced_context_keys(store)
+        assert result.base_key in protected
+        removed = store.gc(
+            older_than_s=0.0, dry_run=True, protect_contexts=protected
+        )
+        surviving = {
+            entry.meta.get("context")
+            for entry in store.entries()
+            if entry.key not in set(removed)
+        }
+        assert result.base_key in surviving
+
+    def test_pending_only_delta_keeps_key(self, tmp_path, flixster_mini):
+        root = str(tmp_path / "store")
+        base_log, _ = split_base_delta(flixster_mini.log)
+        from repro.store.warm import warm_start
+
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        warm_start(ArtifactStore(root), context, ["credit_index"])
+        delta = ActionLogDelta()
+        delta.add(1, "open-action", 0.0)
+        result = derive_bundle(ArtifactStore(root), delta)
+        assert result.derived_key == result.base_key
+        record = load_context_record(ArtifactStore(root))
+        assert record["pending"] == [[1, "open-action", 0.0]] or (
+            record["pending"] == [(1, "open-action", 0.0)]
+        )
+
+    def test_pre_streaming_bundle_names_the_fix(self, tmp_path, flixster_mini):
+        from repro.store import StoreMiss
+        from repro.store.keys import artifact_key
+
+        root = str(tmp_path / "store")
+        base_log, delta = split_base_delta(flixster_mini.log)
+        from repro.store.warm import warm_start
+
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        events = warm_start(ArtifactStore(root), context, ["credit_index"])
+        store = ArtifactStore(root)
+        store.delete(
+            artifact_key(events["context_key"], TRAIN_LOG_ARTIFACT)
+        )
+        with pytest.raises(StoreMiss, match="repro learn --store"):
+            derive_bundle(store, delta)
+
+    def test_stacked_derives_chain_to_root(self, tmp_path, flixster_mini):
+        root = str(tmp_path / "store")
+        actions = list(flixster_mini.log.actions())
+        base = flixster_mini.log.restrict_to_actions(actions[:-6])
+        first = ActionLogDelta.from_log(
+            flixster_mini.log.restrict_to_actions(actions[-6:-3])
+        )
+        second = ActionLogDelta.from_log(
+            flixster_mini.log.restrict_to_actions(actions[-3:])
+        )
+        from repro.store.warm import warm_start
+
+        context = SelectionContext(
+            flixster_mini.graph, base, seed=3, credit_scheme="uniform",
+        )
+        warm_start(
+            ArtifactStore(root), context,
+            ["credit_index", "ic_probabilities/UN"],
+        )
+        store = ArtifactStore(root)
+        one = derive_bundle(store, first)
+        two = derive_bundle(store, second, context=one.derived_key)
+        assert two.record["lineage_depth"] == 2
+        # The graph-only alias chains through to the *root* bundle.
+        assert two.record["artifact_sources"]["graph"] == one.base_key
+        assert (
+            two.record["artifact_sources"]["ic_probabilities/UN"]
+            == one.base_key
+        )
+        assert one.base_key in referenced_context_keys(store)
+
+
+# ----------------------------------------------------------------------
+# Service ingest: zero-downtime swap
+# ----------------------------------------------------------------------
+class TestServiceIngest:
+    @pytest.fixture()
+    def store_root(self, tmp_path, flixster_mini):
+        root = str(tmp_path / "store")
+        base_log, _ = split_base_delta(flixster_mini.log)
+        from repro.store.warm import warm_start
+
+        context = SelectionContext(
+            flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+        )
+        warm_start(
+            ArtifactStore(root), context,
+            ["credit_index", "cd_evaluator"],
+            dataset_name=flixster_mini.name,
+        )
+        return root
+
+    @pytest.fixture()
+    def delta_tuples(self, flixster_mini):
+        base_log, delta = split_base_delta(flixster_mini.log)
+        return [[user, action, time] for user, action, time in delta.tuples]
+
+    def test_ingest_swaps_default(self, store_root, delta_tuples):
+        service = QueryService(store_root)
+        before = service.select({"selector": "cd", "k": 3})
+        job = service.ingest({"tuples": delta_tuples, "wait": True})
+        assert job["status"] == "done", job["error"]
+        assert job["derived"] != job["base"]
+        after = service.select({"selector": "cd", "k": 3})
+        assert after["context"] == job["derived"]
+        # The base bundle stays servable under its explicit key.
+        explicit = service.select(
+            {"selector": "cd", "k": 3, "context": before["context"]}
+        )
+        assert explicit["context"] == before["context"]
+        assert service.ingest_status()["default"] == job["derived"]
+
+    def test_failed_ingest_leaves_serving_untouched(
+        self, store_root, flixster_mini
+    ):
+        service = QueryService(store_root)
+        before = service.select({"selector": "cd", "k": 3})
+        frozen_action = next(iter(split_base_delta(flixster_mini.log)[0].actions()))
+        job = service.ingest(
+            {"tuples": [[1, frozen_action, 0.0]], "wait": True}
+        )
+        assert job["status"] == "failed"
+        assert "frozen" in job["error"]
+        after = service.select({"selector": "cd", "k": 3})
+        assert after["context"] == before["context"]
+
+    def test_second_ingest_while_running_is_409(self, store_root, delta_tuples):
+        service = QueryService(store_root)
+        with service._lock:
+            service._ingest_active = True
+        with pytest.raises(ServiceError) as caught:
+            service.ingest({"tuples": delta_tuples})
+        assert caught.value.status == 409
+        with service._lock:
+            service._ingest_active = False
+
+    def test_malformed_payloads_rejected(self, store_root):
+        service = QueryService(store_root)
+        with pytest.raises(ServiceError, match="triple"):
+            service.ingest({"tuples": [[1, 2]]})
+        with pytest.raises(ServiceError, match="numbers"):
+            service.ingest({"tuples": [[1, 2, "soon"]]})
+        with pytest.raises(ServiceError, match="needs"):
+            service.ingest({})
+
+    def test_http_swap_with_no_failed_requests(self, store_root, delta_tuples):
+        """Hammer /select over HTTP while an ingest lands: every request
+        must succeed, and each response must be internally consistent
+        (the seed set always matches the context it was served from)."""
+        server = make_server(store_root, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        failures: list = []
+        answers: dict[str, str] = {}
+        stop = threading.Event()
+
+        def post(path: str, payload: dict) -> tuple[int, dict]:
+            connection = http.client.HTTPConnection(host, port, timeout=30)
+            try:
+                connection.request(
+                    "POST", path, body=json.dumps(payload),
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                return response.status, json.loads(response.read())
+            finally:
+                connection.close()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                status, body = post("/select", {"selector": "cd", "k": 3})
+                if status != 200:
+                    failures.append(body)
+                    return
+                context = body["context"]
+                seeds = json.dumps(body["selection"]["seeds"])
+                if answers.setdefault(context, seeds) != seeds:
+                    failures.append((context, seeds))
+                    return
+
+        try:
+            workers = [
+                threading.Thread(target=hammer, daemon=True) for _ in range(3)
+            ]
+            for worker in workers:
+                worker.start()
+            status, job = post(
+                "/ingest", {"tuples": delta_tuples, "wait": True}
+            )
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=30)
+            assert status == 200
+            assert job["status"] == "done", job["error"]
+            assert not failures, failures
+            # After the swap the default context answers from the
+            # derived bundle.
+            status, body = post("/select", {"selector": "cd", "k": 3})
+            assert status == 200
+            assert body["context"] == job["derived"]
+        finally:
+            stop.set()
+            server.shutdown()
+            server.server_close()
+
+
+# ----------------------------------------------------------------------
+# CLI: ingest / store ls lineage / store gc protection
+# ----------------------------------------------------------------------
+class TestStreamCLI:
+    @pytest.fixture()
+    def primed(self, tmp_path, flixster_mini):
+        from repro.data.io import save_action_log, save_graph
+
+        root = str(tmp_path / "store")
+        graph_path = str(tmp_path / "graph.tsv")
+        log_path = str(tmp_path / "log.tsv")
+        delta_path = str(tmp_path / "delta.tsv")
+        base_log, delta = split_base_delta(flixster_mini.log)
+        save_graph(flixster_mini.graph, graph_path)
+        save_action_log(base_log, log_path)
+        save_action_log_delta(delta, delta_path)
+        from repro.cli import main
+
+        assert main([
+            "learn", "--graph", graph_path, "--log", log_path,
+            "--store", root, "--credit-scheme", "uniform",
+        ]) == 0
+        return root, delta_path
+
+    def test_ingest_then_ls_shows_lineage(self, primed, capsys):
+        from repro.cli import main
+
+        root, delta_path = primed
+        assert main([
+            "ingest", "--store", root, "--delta", delta_path, "--verify",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "derived context" in output
+        assert "verified" in output
+        assert main(["store", "ls", "--store", root]) == 0
+        table = capsys.readouterr().out
+        assert "lineage" in table
+        records = list_context_records(ArtifactStore(root))
+        assert sorted(r.get("lineage_depth", 0) for r in records) == [0, 1]
+
+    def test_gc_refuses_referenced_ancestor(self, primed, capsys):
+        from repro.cli import main
+
+        root, delta_path = primed
+        assert main(["ingest", "--store", root, "--delta", delta_path]) == 0
+        capsys.readouterr()
+        base_key = min(
+            record["context_key"]
+            for record in list_context_records(ArtifactStore(root))
+            if "derived_from" not in record
+        )
+        assert main([
+            "store", "gc", "--store", root, "--older-than", "0", "--dry-run",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "lineage protection" in output
+        assert base_key[:12] not in output
+
+    def test_ingest_bad_delta_exits_2(self, primed, tmp_path, capsys):
+        from repro.cli import main
+
+        root, _ = primed
+        bad = tmp_path / "bad.tsv"
+        bad.write_text("not a delta\n")
+        assert main(["ingest", "--store", root, "--delta", str(bad)]) == 2
+        assert "ingest:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Warm-run reporting (store_events["derived"], result.ingest)
+# ----------------------------------------------------------------------
+class TestResultReporting:
+    def test_store_backed_run_reports_ingest_and_derived(
+        self, tmp_path, flixster_mini
+    ):
+        root = str(tmp_path / "store")
+        delta_path = str(tmp_path / "delta.tsv")
+        users = sorted(flixster_mini.graph.nodes())[:3]
+        delta = ActionLogDelta()
+        for rank, user in enumerate(users):
+            delta.add(user, 987654, float(rank))
+        delta.close(987654)
+        save_action_log_delta(delta, delta_path)
+        config = dict(
+            dataset="flixster", scale="mini", selectors=["cd"], ks=[3],
+            seed=11,
+        )
+        run_experiment(ExperimentConfig(**config, store=root))
+        ingested = run_experiment(
+            ExperimentConfig(**config, store=root, delta=delta_path)
+        )
+        assert ingested.ingest["lineage_depth"] == 1
+        assert ingested.to_dict()["ingest"] == ingested.ingest
+        # A warm run over the union log loads the derived bundle and
+        # says so.
+        from repro.data.split import train_test_split
+
+        train, _ = train_test_split(flixster_mini.log, every=5)
+        union = apply_delta(train, delta).union_log
+        warm = run_experiment(
+            ExperimentConfig(**config, store=root),
+            context=SelectionContext(flixster_mini.graph, union, seed=11),
+        )
+        assert warm.store_events["derived"] == {
+            "derived_from": ingested.ingest["base"],
+            "lineage_depth": 1,
+        }
+        assert warm.store_events["misses"] == []
+        assert ingested.selections("cd")[0].seeds == (
+            warm.selections("cd")[0].seeds
+        )
