@@ -1,0 +1,371 @@
+"""Serving load benchmark: mixed concurrent traffic against `repro serve`.
+
+Drives a live :func:`repro.store.service.make_server` instance with
+mixed ``/select`` + ``/spread`` + ``/predict`` traffic from concurrent
+worker threads — the production shape the serving layer claims to
+handle — and writes ``BENCH_serve.json``: per-endpoint p50/p99
+latency, throughput, and the error budget.
+
+What it proves
+--------------
+* **Prefix serving** — the store is populated and a ``cd`` selection
+  prefix precomputed (``repro prefix``); every warm ``/select`` with
+  ``k <= k_max`` is a lookup.  The report records the median latency
+  of the cold path (same service, prefixes ignored) next to the
+  prefix path, plus the ratio against the committed
+  ``BENCH_store.json`` serve baseline.  Acceptance (medium mode):
+  prefix-served median ``select`` latency is at least **5x** below
+  that baseline.
+* **Coalescing + backpressure** — concurrent ``/spread``/``/predict``
+  requests funnel through the bounded evaluation queue; the report
+  carries the queue counters (submitted vs engine dispatches) and the
+  error budget must show **zero 5xx** (503 load-shedding would be
+  visible, and is a failure under this benchmark's sizing).
+* **Determinism under concurrency** — identical requests racing on
+  many threads must produce byte-identical payloads; any divergence
+  fails the run (the CI ``serve-load-smoke`` job runs ``--quick`` and
+  asserts exactly this).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_serve_load.py
+        [--mode medium|quick] [--out BENCH_serve.json]
+        [--workers N] [--rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import platform
+import shutil
+import statistics
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import ExperimentConfig, SelectionContext, run_experiment
+from repro.data.datasets import flixster_like
+from repro.data.split import train_test_split
+from repro.store import ArtifactStore
+from repro.store.prefix import precompute_prefix
+from repro.store.service import QueryService, make_server
+from repro.store.warm import load_context_record, load_serving_context, warm_start
+
+BASELINE_FILE = "BENCH_store.json"
+BASELINE_SELECT_MS = 125.152  # BENCH_store.json medium selection_cd serve
+PREDICT_METHODS = ("CD", "IC", "LT")
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def build_store(root: str, mode: str) -> int:
+    """Populate a store with the full bundle and a cd prefix; returns k_max."""
+    scale = "small" if mode == "medium" else "mini"
+    k_max = 10 if mode == "medium" else 5
+    dataset = flixster_like(scale)
+    run_experiment(
+        ExperimentConfig(
+            dataset="flixster", scale=scale, selectors=["cd"],
+            ks=[min(3, k_max)], seed=11, store=root,
+        ),
+        dataset=dataset,
+    )
+    train, _ = train_test_split(dataset.log, every=5)
+    context = SelectionContext(dataset.graph, train, seed=11)
+    warm_start(
+        ArtifactStore(root),
+        context,
+        ["ic_probabilities/EM", "lt_weights"],
+        dataset=dataset,
+        split={"split": True, "every": 5},
+        dataset_name=dataset.name,
+    )
+    store = ArtifactStore(root, create=False)
+    record = load_context_record(store)
+    serving = load_serving_context(store, record)
+    precompute_prefix(store, record, serving, "cd", k_max)
+    return k_max
+
+
+def bench_select_paths(root: str, k: int, requests: int) -> dict:
+    """Median in-process select latency: cold algorithm vs prefix lookup."""
+    cold_service = QueryService(root)
+    cold_service.slot(None).record.pop("prefixes", None)
+    warm_service = QueryService(root)
+    payload = {"selector": "cd", "k": k}
+    reference = cold_service.select(payload)
+    assert warm_service.select(payload) == reference, "prefix/cold mismatch"
+
+    def _median_ms(service: QueryService) -> float:
+        samples = []
+        for _ in range(requests):
+            started = time.perf_counter()
+            service.select(payload)
+            samples.append((time.perf_counter() - started) * 1000)
+        return statistics.median(samples)
+
+    cold_ms = _median_ms(cold_service)
+    prefix_ms = _median_ms(warm_service)
+    assert warm_service._select_paths["cold"] == 0, "prefix path not taken"
+    baseline_ms = BASELINE_SELECT_MS
+    baseline_path = Path(BASELINE_FILE)
+    if baseline_path.exists():
+        try:
+            committed = json.loads(baseline_path.read_text())
+            baseline_ms = committed["workloads"]["selection_cd"]["serve"][
+                "select_ms"
+            ]
+        except (ValueError, KeyError):
+            pass
+    return {
+        "requests": requests,
+        "k": k,
+        "cold_p50_ms": round(cold_ms, 3),
+        "prefix_p50_ms": round(prefix_ms, 3),
+        "speedup_vs_cold": round(cold_ms / max(prefix_ms, 1e-9), 1),
+        "bench_store_baseline_ms": baseline_ms,
+        "speedup_vs_bench_store": round(
+            baseline_ms / max(prefix_ms, 1e-9), 1
+        ),
+    }
+
+
+class _LoadResult:
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.samples: dict[str, list[float]] = {}
+        self.statuses: dict[int, int] = {}
+        self.bodies: dict[str, set[str]] = {}
+        self.transport_errors = 0
+
+    def record(self, endpoint: str, key: str, status: int,
+               elapsed_ms: float, body: str) -> None:
+        with self.lock:
+            self.samples.setdefault(endpoint, []).append(elapsed_ms)
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            if status == 200:
+                self.bodies.setdefault(key, set()).add(body)
+
+
+def _worker(port: int, worker_id: int, rounds: int, k_max: int,
+            seeds: list, result: _LoadResult) -> None:
+    for round_index in range(rounds):
+        k = (worker_id + round_index) % k_max + 1
+        script = [
+            ("/select", f"select:k={k}", {"selector": "cd", "k": k}),
+            ("/spread", "spread", {"seeds": seeds}),
+            (
+                "/predict",
+                f"predict:{PREDICT_METHODS[round_index % 3]}",
+                {
+                    "seeds": seeds,
+                    "method": PREDICT_METHODS[round_index % 3],
+                },
+            ),
+        ]
+        for path, key, payload in script:
+            started = time.perf_counter()
+            try:
+                connection = http.client.HTTPConnection(
+                    "127.0.0.1", port, timeout=120
+                )
+                connection.request("POST", path, body=json.dumps(payload))
+                response = connection.getresponse()
+                body = response.read().decode("utf-8")
+                status = response.status
+                connection.close()
+            except OSError:
+                with result.lock:
+                    result.transport_errors += 1
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000
+            result.record(path.lstrip("/"), key, status, elapsed_ms, body)
+
+
+def bench_load(root: str, k_max: int, workers: int, rounds: int) -> dict:
+    server = make_server(root, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    try:
+        # Warm the slot and grab a deterministic seed set for the
+        # spread/predict legs.
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        connection.request(
+            "POST", "/select", body=json.dumps({"selector": "cd", "k": 3})
+        )
+        seeds = json.loads(connection.getresponse().read())["selection"][
+            "seeds"
+        ]
+        connection.close()
+
+        result = _LoadResult()
+        started = time.perf_counter()
+        pool = [
+            threading.Thread(
+                target=_worker,
+                args=(port, index, rounds, k_max, seeds, result),
+            )
+            for index in range(workers)
+        ]
+        for worker in pool:
+            worker.start()
+        for worker in pool:
+            worker.join()
+        elapsed = time.perf_counter() - started
+
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=120)
+        connection.request("GET", "/healthz")
+        health = json.loads(connection.getresponse().read())
+        connection.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    total = sum(result.statuses.values())
+    endpoints = {
+        name: {
+            "count": len(samples),
+            "p50_ms": round(_percentile(samples, 0.50), 3),
+            "p99_ms": round(_percentile(samples, 0.99), 3),
+            "mean_ms": round(statistics.fmean(samples), 3),
+        }
+        for name, samples in sorted(result.samples.items())
+    }
+    status_5xx = sum(
+        count for status, count in result.statuses.items() if status >= 500
+    )
+    nondeterministic = sorted(
+        key for key, bodies in result.bodies.items() if len(bodies) > 1
+    )
+    return {
+        "workers": workers,
+        "rounds_per_worker": rounds,
+        "requests": total,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(total / max(elapsed, 1e-9), 1),
+        "endpoints": endpoints,
+        "error_budget": {
+            "statuses": {
+                str(status): count
+                for status, count in sorted(result.statuses.items())
+            },
+            "5xx": status_5xx,
+            "503_backpressure": result.statuses.get(503, 0),
+            "transport_errors": result.transport_errors,
+        },
+        "deterministic": not nondeterministic,
+        "nondeterministic_keys": nondeterministic,
+        "select_paths": health.get("select_paths", {}),
+        "queue": health.get("queue", {}),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode", choices=("medium", "quick"), default="medium",
+        help="medium: the acceptance run behind BENCH_serve.json "
+        "(>=5x prefix-vs-baseline select bar); quick: the CI smoke "
+        "(zero 5xx + byte-determinism under concurrency)",
+    )
+    parser.add_argument("--quick", dest="mode", action="store_const",
+                        const="quick", help="alias for --mode quick")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+    workers = args.workers or (8 if args.mode == "medium" else 6)
+    rounds = args.rounds or (15 if args.mode == "medium" else 5)
+
+    report = {
+        "benchmark": "serving load (prefix select + coalesced MC, live HTTP)",
+        "mode": args.mode,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "slo": {
+            "select_prefix_p50_vs_bench_store": ">=5x",
+            "5xx": 0,
+            "deterministic": True,
+        },
+    }
+    failures: list[str] = []
+    root = tempfile.mkdtemp(prefix="bench-serve-")
+    try:
+        print(f"[bench_serve_load] building store ({args.mode}) ...",
+              flush=True)
+        k_max = build_store(root, args.mode)
+        report["k_max"] = k_max
+
+        print("[bench_serve_load] select: cold vs prefix ...", flush=True)
+        select_requests = 30 if args.mode == "medium" else 10
+        report["select"] = bench_select_paths(root, k_max, select_requests)
+        print(
+            f"  cold {report['select']['cold_p50_ms']}ms | prefix "
+            f"{report['select']['prefix_p50_ms']}ms "
+            f"(x{report['select']['speedup_vs_cold']} vs cold, "
+            f"x{report['select']['speedup_vs_bench_store']} vs "
+            f"BENCH_store baseline)",
+            flush=True,
+        )
+        if args.mode == "medium" and (
+            report["select"]["speedup_vs_bench_store"] < 5.0
+        ):
+            failures.append(
+                "prefix select p50 "
+                f"{report['select']['prefix_p50_ms']}ms misses the 5x bar "
+                f"vs baseline {report['select']['bench_store_baseline_ms']}ms"
+            )
+
+        print(
+            f"[bench_serve_load] load: {workers} workers x {rounds} rounds "
+            "of select+spread+predict ...",
+            flush=True,
+        )
+        report["load"] = bench_load(root, k_max, workers, rounds)
+        load = report["load"]
+        print(
+            f"  {load['requests']} requests in {load['elapsed_s']}s "
+            f"({load['throughput_rps']} rps) | 5xx: "
+            f"{load['error_budget']['5xx']} | deterministic: "
+            f"{load['deterministic']}",
+            flush=True,
+        )
+        if load["error_budget"]["5xx"]:
+            failures.append(
+                f"error budget violated: {load['error_budget']['5xx']} "
+                "5xx responses"
+            )
+        if load["error_budget"]["transport_errors"]:
+            failures.append(
+                f"{load['error_budget']['transport_errors']} transport errors"
+            )
+        if not load["deterministic"]:
+            failures.append(
+                "nondeterministic payloads under concurrency: "
+                + ", ".join(load["nondeterministic_keys"])
+            )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    report["failures"] = failures
+    for failure in failures:
+        print(f"  ERROR: {failure}", flush=True)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[bench_serve_load] wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,12 +58,28 @@ def _merge_time_log(
     needs_index=True,
     supports_time_log=True,
 )
-def _cd(ctx: SelectionContext, k: int, *, time_log=None):
+def _cd(
+    ctx: SelectionContext,
+    k: int,
+    *,
+    time_log=None,
+    checkpoints=None,
+    state=None,
+    state_out=None,
+):
     started = time.perf_counter()
     index = ctx.credit_index()
     offset = time.perf_counter() - started
     inner = [] if time_log is not None else None
-    result = cd_maximize(index, k, mutate=False, time_log=inner)
+    result = cd_maximize(
+        index,
+        k,
+        mutate=False,
+        time_log=inner,
+        checkpoints=checkpoints,
+        state=state,
+        state_out=state_out,
+    )
     _merge_time_log(time_log, inner, offset)
     return result
 
@@ -118,15 +134,28 @@ def _cd_budget(
 # ----------------------------------------------------------------------
 # The greedy family over a spread oracle
 # ----------------------------------------------------------------------
-def _oracle_family(ctx, k, maximizer, model, method, seed, time_log):
+def _oracle_family(
+    ctx, k, maximizer, model, method, seed, time_log,
+    checkpoints=None, state=None, state_out=None,
+):
     started = time.perf_counter()
     oracle = ctx.oracle(model, method=method, seed=seed)
     offset = time.perf_counter() - started
     executor = ctx.executor
     if maximizer is greedy_maximize:
-        return greedy_maximize(oracle, k, executor=executor)
+        return greedy_maximize(
+            oracle, k, executor=executor, checkpoints=checkpoints
+        )
     inner = [] if time_log is not None else None
-    result = maximizer(oracle, k, time_log=inner, executor=executor)
+    result = maximizer(
+        oracle,
+        k,
+        time_log=inner,
+        executor=executor,
+        checkpoints=checkpoints,
+        state=state,
+        state_out=state_out,
+    )
     _merge_time_log(time_log, inner, offset)
     return result
 
@@ -145,8 +174,12 @@ def _greedy(
     model: str = "cd",
     method: str | None = None,
     seed: int | None = None,
+    checkpoints=None,
 ):
-    return _oracle_family(ctx, k, greedy_maximize, model, method, seed, None)
+    return _oracle_family(
+        ctx, k, greedy_maximize, model, method, seed, None,
+        checkpoints=checkpoints,
+    )
 
 
 @register_selector(
@@ -165,8 +198,14 @@ def _celf(
     method: str | None = None,
     seed: int | None = None,
     time_log=None,
+    checkpoints=None,
+    state=None,
+    state_out=None,
 ):
-    return _oracle_family(ctx, k, celf_maximize, model, method, seed, time_log)
+    return _oracle_family(
+        ctx, k, celf_maximize, model, method, seed, time_log,
+        checkpoints=checkpoints, state=state, state_out=state_out,
+    )
 
 
 @register_selector(
@@ -185,9 +224,13 @@ def _celfpp(
     method: str | None = None,
     seed: int | None = None,
     time_log=None,
+    checkpoints=None,
+    state=None,
+    state_out=None,
 ):
     return _oracle_family(
-        ctx, k, celfpp_maximize, model, method, seed, time_log
+        ctx, k, celfpp_maximize, model, method, seed, time_log,
+        checkpoints=checkpoints, state=state, state_out=state_out,
     )
 
 

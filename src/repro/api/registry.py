@@ -41,6 +41,12 @@ __all__ = [
 
 FAMILIES = ("cd", "mc", "sketch", "heuristic")
 
+# Adapter keywords that are instrumentation channels, not algorithm
+# parameters: they never appear in ``param_names()`` (so they cannot be
+# bound, and never land in ``SeedSelection.params`` or store keys) and
+# are only reachable through ``Selector.select(..., extras=...)``.
+_INSTRUMENTATION_PARAMS = ("time_log", "checkpoints", "state", "state_out")
+
 _REGISTRY: dict[str, "SelectorSpec"] = {}
 
 
@@ -108,7 +114,7 @@ class SelectorSpec:
             name
             for name, parameter in signature.parameters.items()
             if parameter.kind == inspect.Parameter.KEYWORD_ONLY
-            and name != "time_log"
+            and name not in _INSTRUMENTATION_PARAMS
         ]
 
 
@@ -140,12 +146,32 @@ class Selector:
         """A copy with ``params`` merged over the current binding."""
         return Selector(self.spec, {**self.params, **params})
 
-    def select(self, context: SelectionContext, k: int) -> SeedSelection:
-        """Run the selector for ``k`` seeds against ``context``."""
+    def select(
+        self,
+        context: SelectionContext,
+        k: int,
+        extras: Mapping[str, Any] | None = None,
+    ) -> SeedSelection:
+        """Run the selector for ``k`` seeds against ``context``.
+
+        ``extras`` passes instrumentation channels (``checkpoints``,
+        ``state``, ``state_out`` — see :mod:`repro.store.prefix`)
+        straight to the adapter without recording them as parameters:
+        the returned selection's ``params`` — and therefore every
+        derived cache key — is identical with or without them.
+        """
         require(k >= 0, f"k must be non-negative, got {k}")
         kwargs = dict(self.params)
+        if extras:
+            unknown = sorted(set(extras) - set(_INSTRUMENTATION_PARAMS))
+            require(
+                not unknown,
+                f"unknown instrumentation channel(s) {unknown}; "
+                f"accepted: {sorted(_INSTRUMENTATION_PARAMS)}",
+            )
+            kwargs.update(extras)
         time_log: list[tuple[int, float]] | None = None
-        if self.spec.supports_time_log:
+        if self.spec.supports_time_log and "time_log" not in kwargs:
             time_log = []
             kwargs["time_log"] = time_log
         started = time.perf_counter()

@@ -31,11 +31,17 @@ without writing Python:
   references;
 * ``repro ingest`` — fold an action-log delta file into a stored
   bundle (:mod:`repro.stream`): incremental artifact maintenance, a
-  new lineage-linked bundle under the union dataset's fingerprint;
+  new lineage-linked bundle under the union dataset's fingerprint
+  (recorded selection prefixes are refreshed onto the derived bundle);
+* ``repro prefix`` — precompute selection-prefix artifacts
+  (:mod:`repro.store.prefix`) for a stored context, so a warm
+  ``/select`` at any ``k <= k_max`` is a lookup instead of a greedy
+  sweep;
 * ``repro serve`` — the warm-start HTTP query service: answer
   ``select``/``spread``/``predict`` requests from stored artifacts
   without touching the raw action log (and ``/ingest`` deltas with a
-  zero-downtime context swap).
+  zero-downtime context swap); concurrent Monte-Carlo queries coalesce
+  into shared engine passes behind a bounded queue (503 on overload).
 
 Every subcommand reads/writes the TSV formats of :mod:`repro.data.io`;
 the store subcommands use the :mod:`repro.store` layout.  Run
@@ -280,6 +286,30 @@ def build_parser() -> argparse.ArgumentParser:
         "updated artifact is byte-identical to the rescan",
     )
 
+    prefix = commands.add_parser(
+        "prefix",
+        help="precompute selection-prefix artifacts for a stored context",
+    )
+    prefix.add_argument("--store", required=True, metavar="DIR")
+    prefix.add_argument(
+        "--selector", action="append", required=True, metavar="NAME",
+        help="prefixable selector to precompute (repeatable): "
+        "cd, celf, celfpp, greedy",
+    )
+    prefix.add_argument("--k-max", type=int, required=True,
+                        help="selections to record (serves any k <= k_max)")
+    prefix.add_argument(
+        "--context", default=None, metavar="KEY",
+        help="context key or unique prefix (default: the store's only one)",
+    )
+    prefix.add_argument(
+        "--params", default=None, metavar="JSON",
+        help="selector parameters as a JSON object (applied to every "
+        "--selector)",
+    )
+    prefix.add_argument("--trial", type=int, default=0,
+                        help="trial index for derived-seed injection")
+
     serve = commands.add_parser(
         "serve", help="answer select/spread/predict queries from a store"
     )
@@ -288,6 +318,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8734)
     serve.add_argument("--cache", type=int, default=4,
                        help="LRU capacity for loaded contexts")
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="bounded depth of the spread/predict coalescing queue "
+        "(full queue -> HTTP 503)",
+    )
+    serve.add_argument(
+        "--ingest-timeout", type=float, default=600.0,
+        help="seconds a wait=true /ingest blocks before returning the "
+        "still-running job (0 or less = unbounded)",
+    )
     return parser
 
 
@@ -309,6 +349,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "learn": _cmd_learn,
         "store": _cmd_store,
         "ingest": _cmd_ingest,
+        "prefix": _cmd_prefix,
         "serve": _cmd_serve,
     }[args.command]
     return handler(args)
@@ -767,13 +808,73 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_prefix(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store.prefix import PREFIXABLE_SELECTORS, precompute_prefix
+    from repro.store.store import ArtifactStore, StoreError
+    from repro.store.warm import load_context_record, load_serving_context
+
+    params = {}
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except ValueError as error:
+            print(f"prefix: --params is not valid JSON: {error}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(params, dict):
+            print("prefix: --params must be a JSON object", file=sys.stderr)
+            return 2
+    if args.k_max < 1:
+        print("prefix: --k-max must be >= 1", file=sys.stderr)
+        return 2
+    unknown = [s for s in args.selector if s not in PREFIXABLE_SELECTORS]
+    if unknown:
+        print(
+            f"prefix: no prefix support for {', '.join(unknown)}; "
+            f"prefixable: {', '.join(sorted(PREFIXABLE_SELECTORS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = ArtifactStore(args.store, create=False)
+        record = load_context_record(store, args.context)
+        context = load_serving_context(store, record)
+    except StoreError as error:
+        print(f"prefix: {error}", file=sys.stderr)
+        return 2
+    for name in args.selector:
+        try:
+            prefix = precompute_prefix(
+                store, record, context, name, args.k_max,
+                params=params, trial=args.trial,
+            )
+        except (StoreError, ValueError) as error:
+            print(f"prefix: {name}: {error}", file=sys.stderr)
+            return 2
+        # Re-read so the next selector's save sees this one's record row.
+        record = load_context_record(store, record["context_key"])
+        resume = "resumable" if prefix.resumable else "checkpoint-only"
+        print(
+            f"prefix {name}: k_max={prefix.k_max} ({resume}) "
+            f"-> {prefix.artifact_name()} "
+            f"on context {record['context_key'][:12]}..."
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.store.service import serve
     from repro.store.store import StoreError
 
+    ingest_timeout = (
+        None if args.ingest_timeout <= 0 else args.ingest_timeout
+    )
     try:
         serve(args.store, host=args.host, port=args.port,
-              cache_size=args.cache)
+              cache_size=args.cache, queue_depth=args.queue_depth,
+              ingest_timeout=ingest_timeout)
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2

@@ -280,5 +280,15 @@ class SeedCredits:
         self._credits.pop(user, None)
         self._sums.pop(user, None)
 
+    def copy(self) -> "SeedCredits":
+        """Deep-copy (resuming a persisted CD run must not mutate the
+        cached state)."""
+        duplicate = SeedCredits()
+        duplicate._credits = {
+            user: dict(per_action) for user, per_action in self._credits.items()
+        }
+        duplicate._sums = dict(self._sums)
+        return duplicate
+
     def __repr__(self) -> str:
         return f"SeedCredits(users={len(self._credits)})"

@@ -26,16 +26,36 @@ brute-force recomputation of ``sigma_cd``.
 from __future__ import annotations
 
 import time
-from typing import Hashable
+from dataclasses import dataclass, field
+from typing import Any, Hashable
 
 from repro.core.index import CreditIndex, SeedCredits
 from repro.maximization.greedy import GreedyResult
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
 
-__all__ = ["cd_maximize", "marginal_gain"]
+__all__ = ["cd_maximize", "marginal_gain", "CDState"]
 
 User = Hashable
+
+
+@dataclass
+class CDState:
+    """CD-maximizer machine state right after a selection.
+
+    Holds the partially-consumed working index and seed credits (the
+    algorithm mutates both as seeds are absorbed), the lazy queue
+    snapshot, and the trajectory so far.  Resuming copies the index and
+    credits, so a cached state stays pristine.
+    """
+
+    index: CreditIndex
+    seed_credits: SeedCredits
+    queue: dict[str, Any]
+    seeds: list = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float = 0.0
+    oracle_calls: int = 0
 
 
 def marginal_gain(index: CreditIndex, seed_credits: SeedCredits, node: User) -> float:
@@ -95,6 +115,10 @@ def cd_maximize(
     k: int,
     mutate: bool = False,
     time_log: list[tuple[int, float]] | None = None,
+    *,
+    checkpoints: list[tuple[int, float]] | None = None,
+    state: CDState | None = None,
+    state_out: list[CDState] | None = None,
 ) -> GreedyResult:
     """Select ``k`` seeds under the CD model (Algorithm 3 + CELF).
 
@@ -112,6 +136,17 @@ def cd_maximize(
     time_log:
         If given, ``(seed_count, elapsed_seconds)`` is appended whenever
         a seed is selected (Figure-7 instrumentation).
+    checkpoints:
+        If given, ``(oracle_calls, spread)`` is appended right after
+        each selection — entry ``i`` matches a cold run at ``k = i+1``.
+    state:
+        Resume from a :class:`CDState` (skips the initial gain sweep);
+        ``index`` is ignored and the state is not mutated.  The CD trace
+        does not depend on ``k``, so resuming to a larger ``k`` is
+        bit-identical to a cold run at that ``k``.
+    state_out:
+        If given, the final :class:`CDState` is appended, ready to
+        resume past this run's ``k``.
 
     Returns
     -------
@@ -121,14 +156,23 @@ def cd_maximize(
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     started = time.perf_counter()
-    working = index if mutate else index.copy()
-    seed_credits = SeedCredits()
     result = GreedyResult()
-    queue = LazyQueue()
-    for user in list(working.users()):
-        gain = marginal_gain(working, seed_credits, user)
-        result.oracle_calls += 1
-        queue.push(user, gain, iteration=0)
+    if state is not None:
+        working = state.index.copy()
+        seed_credits = state.seed_credits.copy()
+        queue = LazyQueue.restore(state.queue)
+        result.seeds = list(state.seeds)
+        result.gains = list(state.gains)
+        result.spread = state.spread
+        result.oracle_calls = state.oracle_calls
+    else:
+        working = index if mutate else index.copy()
+        seed_credits = SeedCredits()
+        queue = LazyQueue()
+        for user in list(working.users()):
+            gain = marginal_gain(working, seed_credits, user)
+            result.oracle_calls += 1
+            queue.push(user, gain, iteration=0)
     while len(result.seeds) < k and queue:
         entry = queue.pop()
         if entry.iteration == len(result.seeds):
@@ -138,8 +182,22 @@ def cd_maximize(
             _absorb_seed(working, seed_credits, entry.item)
             if time_log is not None:
                 time_log.append((len(result.seeds), time.perf_counter() - started))
+            if checkpoints is not None:
+                checkpoints.append((result.oracle_calls, result.spread))
         else:
             gain = marginal_gain(working, seed_credits, entry.item)
             result.oracle_calls += 1
             queue.push(entry.item, gain, iteration=len(result.seeds))
+    if state_out is not None:
+        state_out.append(
+            CDState(
+                index=working,
+                seed_credits=seed_credits,
+                queue=queue.snapshot(),
+                seeds=list(result.seeds),
+                gains=list(result.gains),
+                spread=result.spread,
+                oracle_calls=result.oracle_calls,
+            )
+        )
     return result

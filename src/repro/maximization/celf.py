@@ -7,21 +7,46 @@ recompute the top entry; if the recomputed gain still tops the queue the
 node is provably the argmax without touching anyone else.  The paper
 reports up to 700x speedups over plain greedy with an identical result —
 the test suite checks the "identical result" half on small instances.
+
+Runs are *resumable*: CELF's execution trace up to the j-th selection is
+the same for every target ``k >= j`` (the loop consults ``k`` only as a
+stopping bound), so a run to ``K_max`` can export its exact state —
+queue, selected seeds, accumulated spread, call count — and a later call
+can continue from it to any larger ``k`` bit-identically to a cold run.
+That property is what :mod:`repro.store.prefix` persists: serve a
+``k <= K_max`` query as a prefix lookup, resume the queue for the rest.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
 
 from repro.maximization.greedy import GreedyResult, _sweep
 from repro.maximization.oracle import SpreadOracle
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
 
-__all__ = ["celf_maximize"]
+__all__ = ["celf_maximize", "CELFState"]
 
 User = Hashable
+
+
+@dataclass
+class CELFState:
+    """The complete CELF machine state right after a selection.
+
+    ``queue`` is a :meth:`~repro.utils.pqueue.LazyQueue.snapshot`;
+    everything is plain picklable data, so the state can live in the
+    artifact store and be resumed in another process.
+    """
+
+    queue: dict[str, Any]
+    seeds: list = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float = 0.0
+    oracle_calls: int = 0
 
 
 def celf_maximize(
@@ -30,6 +55,10 @@ def celf_maximize(
     candidates: Iterable[User] | None = None,
     time_log: list[tuple[int, float]] | None = None,
     executor=None,
+    *,
+    checkpoints: list[tuple[int, float]] | None = None,
+    state: CELFState | None = None,
+    state_out: list[CELFState] | None = None,
 ) -> GreedyResult:
     """Select ``k`` seeds by greedy with the CELF lazy-forward optimisation.
 
@@ -46,22 +75,42 @@ def celf_maximize(
     sweep; ``executor`` fans it out with bit-identical results (the
     queue is still populated in candidate order).  The lazy phase is
     inherently sequential and always runs in the caller.
+
+    Resumability (the :mod:`repro.store.prefix` seam):
+
+    * ``checkpoints`` — a list receiving ``(oracle_calls, spread)``
+      right after each selection; entry ``i`` is exactly what a cold run
+      stopped at ``k = i + 1`` would report.
+    * ``state`` — resume from a :class:`CELFState` (skips the initial
+      sweep); the state object is not mutated, and the returned result
+      covers the *full* seed set including the resumed prefix.
+    * ``state_out`` — a list the final :class:`CELFState` is appended
+      to, ready to resume past this run's ``k``.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     started = time.perf_counter()
-    pool = list(oracle.candidates() if candidates is None else candidates)
     result = GreedyResult()
-    if k == 0 or not pool:
-        return result
+    if state is not None:
+        queue = LazyQueue.restore(state.queue)
+        selected: list[User] = list(state.seeds)
+        result.seeds = list(state.seeds)
+        result.gains = list(state.gains)
+        result.oracle_calls = state.oracle_calls
+        current_spread = state.spread
+    else:
+        pool = list(oracle.candidates() if candidates is None else candidates)
+        if k == 0 or not pool:
+            if state_out is not None:
+                state_out.append(CELFState(queue=LazyQueue().snapshot()))
+            return result
+        queue = LazyQueue()
+        gains = _sweep(oracle, [], pool, executor)
+        result.oracle_calls += len(pool)
+        for node, gain in zip(pool, gains):
+            queue.push(node, gain, iteration=0)
+        selected = []
+        current_spread = 0.0
 
-    queue = LazyQueue()
-    gains = _sweep(oracle, [], pool, executor)
-    result.oracle_calls += len(pool)
-    for node, gain in zip(pool, gains):
-        queue.push(node, gain, iteration=0)
-
-    selected: list[User] = []
-    current_spread = 0.0
     while len(selected) < k and queue:
         entry = queue.pop()
         if entry.iteration == len(selected):
@@ -72,9 +121,21 @@ def celf_maximize(
             result.gains.append(entry.gain)
             if time_log is not None:
                 time_log.append((len(selected), time.perf_counter() - started))
+            if checkpoints is not None:
+                checkpoints.append((result.oracle_calls, current_spread))
         else:
             new_gain = oracle.spread(selected + [entry.item]) - current_spread
             result.oracle_calls += 1
             queue.push(entry.item, new_gain, iteration=len(selected))
     result.spread = current_spread
+    if state_out is not None:
+        state_out.append(
+            CELFState(
+                queue=queue.snapshot(),
+                seeds=list(selected),
+                gains=list(result.gains),
+                spread=current_spread,
+                oracle_calls=result.oracle_calls,
+            )
+        )
     return result

@@ -17,20 +17,25 @@ If ``prev_best`` ends up being the seed picked in this round, ``u``'s
 fresh gain is already known (``mg1 <- mg2``) and one oracle call is
 saved.  The result is provably identical to greedy/CELF; only the call
 count changes.  ``tests/test_celfpp.py`` checks both halves.
+
+Like CELF, runs are resumable: the trace up to the j-th selection does
+not depend on the target ``k``, so the queue/candidate state exported
+after a ``K_max`` run (:class:`CELFPPState`) continues bit-identically
+— the seam :mod:`repro.store.prefix` persists.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Hashable, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
 
 from repro.maximization.greedy import GreedyResult, _sweep
 from repro.maximization.oracle import SpreadOracle
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
 
-__all__ = ["celfpp_maximize"]
+__all__ = ["celfpp_maximize", "CELFPPState"]
 
 User = Hashable
 
@@ -44,6 +49,24 @@ class _Candidate:
     iteration: int
     prev_best: User | None
     mg2: float
+
+
+@dataclass
+class CELFPPState:
+    """The complete CELF++ machine state right after a selection.
+
+    ``candidates`` holds each live node's ``(mg1, iteration, prev_best,
+    mg2)`` as a plain tuple — resuming rebuilds fresh
+    :class:`_Candidate` objects, so a cached state is never mutated.
+    """
+
+    queue: dict[str, Any]
+    candidates: dict = field(default_factory=dict)
+    seeds: list = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    spread: float = 0.0
+    oracle_calls: int = 0
+    last_seed: Any = None
 
 
 def _initial_round(oracle, pool, result, executor):
@@ -110,6 +133,10 @@ def celfpp_maximize(
     candidates: Iterable[User] | None = None,
     time_log: list[tuple[int, float]] | None = None,
     executor=None,
+    *,
+    checkpoints: list[tuple[int, float]] | None = None,
+    state: CELFPPState | None = None,
+    state_out: list[CELFPPState] | None = None,
 ) -> GreedyResult:
     """Select ``k`` seeds by greedy with the CELF++ optimisation.
 
@@ -124,74 +151,117 @@ def celfpp_maximize(
     ``executor`` parallelises the initial round's candidate sweeps (the
     bulk of the calls) with bit-identical results; the lazy phase is
     sequential by nature.
+
+    ``checkpoints``/``state``/``state_out`` mirror the CELF resume
+    contract (see :func:`~repro.maximization.celf.celf_maximize`): per-
+    selection ``(oracle_calls, spread)`` capture, resume from a
+    :class:`CELFPPState`, and export of the final state.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     started = time.perf_counter()
-    pool = list(oracle.candidates() if candidates is None else candidates)
     result = GreedyResult()
-    if k == 0 or not pool:
-        return result
+    if state is not None:
+        queue = LazyQueue.restore(state.queue)
+        states = {
+            node: _Candidate(
+                node=node, mg1=mg1, iteration=iteration,
+                prev_best=prev_best, mg2=mg2,
+            )
+            for node, (mg1, iteration, prev_best, mg2) in state.candidates.items()
+        }
+        selected = list(state.seeds)
+        result.seeds = list(state.seeds)
+        result.gains = list(state.gains)
+        result.oracle_calls = state.oracle_calls
+        current_spread = state.spread
+        last_seed = state.last_seed
+    else:
+        pool = list(oracle.candidates() if candidates is None else candidates)
+        if k == 0 or not pool:
+            if state_out is not None:
+                state_out.append(CELFPPState(queue=LazyQueue().snapshot()))
+            return result
 
-    queue = LazyQueue()
-    states: dict[User, _Candidate] = {}
-    # Initial round: compute mg1 for every node and mg2 w.r.t. the best
-    # node seen so far (its "prev_best").
-    for node, mg1, prev_best, mg2 in _initial_round(
-        oracle, pool, result, executor
-    ):
-        states[node] = _Candidate(
-            node=node, mg1=mg1, iteration=0, prev_best=prev_best, mg2=mg2
-        )
-        queue.push(node, mg1, iteration=0)
+        queue = LazyQueue()
+        states = {}
+        # Initial round: compute mg1 for every node and mg2 w.r.t. the
+        # best node seen so far (its "prev_best").
+        for node, mg1, prev_best, mg2 in _initial_round(
+            oracle, pool, result, executor
+        ):
+            states[node] = _Candidate(
+                node=node, mg1=mg1, iteration=0, prev_best=prev_best, mg2=mg2
+            )
+            queue.push(node, mg1, iteration=0)
 
-    selected: list[User] = []
-    current_spread = 0.0
-    last_seed: User | None = None
-    # Best candidate examined so far in the *current* round.
+        selected = []
+        current_spread = 0.0
+        last_seed = None
+
+    # Best candidate examined so far in the *current* round.  (A state
+    # snapshot is only taken right after a selection, where the round
+    # trackers are freshly reset — so a resume starts them empty too.)
     round_best: User | None = None
     round_best_gain = float("-inf")
     while len(selected) < k and queue:
         entry = queue.pop()
-        state = states.get(entry.item)
-        if state is None:
+        cand = states.get(entry.item)
+        if cand is None:
             continue  # node already selected; stale entry
-        if entry.gain != state.mg1 or entry.iteration != state.iteration:
+        if entry.gain != cand.mg1 or entry.iteration != cand.iteration:
             continue  # superseded queue entry
-        if state.iteration == len(selected):
+        if cand.iteration == len(selected):
             # Fresh gain: select (identical argument to CELF).
-            selected.append(state.node)
-            current_spread += state.mg1
-            result.seeds.append(state.node)
-            result.gains.append(state.mg1)
+            selected.append(cand.node)
+            current_spread += cand.mg1
+            result.seeds.append(cand.node)
+            result.gains.append(cand.mg1)
             if time_log is not None:
                 time_log.append((len(selected), time.perf_counter() - started))
-            last_seed = state.node
-            del states[state.node]
+            if checkpoints is not None:
+                checkpoints.append((result.oracle_calls, current_spread))
+            last_seed = cand.node
+            del states[cand.node]
             round_best = None
             round_best_gain = float("-inf")
             continue
-        if state.prev_best == last_seed and state.iteration == len(selected) - 1:
+        if cand.prev_best == last_seed and cand.iteration == len(selected) - 1:
             # The CELF++ shortcut: mg2 was computed against exactly the
             # seed set we now have, so no oracle call is needed.
-            state.mg1 = state.mg2
+            cand.mg1 = cand.mg2
         else:
-            state.mg1 = oracle.spread(selected + [state.node]) - current_spread
+            cand.mg1 = oracle.spread(selected + [cand.node]) - current_spread
             result.oracle_calls += 1
         # Precompute mg2 against the current round's front-runner.
-        state.prev_best = round_best
+        cand.prev_best = round_best
         if round_best is None:
-            state.mg2 = state.mg1
+            cand.mg2 = cand.mg1
         else:
-            state.mg2 = (
-                oracle.spread(selected + [round_best, state.node])
+            cand.mg2 = (
+                oracle.spread(selected + [round_best, cand.node])
                 - current_spread
                 - round_best_gain
             )
             result.oracle_calls += 1
-        state.iteration = len(selected)
-        queue.push(state.node, state.mg1, iteration=state.iteration)
-        if state.mg1 > round_best_gain:
-            round_best_gain = state.mg1
-            round_best = state.node
+        cand.iteration = len(selected)
+        queue.push(cand.node, cand.mg1, iteration=cand.iteration)
+        if cand.mg1 > round_best_gain:
+            round_best_gain = cand.mg1
+            round_best = cand.node
     result.spread = current_spread
+    if state_out is not None:
+        state_out.append(
+            CELFPPState(
+                queue=queue.snapshot(),
+                candidates={
+                    node: (c.mg1, c.iteration, c.prev_best, c.mg2)
+                    for node, c in states.items()
+                },
+                seeds=list(selected),
+                gains=list(result.gains),
+                spread=current_spread,
+                oracle_calls=result.oracle_calls,
+                last_seed=last_seed,
+            )
+        )
     return result

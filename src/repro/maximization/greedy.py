@@ -90,6 +90,8 @@ def greedy_maximize(
     k: int,
     candidates: Iterable[User] | None = None,
     executor=None,
+    *,
+    checkpoints: list[tuple[int, float]] | None = None,
 ) -> GreedyResult:
     """Select ``k`` seeds by plain greedy (Algorithm 1).
 
@@ -105,6 +107,12 @@ def greedy_maximize(
         Optional :class:`~repro.runtime.executor.Executor` for the
         per-iteration candidate sweep; the selected seeds are identical
         on every executor.
+    checkpoints:
+        If given, ``(oracle_calls, spread)`` is appended right after
+        each selection.  Greedy's trace up to the j-th pick is the same
+        for every ``k >= j``, so entry ``i`` is exactly what a cold run
+        at ``k = i + 1`` reports — the property the persisted prefix
+        artifacts (:mod:`repro.store.prefix`) rely on.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
     pool = list(oracle.candidates() if candidates is None else candidates)
@@ -127,5 +135,7 @@ def greedy_maximize(
         result.seeds.append(best_node)
         result.gains.append(best_spread - current_spread)
         current_spread = best_spread
+        if checkpoints is not None:
+            checkpoints.append((result.oracle_calls, current_spread))
     result.spread = current_spread
     return result

@@ -251,6 +251,64 @@ class SpreadEstimator:
         total = sum(mean * size for mean, (size, _) in zip(means, batches))
         return total / self.num_simulations
 
+    def spread_many(self, seed_sets: Sequence[Iterable[User]]) -> list[float]:
+        """Estimates for many seed sets in one dispatch pass.
+
+        Element ``i`` is bit-identical to ``spread(seed_sets[i])`` — the
+        per-set canonicalisation, seed fan-out, batch decomposition and
+        reduction order are exactly :meth:`spread`'s; what changes is
+        that *all* sets' batches go to the engine (and, under a parallel
+        executor, into a single ``executor.map``) as one task list.
+        This is the request-coalescing seam ``repro serve`` uses to
+        answer concurrent ``/spread``/``/predict`` queries in one pass
+        instead of one engine dispatch per HTTP request.
+        """
+        plans: list[tuple[list[User], list[tuple[int, int]]]] = []
+        for seeds in seed_sets:
+            seed_list = list(seeds)
+            canonical = repr(sorted(repr(node) for node in seed_list))
+            set_seed = derive_seed(self.seed, "spread", canonical)
+            plans.append(
+                (
+                    seed_list,
+                    [
+                        (size, derive_seed(set_seed, index))
+                        for index, size in enumerate(self.batch_sizes())
+                    ],
+                )
+            )
+        engine = self.engine()
+        executor = self.executor
+        if executor is None or not executor.is_parallel:
+            all_means = [
+                _run_batch_chunk((engine, self.model, seed_list, batches))
+                for seed_list, batches in plans
+            ]
+        else:
+            # Chunk each set's batches exactly as _run would, but submit
+            # the union in one map call — the per-batch means (and so
+            # the reduced floats) cannot differ, only the scheduling.
+            payloads = []
+            chunk_counts = []
+            for seed_list, batches in plans:
+                chunks = split_chunks(list(batches), executor.workers())
+                chunk_counts.append(len(chunks))
+                payloads.extend(
+                    (engine, self.model, seed_list, chunk) for chunk in chunks
+                )
+            results = iter(executor.map(_run_batch_chunk, payloads))
+            all_means = []
+            for count in chunk_counts:
+                means: list[float] = []
+                for _ in range(count):
+                    means.extend(next(results))
+                all_means.append(means)
+        return [
+            sum(mean * size for mean, (size, _) in zip(means, batches))
+            / self.num_simulations
+            for (_, batches), means in zip(plans, all_means)
+        ]
+
     def _run(
         self, seeds: list[User], batches: Sequence[tuple[int, int]]
     ) -> list[float]:

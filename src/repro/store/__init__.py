@@ -13,6 +13,11 @@ queries.  This package makes that literal:
   :class:`~repro.api.context.SelectionContext` caches from the store
   (``ExperimentConfig(store=..., warm_start=True)`` routes the runtime
   learn stage through here);
+* :mod:`repro.store.prefix` — persisted selection-prefix artifacts
+  (:class:`SelectionPrefix`): one CELF-style run to ``K_max`` recorded
+  with per-k checkpoints and resumable queue state, so a warm
+  ``/select`` for any ``k <= K_max`` is a lookup and larger ``k`` a
+  short resume — byte-identical to the cold path;
 * :mod:`repro.store.service` — the ``repro serve`` HTTP query service
   answering ``select``/``spread``/``predict`` from preloaded artifacts,
   without ever reading the raw action log (and ``/ingest``-ing
@@ -36,6 +41,14 @@ from repro.store.store import (
     StoreEntry,
     StoreError,
     StoreMiss,
+)
+from repro.store.prefix import (
+    PREFIXABLE_SELECTORS,
+    SelectionPrefix,
+    load_prefix,
+    precompute_prefix,
+    prefix_artifact_name,
+    refresh_prefixes,
 )
 from repro.store.warm import (
     STREAM_STATS_ARTIFACT,
@@ -66,4 +79,10 @@ __all__ = [
     "artifact_source_key",
     "TRAIN_LOG_ARTIFACT",
     "STREAM_STATS_ARTIFACT",
+    "PREFIXABLE_SELECTORS",
+    "SelectionPrefix",
+    "prefix_artifact_name",
+    "precompute_prefix",
+    "load_prefix",
+    "refresh_prefixes",
 ]

@@ -42,6 +42,23 @@ the Monte-Carlo predictors derive per-(method, seed-set) streams the
 same way the prediction pipeline does.  Identical requests therefore
 return identical payloads, which the smoke tests assert.
 
+Two production seams sit behind the handlers, both invisible in the
+response bytes:
+
+* ``/select`` consults the context's persisted
+  :class:`~repro.store.prefix.SelectionPrefix` artifacts first — a
+  warm ``k <= k_max`` answer is a slice of the stored trace, a larger
+  ``k`` on a resumable prefix runs only the missing selections, and
+  anything else falls back to the cold path.  All three produce the
+  same payload (``tests/test_serve_prefix.py`` asserts byte-identity).
+* ``/spread`` and ``/predict`` funnel their Monte-Carlo evaluations
+  through a request coalescer: concurrent requests queue, a single
+  worker drains the queue and dispatches each ``(context, method)``
+  group as **one** :meth:`~repro.runtime.estimator.SpreadEstimator.spread_many`
+  pass.  The queue is bounded; when it is full the service sheds load
+  with HTTP 503 instead of stacking unbounded threads (explicit
+  backpressure, measured by ``benchmarks/bench_serve_load.py``).
+
 The server is stdlib ``http.server`` (threaded); it is an internal
 query service, not an internet-facing deployment.
 """
@@ -49,6 +66,7 @@ query service, not an internet-facing deployment.
 from __future__ import annotations
 
 import json
+import queue as queue_module
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -58,6 +76,13 @@ from repro.api.context import SelectionContext
 from repro.api.registry import get_selector, list_selectors
 from repro.data.io import parse_id
 from repro.runtime.estimator import SpreadEstimator
+from repro.store.prefix import (
+    PREFIXABLE_SELECTORS,
+    SelectionPrefix,
+    load_prefix,
+    resume_selection,
+    selection_at,
+)
 from repro.store.store import ArtifactStore, StoreError, StoreMiss
 from repro.store.warm import (
     CONTEXT_RECORD,
@@ -98,7 +123,36 @@ class _ServingSlot:
         self.record = dict(record)
         self.context = context
         self._estimators: dict[str, SpreadEstimator] = {}
+        # name -> SelectionPrefix | None (None = listed but unreadable,
+        # cached so a corrupt artifact costs one store read, not one
+        # per request).  Resume-extended prefixes are cached here too —
+        # in memory only; request threads never write the store.
+        self._prefixes: dict[str, SelectionPrefix | None] = {}
         self._lock = threading.Lock()
+
+    def prefix(
+        self, store: ArtifactStore, selector: str, params: Mapping[str, Any]
+    ) -> SelectionPrefix | None:
+        """The persisted (or slot-cached) prefix for bound params, if any."""
+        from repro.store.prefix import prefix_artifact_name
+
+        name = prefix_artifact_name(selector, params)
+        if not any(
+            row.get("name") == name
+            for row in self.record.get("prefixes", [])
+        ):
+            return None
+        with self._lock:
+            if name in self._prefixes:
+                return self._prefixes[name]
+        loaded = load_prefix(store, self.record, selector, params)
+        with self._lock:
+            return self._prefixes.setdefault(name, loaded)
+
+    def cache_prefix(self, prefix: SelectionPrefix) -> None:
+        """Remember a resume-extended prefix (in-memory, this slot only)."""
+        with self._lock:
+            self._prefixes[prefix.artifact_name()] = prefix
 
     def estimator(self, method: str) -> SpreadEstimator:
         # ThreadingHTTPServer handles each request in its own thread;
@@ -121,19 +175,155 @@ class _ServingSlot:
             return self._estimators[method]
 
 
+class _BatchItem:
+    """One queued Monte-Carlo evaluation awaiting its batch result."""
+
+    __slots__ = ("slot", "method", "seeds", "event", "result", "error")
+
+    def __init__(self, slot: _ServingSlot, method: str, seeds: list) -> None:
+        self.slot = slot
+        self.method = method
+        self.seeds = seeds
+        self.event = threading.Event()
+        self.result: float | None = None
+        self.error: Exception | None = None
+
+
+class _Coalescer:
+    """Bounded queue + single drain worker for ``/spread``/``/predict``.
+
+    Request threads :meth:`submit` and block on a per-item event; the
+    worker drains whatever is queued at that moment, groups items by
+    ``(slot, method)`` and dispatches each IC/LT group as one
+    :meth:`SpreadEstimator.spread_many` call — so N concurrent requests
+    for the same context cost one engine pass, not N.  CD items are
+    exact evaluator calls (no Monte-Carlo batching to share) and run
+    per item.  ``spread_many``'s per-set bit-identity guarantees the
+    coalesced answer equals the sequential one.
+
+    The queue is bounded (``depth``): a submit against a full queue
+    raises a 503 :class:`ServiceError` immediately — explicit
+    backpressure instead of unbounded buffering.
+    """
+
+    def __init__(self, depth: int = 64) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._queue: "queue_module.Queue[_BatchItem]" = queue_module.Queue(
+            maxsize=depth
+        )
+        self._worker: threading.Thread | None = None
+        self._lock = threading.Lock()
+        # Telemetry for /healthz and the load harness: how many items
+        # arrived, and how many engine dispatches they collapsed into.
+        self.submitted = 0
+        self.dispatches = 0
+        self.rejected = 0
+
+    def submit(self, slot: _ServingSlot, method: str, seeds: list) -> float:
+        """Enqueue one evaluation and block until its batch resolves."""
+        self._ensure_worker()
+        item = _BatchItem(slot, method, seeds)
+        try:
+            self._queue.put_nowait(item)
+        except queue_module.Full:
+            with self._lock:
+                self.rejected += 1
+            raise ServiceError(
+                f"evaluation queue is full ({self.depth} pending); "
+                "retry later",
+                status=503,
+            ) from None
+        with self._lock:
+            self.submitted += 1
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        return item.result  # type: ignore[return-value]
+
+    def _ensure_worker(self) -> None:
+        with self._lock:
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._drain, daemon=True, name="repro-serve-coalesce"
+                )
+                self._worker.start()
+
+    def _drain(self) -> None:
+        while True:
+            items = [self._queue.get()]
+            while True:
+                try:
+                    items.append(self._queue.get_nowait())
+                except queue_module.Empty:
+                    break
+            self._run_batch(items)
+
+    def _run_batch(self, items: list[_BatchItem]) -> None:
+        groups: "OrderedDict[tuple[int, str], list[_BatchItem]]" = OrderedDict()
+        for item in items:
+            groups.setdefault((id(item.slot), item.method), []).append(item)
+        for (_, method), group in groups.items():
+            slot = group[0].slot
+            try:
+                if method == "CD":
+                    evaluator = slot.context.cd_evaluator()
+                    for item in group:
+                        item.result = evaluator.spread(item.seeds)
+                else:
+                    estimator = slot.estimator(method)
+                    values = estimator.spread_many(
+                        [item.seeds for item in group]
+                    )
+                    for item, value in zip(group, values):
+                        item.result = value
+            except Exception as error:
+                for item in group:
+                    if item.result is None:
+                        item.error = error
+            finally:
+                with self._lock:
+                    self.dispatches += 1
+                for item in group:
+                    item.event.set()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "depth": self.depth,
+                "submitted": self.submitted,
+                "dispatches": self.dispatches,
+                "rejected": self.rejected,
+            }
+
+
 class QueryService:
     """The request handlers, independent of any HTTP plumbing."""
 
-    def __init__(self, store_root: str, cache_size: int = 4) -> None:
+    def __init__(
+        self,
+        store_root: str,
+        cache_size: int = 4,
+        queue_depth: int = 64,
+        ingest_timeout: float | None = 600.0,
+    ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.store = ArtifactStore(store_root, create=False)
         self.cache_size = cache_size
+        # How long a wait=true /ingest blocks before returning the
+        # still-running job (None = unbounded, the pre-timeout behavior).
+        self.ingest_timeout = ingest_timeout
         self._slots: "OrderedDict[str, _ServingSlot]" = OrderedDict()
         # The LRU and the pinned default are shared across the
         # ThreadingHTTPServer's request threads.
         self._lock = threading.RLock()
         self._default_key: str | None = None
+        self._coalescer = _Coalescer(depth=queue_depth)
+        # /select path telemetry (prefix hit / resume / cold), for
+        # /healthz and the load harness — never part of /select bodies.
+        self._select_paths = {"prefix": 0, "resume": 0, "cold": 0}
         # Ingest bookkeeping: one job at a time, history kept for
         # GET /ingest polling.
         self._ingests: "OrderedDict[int, dict[str, Any]]" = OrderedDict()
@@ -190,9 +380,26 @@ class QueryService:
                 self._slots.move_to_end(key)
                 return existing
             self._slots[key] = slot
-            while len(self._slots) > self.cache_size:
-                self._slots.popitem(last=False)
+            self._evict_over_capacity()
             return slot
+
+    def _evict_over_capacity(self) -> None:
+        """Drop least-recently-used slots past ``cache_size``.
+
+        The pinned default slot is exempt: it is the context every
+        keyless request resolves to, so evicting it (the old
+        ``popitem(last=False)`` behavior, which ignored the pin) forced
+        a full bundle reload on the service's hottest path.  Caller
+        holds ``self._lock``.
+        """
+        while len(self._slots) > self.cache_size:
+            victim = next(
+                (key for key in self._slots if key != self._default_key),
+                None,
+            )
+            if victim is None:  # only the pinned default remains
+                break
+            del self._slots[victim]
 
     def _record_keys(self) -> list[str]:
         return [
@@ -207,11 +414,14 @@ class QueryService:
     def healthz(self) -> dict[str, Any]:
         with self._lock:
             loaded = list(self._slots)
+            select_paths = dict(self._select_paths)
         return {
             "status": "ok",
             "store": str(self.store.root),
             "contexts": len(self._record_keys()),
             "loaded": loaded,
+            "select_paths": select_paths,
+            "queue": self._coalescer.stats(),
         }
 
     def contexts(self) -> dict[str, Any]:
@@ -269,7 +479,7 @@ class QueryService:
                 seed=slot.context.derive_seed(name, trial)
             )
         try:
-            selection = selector.select(slot.context, k)
+            selection = self._run_select(slot, selector, k)
         except ValueError as error:
             raise ServiceError(
                 f"selector {name!r} cannot be served from the stored "
@@ -288,6 +498,35 @@ class QueryService:
             "selection": body,
         }
 
+    def _run_select(self, slot: _ServingSlot, selector, k: int):
+        """Answer a bound selection, preferring the persisted prefix.
+
+        Every branch returns a selection whose served payload (after
+        the deterministic strip in :meth:`select`) is byte-identical —
+        the prefix artifacts record the cold trace exactly, and resume
+        continues it bit-identically — so which path answered is
+        observable only in /healthz telemetry, never in the response.
+        """
+        name = selector.name
+        if name in PREFIXABLE_SELECTORS:
+            prefix = slot.prefix(self.store, name, selector.params)
+            if prefix is not None:
+                if k <= prefix.k_max:
+                    with self._lock:
+                        self._select_paths["prefix"] += 1
+                    return selection_at(prefix, k)
+                if prefix.resumable:
+                    selection, extended = resume_selection(
+                        slot.context, prefix, k
+                    )
+                    slot.cache_prefix(extended)
+                    with self._lock:
+                        self._select_paths["resume"] += 1
+                    return selection
+        with self._lock:
+            self._select_paths["cold"] += 1
+        return selector.select(slot.context, k)
+
     def _seeds(self, payload: Mapping[str, Any]) -> list[Hashable]:
         seeds = payload.get("seeds")
         if not isinstance(seeds, list) or not seeds:
@@ -298,7 +537,9 @@ class QueryService:
         slot = self.slot(payload.get("context"))
         seeds = self._seeds(payload)
         try:
-            evaluator = slot.context.cd_evaluator()
+            value = self._coalescer.submit(slot, "CD", seeds)
+        except ServiceError:
+            raise  # queue backpressure (503) passes through untouched
         except ValueError as error:
             raise ServiceError(
                 f"the stored artifacts lack the sigma_cd evaluator: {error}"
@@ -307,7 +548,7 @@ class QueryService:
             "context": slot.record["context_key"],
             "seeds": payload["seeds"],
             "model": "cd",
-            "spread": evaluator.spread(seeds),
+            "spread": value,
         }
 
     def predict(self, payload: Mapping[str, Any]) -> dict[str, Any]:
@@ -319,10 +560,11 @@ class QueryService:
         slot = self.slot(payload.get("context"))
         seeds = self._seeds(payload)
         try:
+            predicted = self._coalescer.submit(slot, method, seeds)
             if method == "CD":
-                predicted = float(slot.context.cd_evaluator().spread(seeds))
-            else:
-                predicted = slot.estimator(method).spread(seeds)
+                predicted = float(predicted)
+        except ServiceError:
+            raise  # queue backpressure (503) passes through untouched
         except ValueError as error:
             raise ServiceError(
                 f"method {method!r} cannot be served from the stored "
@@ -383,7 +625,14 @@ class QueryService:
             record = load_context_record(self.store, payload.get("context"))
         except StoreMiss as error:
             raise ServiceError(str(error), status=404) from error
-        verify = bool(payload.get("verify", False))
+        # Strict booleans: bool("false") is True in python, so a JSON
+        # string like "false" used to silently flip these flags on.
+        wait = payload.get("wait", False)
+        if not isinstance(wait, bool):
+            raise ServiceError("'wait' must be a JSON boolean")
+        verify = payload.get("verify", False)
+        if not isinstance(verify, bool):
+            raise ServiceError("'verify' must be a JSON boolean")
         with self._lock:
             if self._ingest_active:
                 raise ServiceError(
@@ -406,10 +655,18 @@ class QueryService:
             daemon=True,
         )
         thread.start()
-        if payload.get("wait"):
-            thread.join()
+        timed_out = False
+        if wait:
+            # A bounded join: a hung derive must not pin an HTTP thread
+            # (and its client) forever.  On timeout the job keeps
+            # running in the background and the response says so.
+            thread.join(self.ingest_timeout)
+            timed_out = thread.is_alive()
         with self._lock:
-            return dict(job)
+            snapshot = dict(job)
+        if timed_out:
+            snapshot["wait_timed_out"] = True
+        return snapshot
 
     def _run_ingest(
         self,
@@ -430,10 +687,11 @@ class QueryService:
                 key = result.derived_key
                 self._slots[key] = slot
                 self._slots.move_to_end(key)
-                while len(self._slots) > self.cache_size:
-                    self._slots.popitem(last=False)
                 if self._default_key in (None, job["base"]):
                     self._default_key = key
+                # After the default swap, so the new default is already
+                # pinned and the old base becomes evictable.
+                self._evict_over_capacity()
                 job["status"] = "done"
                 job["derived"] = key
                 job["lineage_depth"] = int(
@@ -465,11 +723,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, body: dict[str, Any]) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(data)))
-        self.end_headers()
-        self.wfile.write(data)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-response.  There is nobody left to
+            # answer; letting the exception escape used to crash the
+            # request thread with a traceback on stderr.
+            self.close_connection = True
 
     def _run(self, fn, *args) -> None:
         try:
@@ -519,13 +783,20 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     cache_size: int = 4,
+    queue_depth: int = 64,
+    ingest_timeout: float | None = 600.0,
 ) -> ThreadingHTTPServer:
     """A ready-to-run HTTP server over ``store_root`` (not yet serving).
 
     ``port=0`` binds an ephemeral port (tests); read it back from
     ``server.server_address``.
     """
-    service = QueryService(store_root, cache_size=cache_size)
+    service = QueryService(
+        store_root,
+        cache_size=cache_size,
+        queue_depth=queue_depth,
+        ingest_timeout=ingest_timeout,
+    )
     handler = type("BoundHandler", (_Handler,), {"service": service})
     return ThreadingHTTPServer((host, port), handler)
 
@@ -535,9 +806,18 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8734,
     cache_size: int = 4,
+    queue_depth: int = 64,
+    ingest_timeout: float | None = 600.0,
 ) -> None:
     """Run the query service until interrupted (the CLI entry point)."""
-    server = make_server(store_root, host=host, port=port, cache_size=cache_size)
+    server = make_server(
+        store_root,
+        host=host,
+        port=port,
+        cache_size=cache_size,
+        queue_depth=queue_depth,
+        ingest_timeout=ingest_timeout,
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: http://{bound_host}:{bound_port} over store {store_root}")
     try:

@@ -41,6 +41,7 @@ from repro.store.warm import (
     list_context_records,
     load_context_record,
 )
+from repro.store.prefix import refresh_prefixes
 from repro.stream.delta import ActionLogDelta
 from repro.stream.update import FoldReport, StreamStats, fold_delta
 
@@ -231,6 +232,19 @@ def derive_bundle(
         meta={**meta_base, "artifact": CONTEXT_RECORD},
         refresh=True,
     )
+    # Prefix maintenance: the base's selection-prefix artifacts are
+    # stale for the derived artifacts, so recompute each recorded
+    # (selector, params, k_max) against the fresh context and commit
+    # them under the derived key.  Runs after the record commit — a
+    # crash here leaves a served bundle whose /select merely falls back
+    # to the cold path.
+    base_prefixes = list(record.get("prefixes", []))
+    if base_prefixes:
+        derived_record, _ = refresh_prefixes(
+            store,
+            {**derived_record, "prefixes": base_prefixes},
+            result.context,
+        )
     return DeriveResult(
         base_key=base_ckey,
         derived_key=new_ckey,

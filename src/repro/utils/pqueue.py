@@ -9,12 +9,17 @@ surfaces it is guaranteed optimal by submodularity.
 :class:`LazyQueue` implements exactly that contract on top of ``heapq``
 (a min-heap, so priorities are negated internally).  Ties are broken by
 insertion order to keep runs deterministic.
+
+Queues are *snapshotable*: :meth:`LazyQueue.snapshot` captures the heap
+together with the tie-breaking counter, and :meth:`LazyQueue.restore`
+rebuilds a queue that continues bit-identically — the seam the
+persisted CELF prefix artifacts (:mod:`repro.store.prefix`) resume
+from.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -44,7 +49,7 @@ class LazyQueue:
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, QueueEntry]] = []
-        self._counter = itertools.count()
+        self._count = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -55,7 +60,8 @@ class LazyQueue:
     def push(self, item: Any, gain: float, iteration: int) -> None:
         """Insert ``item`` with priority ``gain`` stamped at ``iteration``."""
         entry = QueueEntry(item=item, gain=gain, iteration=iteration)
-        heapq.heappush(self._heap, (-gain, next(self._counter), entry))
+        heapq.heappush(self._heap, (-gain, self._count, entry))
+        self._count += 1
 
     def pop(self) -> QueueEntry:
         """Remove and return the entry with the largest gain."""
@@ -74,3 +80,33 @@ class LazyQueue:
         """Yield entries in decreasing-gain order, emptying the queue."""
         while self._heap:
             yield self.pop()
+
+    # ------------------------------------------------------------------
+    # Persistence (the CELF-resume seam)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A picklable snapshot of the queue's exact state.
+
+        Captures the heap *and* the insertion counter: restoring and
+        continuing is bit-identical to never having paused — including
+        how future pushes tie-break against surviving entries.
+        """
+        return {
+            "heap": [
+                (neg_gain, count, (entry.item, entry.gain, entry.iteration))
+                for neg_gain, count, entry in self._heap
+            ],
+            "count": self._count,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict[str, Any]) -> "LazyQueue":
+        """Rebuild a queue from :meth:`snapshot` (the snapshot is not
+        mutated; restoring twice yields two independent queues)."""
+        queue = cls()
+        queue._heap = [
+            (neg_gain, count, QueueEntry(item=item, gain=gain, iteration=iteration))
+            for neg_gain, count, (item, gain, iteration) in snapshot["heap"]
+        ]
+        queue._count = int(snapshot["count"])
+        return queue

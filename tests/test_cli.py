@@ -461,6 +461,29 @@ class TestStoreCommands:
         response = service.select({"selector": "cd", "k": 3})
         assert len(response["selection"]["seeds"]) == 3
 
+    def test_prefix_precomputes_and_serves_lookups(self, store_dir, capsys):
+        from repro.store.service import QueryService
+
+        code = main(
+            ["prefix", "--store", store_dir, "--selector", "cd",
+             "--k-max", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "prefix cd: k_max=4 (resumable)" in out
+        service = QueryService(store_dir)
+        response = service.select({"selector": "cd", "k": 3})
+        assert len(response["selection"]["seeds"]) == 3
+        assert service._select_paths == {"prefix": 1, "resume": 0, "cold": 0}
+
+    def test_prefix_rejects_unknown_selector(self, store_dir, capsys):
+        code = main(
+            ["prefix", "--store", store_dir, "--selector", "pagerank",
+             "--k-max", "4"]
+        )
+        assert code == 2
+        assert "no prefix support" in capsys.readouterr().err
+
 
 class TestListSelectorCapabilities:
     def test_needs_and_flags_columns(self, capsys):

@@ -322,3 +322,154 @@ class TestSlotResolutionHotPath:
             thread.join()
         assert not errors
         assert all(result == results[0] for result in results)
+
+    def test_cold_load_race_converges_on_one_slot(
+        self, populated_store, monkeypatch
+    ):
+        # Two threads resolving the same uncached context must end up
+        # sharing one _ServingSlot: the loser of the insert race adopts
+        # the winner's slot instead of installing a duplicate.
+        import repro.store.service as service_module
+
+        root, _ = populated_store
+        service = QueryService(root, cache_size=2)
+        barrier = threading.Barrier(2, timeout=30)
+        real_load = service_module.load_serving_context
+
+        def rendezvous_load(store, record):
+            context = real_load(store, record)
+            barrier.wait()  # both threads finish loading before inserting
+            return context
+
+        monkeypatch.setattr(
+            service_module, "load_serving_context", rendezvous_load
+        )
+        slots, errors = [], []
+
+        def _resolve():
+            try:
+                slots.append(service.slot(None))
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=_resolve) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(slots) == 2
+        assert slots[0] is slots[1]
+        assert len(service._slots) == 1
+
+
+class TestDefaultSlotPinned:
+    """Regression: the LRU used to evict the pinned default slot."""
+
+    def test_eviction_skips_the_default_key(self, tmp_path, flixster_mini):
+        # A private store: this test adds a second context, which must
+        # not leak into the shared single-context fixture.
+        root = str(tmp_path / "pin-store")
+        run_experiment(
+            ExperimentConfig(
+                dataset="flixster", scale="mini", selectors=["cd"],
+                ks=[2], seed=11, store=root,
+            )
+        )
+        service = QueryService(root, cache_size=1)
+        service.select({"selector": "cd", "k": 2})
+        default_key = service._default_key
+        assert default_key is not None
+        default_slot = service._slots[default_key]
+        # A second context in the same store (different split spec).
+        from repro.data.split import train_test_split
+
+        train, _ = train_test_split(flixster_mini.log, every=4)
+        other = SelectionContext(flixster_mini.graph, train, seed=11)
+        events = warm_start(
+            ArtifactStore(root), other, ["credit_index"],
+            dataset=flixster_mini, split={"split": True, "every": 4},
+            dataset_name=flixster_mini.name,
+        )
+        other_key = events["context_key"]
+        assert other_key != default_key
+        # Loading it overflows the size-1 cache; the non-default slot
+        # must be the one shed, and keyless requests keep hitting the
+        # pinned slot without a store reload.
+        service.slot(other_key)
+        assert default_key in service._slots
+        assert service.slot(None) is default_slot
+        assert other_key not in service._slots
+
+
+class TestClientDisconnect:
+    """Regression: a client hanging up mid-response crashed the thread."""
+
+    @pytest.mark.parametrize(
+        "error_type", [BrokenPipeError, ConnectionResetError]
+    )
+    def test_respond_swallows_disconnects(self, error_type):
+        from repro.store.service import _Handler
+
+        class _GoneClient:
+            def write(self, data):
+                raise error_type()
+
+            def flush(self):  # pragma: no cover - py<3.12 end_headers
+                raise error_type()
+
+        handler = _Handler.__new__(_Handler)
+        handler.wfile = _GoneClient()
+        handler.request_version = "HTTP/1.1"
+        handler.requestline = "GET /healthz HTTP/1.1"
+        handler.client_address = ("127.0.0.1", 0)
+        handler.close_connection = False
+        handler._respond(200, {"status": "ok"})  # must not raise
+        assert handler.close_connection is True
+
+
+class TestIngestWaitSemantics:
+    """Regression: any truthy JSON (even the string "false") meant wait."""
+
+    PAYLOAD = {"tuples": [[1, 990, 1.0]]}
+
+    @pytest.mark.parametrize("bad", ["false", "true", 1, 0, [], {}])
+    def test_wait_must_be_a_json_boolean(self, populated_store, bad):
+        root, _ = populated_store
+        service = QueryService(root)
+        with pytest.raises(ServiceError, match="'wait' must be a JSON"):
+            service.ingest({**self.PAYLOAD, "wait": bad})
+        assert not service._ingest_active
+
+    def test_verify_must_be_a_json_boolean(self, populated_store):
+        root, _ = populated_store
+        service = QueryService(root)
+        with pytest.raises(ServiceError, match="'verify' must be a JSON"):
+            service.ingest({**self.PAYLOAD, "verify": "false"})
+
+    def test_wait_join_times_out_and_reports(
+        self, populated_store, monkeypatch
+    ):
+        import repro.stream.derive as derive_module
+
+        root, _ = populated_store
+        service = QueryService(root, ingest_timeout=0.05)
+        release = threading.Event()
+
+        def slow_derive(*args, **kwargs):
+            release.wait(timeout=30)
+            raise RuntimeError("derive aborted by test")
+
+        monkeypatch.setattr(derive_module, "derive_bundle", slow_derive)
+        response = service.ingest({**self.PAYLOAD, "wait": True})
+        assert response["status"] == "running"
+        assert response["wait_timed_out"] is True
+        release.set()
+        for _ in range(300):
+            with service._lock:
+                if not service._ingest_active:
+                    break
+            threading.Event().wait(0.01)
+        status = service.ingest_status()["ingests"][-1]
+        assert status["status"] == "failed"
+        assert "derive aborted by test" in status["error"]

@@ -1,0 +1,419 @@
+"""Persisted selection prefixes and coalesced evaluation: the parity suite.
+
+The production contract under test: a ``/select`` answered from a
+persisted :class:`~repro.store.prefix.SelectionPrefix` (lookup or
+resume) is **byte-identical** to the cold path that runs the
+algorithm, and a ``/spread``/``/predict`` answered through the request
+coalescer is byte-identical to a sequential evaluation.  Both layers
+may only change latency, never payloads.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.api import ExperimentConfig, SelectionContext, run_experiment
+from repro.runtime.executor import Executor
+from repro.store import ArtifactStore
+from repro.store.prefix import (
+    PREFIXABLE_SELECTORS,
+    bind_selector,
+    compute_prefix,
+    load_prefix,
+    precompute_prefix,
+    prefix_artifact_name,
+    selection_at,
+)
+from repro.store.service import QueryService, ServiceError, _Coalescer
+from repro.store.warm import load_context_record, load_serving_context, warm_start
+
+K_MAX = 5
+
+
+@pytest.fixture(scope="module")
+def prefix_store(tmp_path_factory, flixster_mini):
+    """One full bundle (CD + IC/LT artifacts) with prefixes precomputed."""
+    root = str(tmp_path_factory.mktemp("serve-prefix") / "store")
+    run_experiment(
+        ExperimentConfig(
+            dataset="flixster", scale="mini", selectors=["cd"],
+            ks=[3], seed=11, store=root,
+        )
+    )
+    from repro.data.split import train_test_split
+
+    train, _ = train_test_split(flixster_mini.log, every=5)
+    context = SelectionContext(flixster_mini.graph, train, seed=11)
+    warm_start(
+        ArtifactStore(root),
+        context,
+        ["ic_probabilities/EM", "lt_weights"],
+        dataset=flixster_mini,
+        split={"split": True, "every": 5},
+        dataset_name=flixster_mini.name,
+    )
+    store = ArtifactStore(root, create=False)
+    record = load_context_record(store)
+    serving = load_serving_context(store, record)
+    for name in sorted(PREFIXABLE_SELECTORS):
+        precompute_prefix(store, record, serving, name, K_MAX)
+        record = load_context_record(store, record["context_key"])
+    return root, record["context_key"]
+
+
+@pytest.fixture()
+def warm_service(prefix_store):
+    root, _ = prefix_store
+    return QueryService(root, cache_size=2)
+
+
+@pytest.fixture()
+def cold_service(prefix_store):
+    """Same store, but the serving slot forgets its prefixes: every
+    select runs the algorithm — the reference the warm path must match."""
+    root, _ = prefix_store
+    service = QueryService(root, cache_size=2)
+    service.slot(None).record.pop("prefixes", None)
+    return service
+
+
+def _bytes(response):
+    return json.dumps(response, sort_keys=True)
+
+
+class TestSelectPrefixParity:
+    @pytest.mark.parametrize("selector", sorted(PREFIXABLE_SELECTORS))
+    @pytest.mark.parametrize("k", [1, 3, K_MAX])
+    def test_prefix_hit_is_byte_identical_to_cold(
+        self, warm_service, cold_service, selector, k
+    ):
+        request = {"selector": selector, "k": k}
+        warm = warm_service.select(request)
+        cold = cold_service.select(request)
+        assert _bytes(warm) == _bytes(cold)
+        assert warm_service._select_paths["prefix"] >= 1
+        assert cold_service._select_paths["prefix"] == 0
+
+    @pytest.mark.parametrize(
+        "selector",
+        [name for name, resumable in PREFIXABLE_SELECTORS.items() if resumable],
+    )
+    def test_resume_past_k_max_is_byte_identical_to_cold(
+        self, warm_service, cold_service, selector
+    ):
+        request = {"selector": selector, "k": K_MAX + 2}
+        warm = warm_service.select(request)
+        cold = cold_service.select(request)
+        assert _bytes(warm) == _bytes(cold)
+        assert warm_service._select_paths["resume"] == 1
+        # The extended prefix is cached on the slot: the same request
+        # again is a pure lookup, same bytes.
+        again = warm_service.select(request)
+        assert _bytes(again) == _bytes(warm)
+        assert warm_service._select_paths["resume"] == 1
+        assert warm_service._select_paths["prefix"] == 1
+
+    def test_non_resumable_selector_falls_back_cold_past_k_max(
+        self, warm_service, cold_service
+    ):
+        request = {"selector": "greedy", "k": K_MAX + 2}
+        warm = warm_service.select(request)
+        cold = cold_service.select(request)
+        assert _bytes(warm) == _bytes(cold)
+        assert warm_service._select_paths["cold"] == 1
+
+    def test_different_params_miss_the_prefix(self, warm_service):
+        # An explicit seed changes the bound params, hence the prefix
+        # key: the request must run cold, not serve a wrong trace.
+        response = warm_service.select(
+            {"selector": "celf", "k": 3, "params": {"seed": 4242}}
+        )
+        assert warm_service._select_paths["cold"] == 1
+        assert response["selection"]["params"]["seed"] == 4242
+
+    def test_unreadable_prefix_degrades_to_cold(self, prefix_store):
+        root, key = prefix_store
+        service = QueryService(root, cache_size=2)
+        slot = service.slot(None)
+        row = next(
+            r for r in slot.record["prefixes"] if r["selector"] == "cd"
+        )
+        # Simulate a gc'd/corrupt artifact: the record row survives but
+        # the store read fails -> the request silently runs cold.
+        from repro.store.keys import artifact_key
+
+        store = ArtifactStore(root, create=False)
+        store.delete(artifact_key(key, row["name"]))
+        try:
+            response = service.select({"selector": "cd", "k": 3})
+            assert len(response["selection"]["seeds"]) == 3
+            assert service._select_paths["cold"] == 1
+        finally:
+            # Restore the artifact for the rest of the module.
+            record = load_context_record(store, key)
+            precompute_prefix(
+                store, record, load_serving_context(store, record),
+                "cd", K_MAX,
+            )
+
+
+class TestPrefixArtifacts:
+    def test_record_rows_are_sorted_and_complete(self, prefix_store):
+        root, _ = prefix_store
+        record = load_context_record(ArtifactStore(root, create=False))
+        rows = record["prefixes"]
+        assert [r["name"] for r in rows] == sorted(r["name"] for r in rows)
+        assert {r["selector"] for r in rows} == set(PREFIXABLE_SELECTORS)
+        assert all(r["k_max"] == K_MAX for r in rows)
+
+    def test_load_prefix_misses_on_unknown_params(self, prefix_store):
+        root, _ = prefix_store
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store)
+        assert load_prefix(store, record, "cd", {"nope": 1}) is None
+
+    def test_checkpoints_match_cold_terminals(self, prefix_store):
+        root, _ = prefix_store
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store)
+        context = load_serving_context(store, record)
+        selector = bind_selector(context, "celf")
+        prefix = load_prefix(store, record, "celf", selector.params)
+        for k in (1, 2, K_MAX):
+            cold = selector.select(context, k)
+            sliced = selection_at(prefix, k)
+            assert sliced.seeds == cold.seeds
+            assert sliced.gains == cold.gains
+            assert sliced.spread == cold.spread
+            assert sliced.oracle_calls == cold.oracle_calls
+
+    def test_selection_at_rejects_out_of_range_k(self, prefix_store):
+        root, _ = prefix_store
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store)
+        context = load_serving_context(store, record)
+        prefix = load_prefix(
+            store, record, "cd", bind_selector(context, "cd").params
+        )
+        with pytest.raises(ValueError, match="outside the prefix range"):
+            selection_at(prefix, 0)
+        with pytest.raises(ValueError, match="outside the prefix range"):
+            selection_at(prefix, K_MAX + 1)
+
+    def test_prefix_name_is_param_sensitive(self):
+        base = prefix_artifact_name("celf", {"seed": 1})
+        assert base == prefix_artifact_name("celf", {"seed": 1})
+        assert base != prefix_artifact_name("celf", {"seed": 2})
+        assert base != prefix_artifact_name("celfpp", {"seed": 1})
+
+    def test_compute_prefix_rejects_unknown_selector(self, prefix_store):
+        root, _ = prefix_store
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store)
+        context = load_serving_context(store, record)
+        with pytest.raises(ValueError, match="no prefix support"):
+            compute_prefix(context, bind_selector(context, "high_degree"), 3)
+
+
+class TestIngestRefreshesPrefixes:
+    def test_derived_bundle_serves_prefixes_byte_identically(
+        self, prefix_store, tmp_path
+    ):
+        import shutil
+
+        from repro.stream.delta import ActionLogDelta
+        from repro.stream.derive import derive_bundle
+
+        base_root, base_key = prefix_store
+        # Work on a copy: deriving adds a second context, and the
+        # module-scoped store must stay single-context for the other
+        # tests' default resolution.
+        root = str(tmp_path / "derived-store")
+        shutil.copytree(base_root, root)
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store, base_key)
+        delta = ActionLogDelta()
+        for user, action, when in [(1, 991, 1.0), (2, 991, 2.0), (4, 991, 3.0)]:
+            delta.add(user, action, when)
+        delta.close(991)
+        result = derive_bundle(store, delta, record=record)
+        assert result.derived_key != base_key
+        derived_rows = result.record.get("prefixes", [])
+        assert {r["selector"] for r in derived_rows} == set(
+            PREFIXABLE_SELECTORS
+        )
+        # The derived bundle's prefixes reflect the *derived* artifacts:
+        # serving from them matches a cold run on the derived context.
+        service = QueryService(root, cache_size=2)
+        derived_context = load_serving_context(store, result.record)
+        for name in ("cd", "celf"):
+            warm = service.select(
+                {"selector": name, "k": 3, "context": result.derived_key}
+            )
+            cold = bind_selector(derived_context, name).select(
+                derived_context, 3
+            )
+            body = cold.to_dict()
+            body.pop("wall_time_s", None)
+            body.get("metadata", {}).pop("time_log", None)
+            assert warm["selection"] == body
+        assert service._select_paths["cold"] == 0
+
+
+class TestSpreadManyParity:
+    SEED_SETS = [[1, 2, 3], [4, 5], [6], [1, 2, 3], [9, 8, 7, 6]]
+
+    @pytest.mark.parametrize("model", ["ic", "lt"])
+    @pytest.mark.parametrize("kind", ["serial", "thread"])
+    def test_spread_many_equals_per_set_spread(
+        self, prefix_store, model, kind
+    ):
+        from repro.runtime.estimator import SpreadEstimator
+
+        root, _ = prefix_store
+        store = ArtifactStore(root, create=False)
+        record = load_context_record(store)
+        context = load_serving_context(store, record)
+        edges = (
+            context.lt_weights()
+            if model == "lt"
+            else context.ic_probabilities("EM")
+        )
+        executor = None if kind == "serial" else Executor(kind, max_workers=3)
+        estimator = SpreadEstimator(
+            context.graph, edges, model=model, num_simulations=60,
+            seed=7, executor=executor,
+        )
+        batched = estimator.spread_many(self.SEED_SETS)
+        singles = [estimator.spread(seeds) for seeds in self.SEED_SETS]
+        assert batched == singles
+
+
+class TestCoalescedEvaluation:
+    def test_concurrent_predicts_coalesce_and_match_sequential(
+        self, prefix_store, monkeypatch
+    ):
+        root, _ = prefix_store
+        service = QueryService(root, cache_size=2)
+        reference = QueryService(root, cache_size=2)
+        seed_sets = [[1, 2, 3], [4, 5], [6, 7], [1, 2, 3]]
+        expected = [
+            reference.predict({"seeds": seeds, "method": "IC"})[
+                "predicted_spread"
+            ]
+            for seeds in seed_sets
+        ]
+
+        # Gate the drain worker so every request is queued before the
+        # first batch runs: the batch then provably coalesces.
+        gate = threading.Event()
+        original = _Coalescer._run_batch
+
+        def gated(self, items):
+            gate.wait(timeout=30)
+            original(self, items)
+
+        monkeypatch.setattr(_Coalescer, "_run_batch", gated)
+        results: list = [None] * len(seed_sets)
+        errors: list = []
+
+        def hit(index, seeds):
+            try:
+                results[index] = service.predict(
+                    {"seeds": seeds, "method": "IC"}
+                )["predicted_spread"]
+            except Exception as error:  # noqa: BLE001 - recorded for assert
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hit, args=(index, seeds))
+            for index, seeds in enumerate(seed_sets)
+        ]
+        for thread in threads:
+            thread.start()
+        deadline = threading.Event()
+        for _ in range(200):
+            if service._coalescer.stats()["submitted"] == len(seed_sets):
+                break
+            deadline.wait(0.02)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        assert results == expected
+        stats = service._coalescer.stats()
+        # 4 requests, at most 2 engine dispatches (the gated first item
+        # plus one coalesced batch for everything queued behind it).
+        assert stats["submitted"] == len(seed_sets)
+        assert stats["dispatches"] <= 2
+
+    def test_full_queue_sheds_load_with_503(self, prefix_store, monkeypatch):
+        root, _ = prefix_store
+        service = QueryService(root, cache_size=2, queue_depth=1)
+        gate = threading.Event()
+        original = _Coalescer._run_batch
+
+        def gated(self, items):
+            gate.wait(timeout=30)
+            original(self, items)
+
+        monkeypatch.setattr(_Coalescer, "_run_batch", gated)
+        results: list = []
+        errors: list = []
+
+        def hit():
+            try:
+                results.append(
+                    service.spread({"seeds": [1, 2]})["spread"]
+                )
+            except ServiceError as error:
+                errors.append(error)
+
+        # First request: picked up by the worker, blocked in the gate.
+        first = threading.Thread(target=hit)
+        first.start()
+        for _ in range(200):
+            if service._coalescer.stats()["submitted"] == 1 and (
+                service._coalescer._queue.qsize() == 0
+            ):
+                break
+            threading.Event().wait(0.02)
+        # Second request: sits in the depth-1 queue.
+        second = threading.Thread(target=hit)
+        second.start()
+        for _ in range(200):
+            if service._coalescer._queue.qsize() == 1:
+                break
+            threading.Event().wait(0.02)
+        # Third request: queue full -> immediate 503, no blocking.
+        with pytest.raises(ServiceError) as info:
+            service.spread({"seeds": [1, 2]})
+        assert info.value.status == 503
+        gate.set()
+        first.join(timeout=60)
+        second.join(timeout=60)
+        assert not errors
+        assert len(results) == 2 and results[0] == results[1]
+        assert service._coalescer.stats()["rejected"] == 1
+
+    def test_queue_depth_validated(self, prefix_store):
+        root, _ = prefix_store
+        with pytest.raises(ValueError, match="queue depth"):
+            QueryService(root, queue_depth=0)
+
+    def test_evaluation_errors_map_like_the_direct_path(self, tmp_path):
+        # A CD-only store cannot serve IC predictions; the coalescer
+        # must surface the same client error the direct call raised.
+        root = str(tmp_path / "cd-only")
+        run_experiment(
+            ExperimentConfig(
+                dataset="flixster", scale="mini", selectors=["cd"],
+                ks=[2], seed=11, store=root,
+            )
+        )
+        service = QueryService(root)
+        with pytest.raises(ServiceError, match="cannot be served"):
+            service.predict({"seeds": [1, 2], "method": "IC"})
