@@ -1,0 +1,117 @@
+"""Chaos soak benchmark: sustained faulty traffic against `repro serve`.
+
+Builds a serving store, mounts a deterministic fault injector on its
+I/O seam (:mod:`repro.faults`), and drives mixed concurrent
+select/spread/predict/ingest traffic for the requested duration — the
+harness behind the committed ``STRESS_TEST_REPORT.md``.  The run fails
+(non-zero exit) unless:
+
+* every client-visible failure was an explicit 503 (zero non-503 5xx);
+* successful responses stayed byte-deterministic per serving context;
+* the post-run ``repro store verify --deep`` audit found zero
+  integrity errors (orphans from injected ingest failures are
+  reported, and tolerated — they are re-derivable by design).
+
+Usage
+-----
+    PYTHONPATH=src python benchmarks/bench_soak.py
+        [--mode full|quick] [--duration S] [--workers N] [--seed N]
+        [--plan SPEC] [--store DIR] [--out STRESS_TEST_REPORT.md]
+        [--json SOAK.json]
+
+``--mode quick`` (the CI ``soak-smoke`` job) runs a short burst;
+``--mode full`` is the minutes-long acceptance run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+from repro.faults.soak import (
+    DEFAULT_PLAN,
+    SoakConfig,
+    prepare_store,
+    render_report,
+    run_soak,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--mode", choices=("full", "quick"), default="full",
+        help="full: the minutes-long acceptance soak behind "
+        "STRESS_TEST_REPORT.md; quick: the CI smoke burst",
+    )
+    parser.add_argument("--quick", dest="mode", action="store_const",
+                        const="quick", help="alias for --mode quick")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="override soak duration in seconds")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--plan", default=DEFAULT_PLAN,
+                        help="fault plan spec (see repro.faults.plan)")
+    parser.add_argument("--store", default=None,
+                        help="use an existing serving store instead of "
+                        "building a temporary one")
+    parser.add_argument("--out", default="STRESS_TEST_REPORT.md")
+    parser.add_argument("--json", default=None,
+                        help="also write the raw report dict as JSON")
+    args = parser.parse_args(argv)
+
+    duration = args.duration if args.duration is not None else (
+        180.0 if args.mode == "full" else 20.0
+    )
+    workers = args.workers or (8 if args.mode == "full" else 4)
+    config = SoakConfig(
+        duration_s=duration,
+        workers=workers,
+        seed=args.seed,
+        plan=args.plan,
+        ingest_period_s=5.0 if args.mode == "full" else 3.0,
+    )
+
+    root = args.store
+    cleanup = root is None
+    if cleanup:
+        root = tempfile.mkdtemp(prefix="bench-soak-")
+        print(f"[bench_soak] building store at {root} ...", flush=True)
+        prepare_store(root, scale="mini", k_max=config.k_max)
+    try:
+        print(
+            f"[bench_soak] soaking for {duration:g}s with {workers} workers, "
+            f"plan `{config.plan_text()}` ...",
+            flush=True,
+        )
+        report = run_soak(root, config)
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+    report["mode"] = args.mode
+    print(
+        f"  {report['requests']} requests in {report['elapsed_s']}s "
+        f"({report['throughput_rps']} rps) | statuses {report['statuses']} "
+        f"| faults fired {report['faults']['total_fired']} "
+        f"| non-503 5xx: {report['non_503_5xx']} "
+        f"| deterministic: {report['deterministic']} "
+        f"| store audit errors: {report['store_audit']['errors']}",
+        flush=True,
+    )
+    for failure in report["failures"]:
+        print(f"  ERROR: {failure}", flush=True)
+
+    Path(args.out).write_text(render_report(report))
+    print(f"[bench_soak] wrote {args.out}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"[bench_soak] wrote {args.json}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

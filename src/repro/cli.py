@@ -266,6 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_gc.add_argument("--dry-run", action="store_true",
                           help="report what would be removed, remove nothing")
+    store_verify = store_commands.add_parser(
+        "verify",
+        help="audit every entry and record reference; non-zero exit on "
+        "torn/corrupt/orphaned state",
+    )
+    store_verify.add_argument("--store", required=True, metavar="DIR")
+    store_verify.add_argument(
+        "--deep", action="store_true",
+        help="also unpickle every payload (catches checksum-clean "
+        "entries that no longer decode)",
+    )
 
     ingest = commands.add_parser(
         "ingest", help="fold an action-log delta into a stored bundle"
@@ -328,6 +339,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a wait=true /ingest blocks before returning the "
         "still-running job (0 or less = unbounded)",
     )
+
+    soak = commands.add_parser(
+        "soak",
+        help="chaos-soak a serving store: live traffic + injected faults, "
+        "then a deep integrity audit",
+    )
+    soak.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serving store to soak (default: build a temporary one)",
+    )
+    soak.add_argument("--duration", type=float, default=30.0,
+                      help="seconds of sustained traffic")
+    soak.add_argument("--workers", type=int, default=4,
+                      help="concurrent client threads")
+    soak.add_argument("--seed", type=int, default=11,
+                      help="seed for the fault plan, traffic mix and jitter")
+    soak.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help="fault plan (repro.faults.plan syntax; default: the "
+        "standard chaos mix)",
+    )
+    soak.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write the markdown stress report here",
+    )
+    soak.add_argument(
+        "--json", dest="json_out", default=None, metavar="FILE",
+        help="write the raw report dict as JSON",
+    )
     return parser
 
 
@@ -351,6 +391,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ingest": _cmd_ingest,
         "prefix": _cmd_prefix,
         "serve": _cmd_serve,
+        "soak": _cmd_soak,
     }[args.command]
     return handler(args)
 
@@ -726,6 +767,27 @@ def _cmd_store(args: argparse.Namespace) -> int:
             ),
         ))
         return 0
+    if args.store_command == "verify":
+        from repro.store.verify import verify_store
+
+        report = verify_store(store, deep=args.deep)
+        summary = report.to_dict()
+        print(
+            f"verify {store.root}: {summary['entries']} entries, "
+            f"{summary['records']} record(s), {summary['payload_bytes']} "
+            f"payload bytes"
+            + (" (deep)" if args.deep else "")
+        )
+        for problem in report.problems:
+            print(f"  {problem.render()}")
+        print(
+            f"errors: {summary['errors']}  orphans: {summary['orphans']}  "
+            f"notes: {summary['notes']}"
+        )
+        if report.clean:
+            print("store is clean")
+            return 0
+        return 1
     # gc — contexts that live derived bundles still reference are never
     # age-expired: a derived bundle aliases (rather than copies) the
     # artifacts a delta cannot change, so collecting its ancestor would
@@ -862,6 +924,69 @@ def _cmd_prefix(args: argparse.Namespace) -> int:
             f"on context {record['context_key'][:12]}..."
         )
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json as json_module
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults.soak import (
+        DEFAULT_PLAN,
+        SoakConfig,
+        prepare_store,
+        render_report,
+        run_soak,
+    )
+    from repro.store.store import StoreError
+
+    config = SoakConfig(
+        duration_s=args.duration,
+        workers=args.workers,
+        seed=args.seed,
+        plan=args.plan if args.plan is not None else DEFAULT_PLAN,
+    )
+    root = args.store
+    cleanup = root is None
+    if cleanup:
+        root = tempfile.mkdtemp(prefix="repro-soak-")
+        print(f"soak: building a temporary store at {root} ...")
+        prepare_store(root, scale="mini", k_max=config.k_max)
+    try:
+        print(
+            f"soak: {args.duration:g}s of traffic from {args.workers} "
+            f"workers under plan `{config.plan_text()}`"
+        )
+        report = run_soak(root, config)
+    except StoreError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+    print(
+        f"soak: {report['requests']} requests in {report['elapsed_s']}s "
+        f"({report['throughput_rps']} rps), statuses {report['statuses']}, "
+        f"faults fired {report['faults']['total_fired']}"
+    )
+    print(
+        f"soak: non-503 5xx {report['non_503_5xx']}, deterministic "
+        f"{report['deterministic']}, store audit errors "
+        f"{report['store_audit']['errors']} "
+        f"(orphans {report['store_audit']['orphans']})"
+    )
+    for failure in report["failures"]:
+        print(f"soak: FAILURE {failure}", file=sys.stderr)
+    if args.report:
+        Path(args.report).write_text(render_report(report))
+        print(f"soak: wrote {args.report}")
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json_module.dumps(report, indent=2) + "\n"
+        )
+        print(f"soak: wrote {args.json_out}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:

@@ -1,0 +1,53 @@
+"""repro.faults — deterministic fault injection and crash-consistency.
+
+The reliability layer of the store/stream/serve stack:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`/:class:`FaultSpec`, a
+  seeded, replayable schedule of faults, parseable from the
+  ``REPRO_FAULTS`` environment variable;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, a
+  :class:`~repro.store.io.StoreIO` implementation that simulates torn
+  writes, ``ENOSPC``, ``EIO``, crash-at-step-N and service-level faults
+  (slow evaluation, worker death, ingest failure) on that schedule;
+* :mod:`repro.faults.sweep` — kill-point sweeps: die after every write
+  step of a store mutation, reopen, and assert the fully-old-or-fully-new
+  invariant plus lineage safety;
+* :mod:`repro.faults.soak` — the sustained chaos harness behind
+  ``repro soak`` / ``benchmarks/bench_soak.py`` and the committed
+  ``STRESS_TEST_REPORT.md``.
+
+See ``docs/RELIABILITY.md`` for the failure-mode matrix this package
+enforces.
+"""
+
+from repro.faults.injector import CrashPoint, FaultInjector, WorkerDied
+from repro.faults.plan import FaultPlan, FaultSpec, parse_fault_plan
+from repro.faults.soak import (
+    DEFAULT_PLAN,
+    SoakConfig,
+    render_report,
+    run_soak,
+)
+from repro.faults.sweep import (
+    CrashAtStep,
+    SweepReport,
+    crash_consistency_sweep,
+    lineage_invariant_problems,
+)
+
+__all__ = [
+    "DEFAULT_PLAN",
+    "SoakConfig",
+    "render_report",
+    "run_soak",
+    "CrashPoint",
+    "FaultInjector",
+    "WorkerDied",
+    "FaultPlan",
+    "FaultSpec",
+    "parse_fault_plan",
+    "CrashAtStep",
+    "SweepReport",
+    "crash_consistency_sweep",
+    "lineage_invariant_problems",
+]

@@ -1,0 +1,192 @@
+"""The fault injector: a :class:`~repro.store.io.StoreIO` that fails on cue.
+
+:class:`FaultInjector` implements the store's I/O seam *and* the
+service-level ``fire`` hook, consulting a
+:class:`~repro.faults.plan.FaultPlan` before delegating each operation
+to an inner (real) :class:`~repro.store.io.StoreIO`.  Decisions are
+deterministic — per-site operation counters plus per-spec seeded RNG
+streams — so a chaos run can be replayed exactly from its plan text,
+and a kill-point sweep can enumerate ``replace:crash@n=1..N``.
+
+Two exception types model the non-errno faults:
+
+* :class:`CrashPoint` derives from :class:`BaseException` on purpose —
+  it simulates *process death*, so no ``except Exception`` handler in
+  the library may swallow it.  Only the kill-point sweep (and tests)
+  catch it, at the same place a monitor would observe the process gone.
+* :class:`WorkerDied` is an ordinary :class:`RuntimeError`: it models a
+  service worker thread dying, which the serving layer is expected to
+  survive and degrade around (503 + restart), not to propagate.
+
+The injector is thread-safe: the serving stack calls it from many
+request threads, and counter updates/draws happen under one lock.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+from pathlib import Path
+from typing import Any, BinaryIO
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.store.io import StoreIO
+
+__all__ = ["CrashPoint", "WorkerDied", "FaultInjector"]
+
+
+class CrashPoint(BaseException):
+    """The simulated process death of a ``crash`` fault.
+
+    A ``BaseException`` so library code that defensively catches
+    ``Exception`` cannot accidentally "survive" a crash — after a real
+    power cut there is no handler left to run either.
+    """
+
+    def __init__(self, site: str, step: int) -> None:
+        super().__init__(f"simulated crash at {site} step {step}")
+        self.site = site
+        self.step = step
+
+
+class WorkerDied(RuntimeError):
+    """The simulated death of a background service worker."""
+
+
+class FaultInjector(StoreIO):
+    """A :class:`StoreIO` (plus service hook) driven by a fault plan."""
+
+    def __init__(self, plan: FaultPlan, inner: StoreIO | None = None) -> None:
+        self.plan = plan
+        self.inner = inner if inner is not None else StoreIO()
+        self._lock = threading.Lock()
+        self._site_steps: dict[str, int] = {}
+        self._spec_fires: dict[int, int] = {}
+        self._spec_rngs = {
+            index: plan.spec_rng(spec)
+            for index, spec in enumerate(plan.specs)
+        }
+        # Every fired fault, in firing order: (site, kind, site step).
+        # The soak report renders this; tests assert determinism on it.
+        self.fired: list[tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Decision core
+    # ------------------------------------------------------------------
+    def _due(self, site: str) -> list[tuple[FaultSpec, int]]:
+        """Advance ``site``'s step counter; return the specs that fire."""
+        due: list[tuple[FaultSpec, int]] = []
+        with self._lock:
+            step = self._site_steps.get(site, 0) + 1
+            self._site_steps[site] = step
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                fires = self._spec_fires.get(index, 0)
+                if spec.at_step is not None:
+                    hit = step == spec.at_step and fires == 0
+                else:
+                    if spec.max_fires is not None and fires >= spec.max_fires:
+                        continue
+                    hit = (
+                        self._spec_rngs[index].random() < spec.probability
+                    )
+                if hit:
+                    self._spec_fires[index] = fires + 1
+                    self.fired.append((site, spec.kind, step))
+                    due.append((spec, step))
+        return due
+
+    def _raise_for(self, spec: FaultSpec, site: str, step: int) -> None:
+        if spec.kind == "eio":
+            raise OSError(errno.EIO, f"injected EIO at {site} step {step}")
+        if spec.kind == "enospc":
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC at {site} step {step}"
+            )
+        if spec.kind == "crash":
+            raise CrashPoint(site, step)
+        if spec.kind == "die":
+            raise WorkerDied(f"injected worker death at {site} step {step}")
+        if spec.kind == "error":
+            raise RuntimeError(
+                f"injected failure at {site} step {step}"
+            )
+
+    def _check(self, site: str) -> list[tuple[FaultSpec, int]]:
+        """Fire non-write faults for ``site``; return torn specs (if any).
+
+        ``delay`` sleeps here (outside the lock); error kinds raise.
+        ``torn`` is returned to the caller, because only ``write`` can
+        act on it (it needs the data in hand).
+        """
+        torn: list[tuple[FaultSpec, int]] = []
+        for spec, step in self._due(site):
+            if spec.kind == "delay":
+                time.sleep(spec.delay_s)
+            elif spec.kind == "torn":
+                torn.append((spec, step))
+            else:
+                self._raise_for(spec, site, step)
+        return torn
+
+    # ------------------------------------------------------------------
+    # StoreIO surface
+    # ------------------------------------------------------------------
+    def open_write(self, path: Path) -> BinaryIO:
+        self._check("open")
+        return self.inner.open_write(path)
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        torn = self._check("write")
+        if torn:
+            # A torn write: half the bytes land, then the device errors.
+            # Combined with a crash this is the classic partial temp
+            # file; alone it surfaces as EIO the writer must handle.
+            self.inner.write(handle, data[: max(1, len(data) // 2)])
+            spec, step = torn[0]
+            raise OSError(
+                errno.EIO, f"injected torn write at step {step}"
+            )
+        self.inner.write(handle, data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        self._check("fsync")
+        self.inner.fsync(handle)
+
+    def replace(self, source: Path, target: Path) -> None:
+        self._check("replace")
+        self.inner.replace(source, target)
+
+    def fsync_dir(self, directory: Path) -> None:
+        self._check("fsync_dir")
+        self.inner.fsync_dir(directory)
+
+    def read_bytes(self, path: Path) -> bytes:
+        self._check("read")
+        return self.inner.read_bytes(path)
+
+    # ------------------------------------------------------------------
+    # Service-level hook
+    # ------------------------------------------------------------------
+    def fire(self, site: str, **info: Any) -> None:
+        """Consult the plan at a named service site (may sleep or raise)."""
+        self._check(site)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Fired-fault counts by ``site:kind`` plus per-site op totals."""
+        with self._lock:
+            by_fault: dict[str, int] = {}
+            for site, kind, _ in self.fired:
+                label = f"{site}:{kind}"
+                by_fault[label] = by_fault.get(label, 0) + 1
+            return {
+                "plan": self.plan.describe(),
+                "fired": by_fault,
+                "total_fired": len(self.fired),
+                "operations": dict(self._site_steps),
+            }

@@ -1,0 +1,188 @@
+"""Deterministic fault schedules: what fails, where, when.
+
+A :class:`FaultPlan` is a seed plus a list of :class:`FaultSpec`
+entries.  Each spec names an injection *site* (an I/O operation of the
+store seam — ``open``, ``write``, ``fsync``, ``replace``, ``fsync_dir``,
+``read`` — or a service-level hook such as ``serve.spread``), a fault
+*kind*, and a trigger: either a per-operation probability or an exact
+1-based operation index (crash-at-step-N).  The plan is **fully
+deterministic**: probabilistic triggers draw from a per-spec
+:class:`random.Random` stream seeded via
+:func:`repro.utils.rng.derive_seed`, and step triggers count matching
+operations — the same plan against the same operation sequence always
+fires the same faults, which is what makes chaos runs replayable and
+kill-point sweeps enumerable.
+
+Plan text (the ``REPRO_FAULTS`` environment format) is a ``;``-separated
+list — ``seed=N`` first (optional, default 0), then one clause per
+spec::
+
+    site:kind[@p=0.01][@n=14][@delay=0.05][@max=3]
+
+Examples::
+
+    seed=7;read:eio@p=0.02;write:enospc@p=0.01
+    replace:crash@n=3                       # die at the 3rd rename
+    serve.spread:delay@delay=0.05@p=0.25    # slow 25% of evaluations
+    serve.worker:die@n=10                   # kill the coalescer worker
+
+Kinds: ``eio`` / ``enospc`` (the matching :class:`OSError`), ``torn``
+(write only half the bytes, then ``EIO``), ``crash`` (raise
+:class:`~repro.faults.injector.CrashPoint`, modelling process death),
+``delay`` (sleep ``delay`` seconds), ``die`` (raise
+:class:`~repro.faults.injector.WorkerDied`), ``error`` (a generic
+:class:`RuntimeError`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "IO_SITES",
+    "SERVICE_SITES",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_fault_plan",
+]
+
+IO_SITES = ("open", "write", "fsync", "replace", "fsync_dir", "read")
+SERVICE_SITES = ("serve.spread", "serve.worker", "serve.ingest")
+FAULT_KINDS = ("eio", "enospc", "torn", "crash", "delay", "die", "error")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: fire ``kind`` at ``site`` per its trigger.
+
+    Exactly one trigger is active: ``at_step`` (fire on the N-th
+    matching operation, 1-based) wins over ``probability`` when both
+    are given.  ``max_fires`` bounds how often a probabilistic rule
+    fires (``None`` = unbounded); a step rule fires exactly once.
+    """
+
+    site: str
+    kind: str
+    probability: float = 0.0
+    at_step: int | None = None
+    delay_s: float = 0.0
+    max_fires: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.at_step is not None and self.at_step < 1:
+            raise ValueError(f"at_step is 1-based, got {self.at_step}")
+        if self.at_step is None and self.probability == 0.0:
+            raise ValueError(
+                f"spec {self.site}:{self.kind} has no trigger "
+                "(give @p=... or @n=...)"
+            )
+        if self.delay_s < 0.0:
+            raise ValueError(f"delay must be >= 0, got {self.delay_s}")
+
+
+@dataclass
+class FaultPlan:
+    """A seed and the fault rules it deterministically drives."""
+
+    seed: int = 0
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def specs_for(self, site: str) -> list[FaultSpec]:
+        return [spec for spec in self.specs if spec.site == site]
+
+    def spec_rng(self, spec: FaultSpec) -> random.Random:
+        """The private decision stream of one spec (stable per plan).
+
+        Keyed by the spec's identity, not its list position, so adding
+        an unrelated rule to a plan does not reshuffle when an existing
+        rule fires.
+        """
+        return random.Random(
+            derive_seed(
+                self.seed, spec.site, spec.kind, spec.probability,
+                spec.at_step, spec.max_fires,
+            )
+        )
+
+    def describe(self) -> str:
+        clauses = [f"seed={self.seed}"]
+        for spec in self.specs:
+            clause = f"{spec.site}:{spec.kind}"
+            if spec.at_step is not None:
+                clause += f"@n={spec.at_step}"
+            elif spec.probability:
+                clause += f"@p={spec.probability:g}"
+            if spec.delay_s:
+                clause += f"@delay={spec.delay_s:g}"
+            if spec.max_fires is not None:
+                clause += f"@max={spec.max_fires}"
+            clauses.append(clause)
+        return ";".join(clauses)
+
+
+def _parse_clause(clause: str) -> FaultSpec:
+    head, *modifiers = [part.strip() for part in clause.split("@")]
+    if ":" not in head:
+        raise ValueError(
+            f"bad fault clause {clause!r}: expected 'site:kind[@...]'"
+        )
+    site, kind = (part.strip() for part in head.split(":", 1))
+    fields: dict[str, object] = {"site": site, "kind": kind}
+    for modifier in modifiers:
+        if "=" not in modifier:
+            raise ValueError(
+                f"bad fault modifier {modifier!r} in {clause!r}"
+            )
+        name, value = (part.strip() for part in modifier.split("=", 1))
+        try:
+            if name == "p":
+                fields["probability"] = float(value)
+            elif name == "n":
+                fields["at_step"] = int(value)
+            elif name == "delay":
+                fields["delay_s"] = float(value)
+            elif name == "max":
+                fields["max_fires"] = int(value)
+            else:
+                raise ValueError(f"unknown fault modifier {name!r}")
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"bad fault modifier {modifier!r} in {clause!r}: {error}"
+            ) from None
+    return FaultSpec(**fields)  # type: ignore[arg-type]
+
+
+def parse_fault_plan(text: str | Iterable[str]) -> FaultPlan:
+    """Parse plan text (the ``REPRO_FAULTS`` format) into a plan."""
+    clauses = (
+        [part for part in text.split(";")]
+        if isinstance(text, str)
+        else list(text)
+    )
+    seed = 0
+    specs: list[FaultSpec] = []
+    for clause in clauses:
+        clause = clause.strip()
+        if not clause:
+            continue
+        if clause.startswith("seed="):
+            try:
+                seed = int(clause.removeprefix("seed="))
+            except ValueError:
+                raise ValueError(f"bad fault-plan seed {clause!r}") from None
+            continue
+        specs.append(_parse_clause(clause))
+    return FaultPlan(seed=seed, specs=specs)

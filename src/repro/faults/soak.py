@@ -1,0 +1,496 @@
+"""Sustained chaos soak: mixed live traffic + injected faults + audits.
+
+The harness behind ``repro soak`` and ``benchmarks/bench_soak.py``:
+stand up a real :func:`~repro.store.service.make_server` over a
+populated store **with a fault injector mounted on the store's I/O
+seam**, drive minutes of mixed ``/select`` / ``/spread`` / ``/predict``
+/ ``/ingest`` traffic from concurrent workers, and hold the service to
+its degradation contract the whole time:
+
+* every failure a client sees is an explicit **503 with Retry-After**
+  (shed load), never a 500 — ``non_503_5xx == 0``;
+* successful responses stay **byte-deterministic**: identical requests
+  against the same serving context return identical payloads, faults
+  or no faults;
+* after the dust settles, :func:`repro.store.verify.verify_store`
+  finds zero integrity errors — injected ingest failures may orphan
+  re-derivable entries, but nothing torn and nothing dangling.
+
+Everything is seeded (the fault plan, the traffic mix, the retry
+jitter), so a failing soak replays exactly from its recorded config.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import parse_fault_plan
+from repro.store.store import ArtifactStore
+from repro.utils.retry import RetryPolicy
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "DEFAULT_PLAN",
+    "SoakConfig",
+    "prepare_store",
+    "run_soak",
+    "render_report",
+]
+
+# The default chaos mix: transient read errors (exercises the retry
+# policy), slow and failing spread evaluations, periodic evaluation-
+# worker death, and ingest derives that blow up mid-flight.  All
+# bounded (@max) so a long soak degrades intermittently, not terminally.
+DEFAULT_PLAN = (
+    "read:eio@p=0.01@max=25;"
+    "serve.spread:delay@p=0.05@delay=0.02;"
+    "serve.spread:error@p=0.02@max=10;"
+    "serve.worker:die@p=0.01@max=5;"
+    "serve.ingest:error@p=0.5@max=4"
+)
+
+
+@dataclass
+class SoakConfig:
+    """One soak run, fully determined by its fields."""
+
+    duration_s: float = 60.0
+    workers: int = 6
+    seed: int = 11
+    plan: str = DEFAULT_PLAN
+    k_max: int = 5
+    ingest_period_s: float = 3.0
+    # Shorter than production so a wedged engine surfaces inside the run.
+    evaluation_timeout_s: float = 15.0
+
+    def plan_text(self) -> str:
+        if self.plan.startswith("seed="):
+            return self.plan
+        return f"seed={self.seed};{self.plan}" if self.plan else f"seed={self.seed}"
+
+
+def prepare_store(root: str, scale: str = "mini", k_max: int = 5) -> None:
+    """Populate ``root`` with a full serving bundle + a cd prefix.
+
+    The same recipe the serving tests and load bench use: one
+    experiment run to commit the bundle, a warm start for the
+    prediction artifacts, and a precomputed ``cd`` selection prefix so
+    the soak's ``/select`` traffic exercises the warm path.
+    """
+    from repro.api import ExperimentConfig, SelectionContext, run_experiment
+    from repro.data.datasets import flixster_like
+    from repro.data.split import train_test_split
+    from repro.store.prefix import precompute_prefix
+    from repro.store.warm import (
+        load_context_record,
+        load_serving_context,
+        warm_start,
+    )
+
+    dataset = flixster_like(scale)
+    run_experiment(
+        ExperimentConfig(
+            dataset="flixster", scale=scale, selectors=["cd"],
+            ks=[min(3, k_max)], seed=11, store=root,
+        ),
+        dataset=dataset,
+    )
+    train, _ = train_test_split(dataset.log, every=5)
+    context = SelectionContext(dataset.graph, train, seed=11)
+    warm_start(
+        ArtifactStore(root),
+        context,
+        ["ic_probabilities/EM", "lt_weights"],
+        dataset=dataset,
+        split={"split": True, "every": 5},
+        dataset_name=dataset.name,
+    )
+    store = ArtifactStore(root, create=False)
+    record = load_context_record(store)
+    serving = load_serving_context(store, record)
+    precompute_prefix(store, record, serving, "cd", k_max)
+
+
+class _Traffic:
+    """Thread-shared tallies for one soak run."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.statuses: dict[int, int] = {}
+        self.samples: dict[str, list[float]] = {}
+        # determinism: key -> set of 200-response bodies.  Keys include
+        # the response's serving context, because /ingest legitimately
+        # swaps the default context mid-run.
+        self.bodies: dict[str, set[str]] = {}
+        self.transport_errors = 0
+        self.ingest: dict[str, int] = {
+            "accepted": 0, "conflict_409": 0, "shed_503": 0,
+        }
+
+    def record(self, endpoint: str, status: int, elapsed_ms: float,
+               key: str | None, body: str | None) -> None:
+        with self.lock:
+            self.statuses[status] = self.statuses.get(status, 0) + 1
+            self.samples.setdefault(endpoint, []).append(elapsed_ms)
+            if status == 200 and key is not None and body is not None:
+                self.bodies.setdefault(key, set()).add(body)
+
+
+def _request(port: int, method: str, path: str,
+             payload: dict | None = None, timeout: float = 120.0):
+    """One HTTP exchange; returns ``(status, body_text)``."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        connection.close()
+
+
+def _worker(port: int, worker_id: int, deadline: float, config: SoakConfig,
+            seeds: list, base_context: str | None,
+            traffic: _Traffic) -> None:
+    import random
+
+    rng = random.Random(derive_seed(config.seed, "soak-worker", worker_id))
+    methods = ("CD", "IC", "LT")
+    while time.monotonic() < deadline:
+        roll = rng.random()
+        if roll < 0.45:
+            k = rng.randrange(1, config.k_max + 1)
+            endpoint, payload = "/select", {"selector": "cd", "k": k}
+            tag = f"select:k={k}"
+        elif roll < 0.65:
+            endpoint, payload = "/spread", {"seeds": seeds}
+            tag = "spread"
+        elif roll < 0.9:
+            method = methods[rng.randrange(3)]
+            endpoint = "/predict"
+            payload = {"seeds": seeds, "method": method}
+            tag = f"predict:{method}"
+        else:
+            endpoint, payload, tag = "/healthz", None, None
+        if payload is not None and base_context is not None:
+            payload = {**payload, "context": base_context}
+        started = time.perf_counter()
+        try:
+            if payload is None:
+                status, body = _request(port, "GET", endpoint)
+            else:
+                status, body = _request(port, "POST", endpoint, payload)
+        except OSError:
+            with traffic.lock:
+                traffic.transport_errors += 1
+            continue
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        key = None
+        if tag is not None and status == 200:
+            # Key the determinism check by (request, serving context):
+            # the context field says which bundle answered.
+            try:
+                context = json.loads(body).get("context", "")
+            except ValueError:
+                context = "?"
+            key = f"{tag}@{context}"
+        traffic.record(endpoint.lstrip("/"), status, elapsed_ms, key,
+                       body if status == 200 else None)
+
+
+def _ingester(port: int, deadline: float, config: SoakConfig,
+              base_context: str | None, traffic: _Traffic) -> None:
+    """Fire a small deterministic delta every period; tolerate 409/503."""
+    index = 0
+    while time.monotonic() < deadline:
+        base_time = 100.0 + index
+        payload: dict[str, Any] = {
+            "tuples": [
+                [1, 9000 + index, base_time],
+                [2, 9000 + index, base_time + 1.0],
+                [3, 9000 + index, base_time + 2.0],
+            ],
+        }
+        if base_context is not None:
+            payload["context"] = base_context
+        try:
+            status, _ = _request(port, "POST", "/ingest", payload)
+        except OSError:
+            with traffic.lock:
+                traffic.transport_errors += 1
+            status = None
+        with traffic.lock:
+            if status is not None:
+                traffic.statuses[status] = traffic.statuses.get(status, 0) + 1
+            if status == 200:
+                traffic.ingest["accepted"] += 1
+            elif status == 409:
+                traffic.ingest["conflict_409"] += 1
+            elif status == 503:
+                traffic.ingest["shed_503"] += 1
+        index += 1
+        time.sleep(config.ingest_period_s)
+
+
+def _settle_ingests(port: int, timeout_s: float = 120.0) -> list[dict]:
+    """Wait for background ingest jobs to leave the 'running' state."""
+    deadline = time.monotonic() + timeout_s
+    jobs: list[dict] = []
+    while time.monotonic() < deadline:
+        try:
+            status, body = _request(port, "GET", "/ingest")
+        except OSError:
+            time.sleep(0.2)
+            continue
+        if status == 200:
+            jobs = json.loads(body).get("ingests", [])
+            if not any(job.get("status") == "running" for job in jobs):
+                return jobs
+        time.sleep(0.2)
+    return jobs
+
+
+def run_soak(store_root: str, config: SoakConfig | None = None) -> dict[str, Any]:
+    """Run one chaos soak against ``store_root``; return the report dict.
+
+    The report's ``failures`` list is empty iff the run met the
+    contract (zero non-503 5xx, byte-determinism, zero post-run
+    integrity errors, no transport errors).
+    """
+    from repro.store.service import make_server
+    from repro.store.verify import verify_store
+
+    config = config or SoakConfig()
+    injector = FaultInjector(parse_fault_plan(config.plan_text()))
+    server = make_server(
+        store_root,
+        port=0,
+        io=injector,
+        evaluation_timeout=config.evaluation_timeout_s,
+        retry=RetryPolicy(seed=derive_seed(config.seed, "soak-retry")),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    port = server.server_address[1]
+    traffic = _Traffic()
+    started = time.monotonic()
+    try:
+        # Bootstrap: a seed set for the spread/predict legs.  Retried —
+        # the very first request is as fault-exposed as any other.  On
+        # a store with several contexts (a previous soak's ingests), a
+        # keyless /select is ambiguous (404); resolve the deepest
+        # lineage — the most current bundle — and pin every request to
+        # it.  A single-context store keeps context=None, which also
+        # exercises the default-swap path on ingest.
+        seeds: list | None = None
+        base_context: str | None = None
+        for _ in range(20):
+            payload = {"selector": "cd", "k": 3}
+            if base_context is not None:
+                payload["context"] = base_context
+            try:
+                status, body = _request(port, "POST", "/select", payload)
+            except OSError:
+                time.sleep(0.1)
+                continue
+            if status == 200:
+                seeds = json.loads(body)["selection"]["seeds"]
+                break
+            if status == 404 and base_context is None:
+                try:
+                    ctx_status, ctx_body = _request(port, "GET", "/contexts")
+                except OSError:
+                    ctx_status = None
+                if ctx_status == 200:
+                    records = json.loads(ctx_body).get("contexts", [])
+                    if len(records) > 1:
+                        best = max(
+                            records,
+                            key=lambda r: (
+                                int(r.get("lineage_depth", 0)),
+                                r.get("context_key", ""),
+                            ),
+                        )
+                        base_context = best.get("context_key")
+            time.sleep(0.1)
+        if seeds is None:
+            raise RuntimeError("soak bootstrap: /select never succeeded")
+
+        deadline = time.monotonic() + config.duration_s
+        pool = [
+            threading.Thread(
+                target=_worker,
+                args=(port, index, deadline, config, seeds, base_context,
+                      traffic),
+            )
+            for index in range(config.workers)
+        ]
+        pool.append(
+            threading.Thread(
+                target=_ingester,
+                args=(port, deadline, config, base_context, traffic),
+            )
+        )
+        for member in pool:
+            member.start()
+        for member in pool:
+            member.join()
+        jobs = _settle_ingests(port)
+        _, health_body = _request(port, "GET", "/healthz")
+        health = json.loads(health_body)
+    finally:
+        server.shutdown()
+        server.server_close()
+    elapsed = time.monotonic() - started
+
+    audit = verify_store(ArtifactStore(store_root, create=False), deep=True)
+    total = sum(traffic.statuses.values())
+    non_503_5xx = sum(
+        count for status, count in traffic.statuses.items()
+        if status >= 500 and status != 503
+    )
+    nondeterministic = sorted(
+        key for key, bodies in traffic.bodies.items() if len(bodies) > 1
+    )
+    failures: list[str] = []
+    if non_503_5xx:
+        failures.append(f"{non_503_5xx} non-503 5xx responses")
+    if nondeterministic:
+        failures.append(
+            "nondeterministic payloads: " + ", ".join(nondeterministic[:5])
+        )
+    if audit.errors:
+        failures.append(
+            f"{len(audit.errors)} store integrity errors after the soak: "
+            + "; ".join(problem.render() for problem in audit.errors[:5])
+        )
+    if traffic.transport_errors:
+        failures.append(f"{traffic.transport_errors} transport errors")
+
+    endpoints = {
+        name: {
+            "count": len(samples),
+            "p50_ms": round(statistics.median(samples), 3),
+            "p99_ms": round(sorted(samples)[
+                min(len(samples) - 1, round(0.99 * (len(samples) - 1)))
+            ], 3),
+        }
+        for name, samples in sorted(traffic.samples.items())
+    }
+    job_states: dict[str, int] = {}
+    for job in jobs:
+        state = str(job.get("status"))
+        job_states[state] = job_states.get(state, 0) + 1
+    return {
+        "config": {
+            "duration_s": config.duration_s,
+            "workers": config.workers,
+            "seed": config.seed,
+            "plan": config.plan_text(),
+            "k_max": config.k_max,
+            "ingest_period_s": config.ingest_period_s,
+        },
+        "elapsed_s": round(elapsed, 1),
+        "requests": total,
+        "throughput_rps": round(total / max(elapsed, 1e-9), 1),
+        "statuses": {
+            str(status): count
+            for status, count in sorted(traffic.statuses.items())
+        },
+        "non_503_5xx": non_503_5xx,
+        "transport_errors": traffic.transport_errors,
+        "endpoints": endpoints,
+        "deterministic": not nondeterministic,
+        "distinct_response_keys": len(traffic.bodies),
+        "ingest": {**traffic.ingest, "jobs": job_states},
+        "faults": injector.stats(),
+        "health": {
+            "status": health.get("status"),
+            "degraded": health.get("degraded", {}),
+            "select_paths": health.get("select_paths", {}),
+            "queue": health.get("queue", {}),
+        },
+        "store_audit": audit.to_dict(),
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """The committed ``STRESS_TEST_REPORT.md`` body for one soak report."""
+    config = report["config"]
+    lines = [
+        "# Stress test report — `repro soak`",
+        "",
+        "Sustained chaos soak of the serving stack: a live `repro serve`",
+        "instance with a deterministic fault injector mounted on the",
+        "store's I/O seam, under mixed concurrent traffic",
+        "(select / spread / predict / healthz) plus periodic `/ingest`",
+        "deltas.  Replay with:",
+        "",
+        "```",
+        f"PYTHONPATH=src python benchmarks/bench_soak.py "
+        f"--duration {config['duration_s']:g} "
+        f"--workers {config['workers']} --seed {config['seed']}",
+        "```",
+        "",
+        "## Contract",
+        "",
+        "| check | requirement | observed | verdict |",
+        "|---|---|---|---|",
+        f"| shed, don't break | zero non-503 5xx | {report['non_503_5xx']} "
+        f"| {'PASS' if not report['non_503_5xx'] else 'FAIL'} |",
+        f"| determinism | identical request + context -> identical bytes "
+        f"| {report['distinct_response_keys']} keys, "
+        f"{'no' if report['deterministic'] else 'SOME'} divergence "
+        f"| {'PASS' if report['deterministic'] else 'FAIL'} |",
+        f"| integrity | `repro store verify --deep`: zero errors "
+        f"| {report['store_audit']['errors']} errors, "
+        f"{report['store_audit']['orphans']} orphans (re-derivable) "
+        f"| {'PASS' if not report['store_audit']['errors'] else 'FAIL'} |",
+        f"| transport | no dropped connections "
+        f"| {report['transport_errors']} errors "
+        f"| {'PASS' if not report['transport_errors'] else 'FAIL'} |",
+        "",
+        "## Run",
+        "",
+        f"- elapsed: **{report['elapsed_s']}s**, requests: "
+        f"**{report['requests']}** ({report['throughput_rps']} rps, "
+        f"{config['workers']} workers)",
+        f"- fault plan: `{config['plan']}`",
+        f"- faults fired: {report['faults']['fired'] or 'none'} "
+        f"(total {report['faults']['total_fired']})",
+        f"- HTTP statuses: {report['statuses']}",
+        f"- ingest: {report['ingest']}",
+        f"- final health: status `{report['health']['status']}`, "
+        f"degraded events {report['health']['degraded'] or '{}'}",
+        f"- select paths: {report['health']['select_paths']}, "
+        f"queue: {report['health']['queue']}",
+        "",
+        "## Endpoint latency",
+        "",
+        "| endpoint | requests | p50 ms | p99 ms |",
+        "|---|---|---|---|",
+    ]
+    for name, stats in report["endpoints"].items():
+        lines.append(
+            f"| /{name} | {stats['count']} | {stats['p50_ms']} "
+            f"| {stats['p99_ms']} |"
+        )
+    lines += [
+        "",
+        "## Verdict",
+        "",
+        "**PASS** — the service degraded gracefully under every injected "
+        "fault." if report["ok"] else
+        "**FAIL**:\n\n" + "\n".join(f"- {f}" for f in report["failures"]),
+        "",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Crash-consistency kill-point sweeps: die after *every* write step.
+
+The store's durability story is "record-as-commit": payload before
+manifest, artifacts before context record, prefix artifact before
+record row — so a crash at any point leaves the previous state fully
+visible or the new state fully visible, never a torn hybrid.  This
+module turns that claim into an enumerable check instead of a comment:
+
+1. run the operation once against a step-counting I/O seam to learn
+   how many physical write steps (open/write/fsync/replace/fsync_dir)
+   it performs;
+2. for every step N, restore a pristine copy of the starting store,
+   re-run the operation with an injector that dies (raises
+   :class:`~repro.faults.injector.CrashPoint`) immediately after step
+   N, then **reopen the store with clean I/O** — the reboot — and run
+   the caller's invariant check plus the built-in lineage checks;
+3. run once more to completion and check the fully-new state.
+
+:func:`lineage_invariant_problems` is the built-in postcondition every
+trial must satisfy: each readable context record is fully materialized
+(graph, artifacts through their ``artifact_sources`` aliases, every
+listed selection prefix), ``gc`` collects only garbage (the same
+records remain fully loadable afterwards), and an age-expiry ``gc``
+under :func:`~repro.stream.derive.referenced_context_keys` protection
+would never remove an entry a surviving bundle still references.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, BinaryIO, Callable
+
+from repro.faults.injector import CrashPoint
+from repro.store.io import StoreIO
+from repro.store.keys import artifact_key
+from repro.store.store import ArtifactStore, StoreError
+
+__all__ = [
+    "WRITE_SITES",
+    "CrashAtStep",
+    "SweepReport",
+    "lineage_invariant_problems",
+    "crash_consistency_sweep",
+]
+
+# The physical write path, in the order _replace_into drives it.  Reads
+# are deliberately absent: a crash cannot corrupt what it only read.
+WRITE_SITES = ("open", "write", "fsync", "replace", "fsync_dir")
+
+
+class CrashAtStep(StoreIO):
+    """Count write-path operations; die right after the ``crash_at``-th.
+
+    With ``crash_at=None`` it only counts — the sweep's measuring pass.
+    ``trace`` records ``(site, path)`` per step so a violation report
+    can say *which* write the store died after.
+    """
+
+    def __init__(self, crash_at: int | None = None) -> None:
+        self.crash_at = crash_at
+        self.steps = 0
+        self.trace: list[tuple[str, str]] = []
+        self._inner = StoreIO()
+
+    def _step(self, site: str, path: Path | str) -> None:
+        self.steps += 1
+        self.trace.append((site, str(path)))
+        if self.crash_at is not None and self.steps >= self.crash_at:
+            raise CrashPoint(site, self.steps)
+
+    def open_write(self, path: Path) -> BinaryIO:
+        handle = self._inner.open_write(path)
+        try:
+            self._step("open", path)
+        except CrashPoint:
+            handle.close()  # the "process" is gone; don't leak the fd
+            raise
+        return handle
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        self._inner.write(handle, data)
+        self._step("write", handle.name)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        self._inner.fsync(handle)
+        self._step("fsync", handle.name)
+
+    def replace(self, source: Path, target: Path) -> None:
+        self._inner.replace(source, target)
+        self._step("replace", target)
+
+    def fsync_dir(self, directory: Path) -> None:
+        self._inner.fsync_dir(directory)
+        self._step("fsync_dir", directory)
+
+    def read_bytes(self, path: Path) -> bytes:
+        return self._inner.read_bytes(path)
+
+
+@dataclass
+class SweepReport:
+    """What a sweep observed: one trial per kill point, plus the clean run."""
+
+    steps: int
+    trials: list[dict[str, Any]] = field(default_factory=list)
+    violations: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "write_steps": self.steps,
+            "trials": len(self.trials),
+            "violations": self.violations,
+            "ok": self.ok,
+        }
+
+
+def lineage_invariant_problems(store: ArtifactStore) -> list[str]:
+    """Violations of the store's crash/lineage postconditions (see module doc).
+
+    Empty list = healthy.  Runs a real (non-dry) broken-entry ``gc`` as
+    part of the check — the reboot's first maintenance pass — so a
+    caller's store is mutated exactly the way a recovering deployment's
+    would be.
+    """
+    from repro.store.warm import (
+        CONTEXT_RECORD,
+        GRAPH_ARTIFACT,
+        artifact_source_key,
+        list_context_records,
+    )
+    from repro.stream.derive import referenced_context_keys
+
+    problems: list[str] = []
+
+    def _materialized(record: dict[str, Any], phase: str) -> None:
+        ckey = record["context_key"]
+        names = [GRAPH_ARTIFACT, *record.get("artifacts", [])]
+        for name in names:
+            source = artifact_source_key(record, name)
+            try:
+                store.get(artifact_key(source, name))
+            except StoreError as error:
+                problems.append(
+                    f"{phase}: record {ckey[:12]} references {name!r} "
+                    f"which does not load: {error}"
+                )
+        for row in record.get("prefixes", []):
+            try:
+                value = store.get(artifact_key(ckey, row["name"]))
+            except StoreError as error:
+                problems.append(
+                    f"{phase}: record {ckey[:12]} lists prefix "
+                    f"{row['name']!r} which does not load: {error}"
+                )
+                continue
+            if getattr(value, "k_max", None) != row.get("k_max"):
+                problems.append(
+                    f"{phase}: prefix {row['name']!r} of {ckey[:12]} is "
+                    f"torn: artifact k_max={getattr(value, 'k_max', None)} "
+                    f"!= recorded k_max={row.get('k_max')}"
+                )
+
+    records = list_context_records(store)
+    for record in records:
+        _materialized(record, "post-crash")
+
+    # The reboot's maintenance pass: collecting broken entries must not
+    # take anything a readable record still needs.
+    store.gc()
+    for record in list_context_records(store):
+        _materialized(record, "post-gc")
+
+    # Age expiry under lineage protection must never list an entry that
+    # a surviving bundle references (directly or via artifact_sources).
+    protected = referenced_context_keys(store)
+    would_remove = store.gc(
+        older_than_s=0.0, dry_run=True, protect_contexts=protected
+    )
+    removable = {key for key in would_remove if "/" not in key}
+    for key in removable:
+        try:
+            entry = store.entry(key)
+        except StoreError:
+            continue
+        context = entry.meta.get("context")
+        if context in protected:
+            problems.append(
+                f"age-expiry gc would orphan entry {key[:12]} "
+                f"({entry.meta.get('artifact')}) still referenced by a "
+                f"live bundle under context {str(context)[:12]}"
+            )
+    # Do not also flag CONTEXT_RECORD removals: an unreferenced bundle
+    # (no derived children) is legitimately expirable as a whole.
+    del CONTEXT_RECORD
+    return problems
+
+
+def crash_consistency_sweep(
+    template: str | Path,
+    operation: Callable[[ArtifactStore], Any],
+    check: Callable[[ArtifactStore, int | None], None] | None = None,
+    *,
+    workdir: str | Path,
+    max_steps: int | None = None,
+) -> SweepReport:
+    """Kill the store after every write step of ``operation``; verify each.
+
+    ``template`` is the prepared starting store root; every trial runs
+    against a fresh copy under ``workdir``.  ``operation`` receives the
+    trial's store (it should resolve records/inputs from the store
+    itself, so each trial is self-contained).  ``check(store, crashed_at)``
+    runs on the reopened store after every kill point — and once with
+    ``crashed_at=None`` after the uninterrupted run — *in addition to*
+    the built-in :func:`lineage_invariant_problems`; raise
+    ``AssertionError`` to flag a scenario-specific violation.
+    ``max_steps`` caps the enumeration (tests on big operations).
+    """
+    template = Path(template)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+
+    def _fresh(tag: str) -> Path:
+        root = workdir / f"trial-{tag}"
+        if root.exists():
+            shutil.rmtree(root)
+        shutil.copytree(template, root)
+        return root
+
+    # Measuring pass: how many write steps does the operation perform?
+    counter = CrashAtStep(crash_at=None)
+    count_root = _fresh("count")
+    operation(ArtifactStore(count_root, io=counter))
+    total = counter.steps
+    shutil.rmtree(count_root, ignore_errors=True)
+    report = SweepReport(steps=total)
+
+    kill_points = range(1, total + 1)
+    if max_steps is not None and total > max_steps:
+        # Deterministic thinning: always cover the first/last writes,
+        # stride the middle.  (Tests pass no cap; this is an escape
+        # hatch for very large operations.)
+        stride = max(1, total // max_steps)
+        kill_points = sorted(
+            {*range(1, total + 1, stride), 1, total}
+        )
+
+    for step in list(kill_points) + [None]:
+        tag = "clean" if step is None else str(step)
+        root = _fresh(tag)
+        io = CrashAtStep(crash_at=step)
+        crashed = False
+        try:
+            operation(ArtifactStore(root, io=io))
+        except CrashPoint:
+            crashed = True
+        trial: dict[str, Any] = {
+            "crashed_at": step,
+            "site": io.trace[-1][0] if (step and io.trace) else None,
+            "path": io.trace[-1][1] if (step and io.trace) else None,
+        }
+        if step is not None and not crashed:
+            report.violations.append(
+                {**trial, "problem": "kill point never reached"}
+            )
+            report.trials.append(trial)
+            continue
+        reopened = ArtifactStore(root)  # clean I/O: the post-reboot view
+        problems = lineage_invariant_problems(reopened)
+        if check is not None:
+            try:
+                check(reopened, step)
+            except AssertionError as error:
+                problems = problems + [f"scenario check: {error}"]
+        if problems:
+            report.violations.append({**trial, "problems": problems})
+        trial["ok"] = not problems
+        report.trials.append(trial)
+        shutil.rmtree(root, ignore_errors=True)
+    return report

@@ -29,6 +29,7 @@ results **byte-identical** to the cold run that populated the store, on
 every executor and backend.
 """
 
+from repro.store.io import StoreIO, default_store_io
 from repro.store.keys import (
     FORMAT_VERSION,
     artifact_key,
@@ -46,10 +47,12 @@ from repro.store.prefix import (
     PREFIXABLE_SELECTORS,
     SelectionPrefix,
     load_prefix,
+    load_prefix_checked,
     precompute_prefix,
     prefix_artifact_name,
     refresh_prefixes,
 )
+from repro.store.verify import VerifyProblem, VerifyReport, verify_store
 from repro.store.warm import (
     STREAM_STATS_ARTIFACT,
     TRAIN_LOG_ARTIFACT,
@@ -71,6 +74,11 @@ __all__ = [
     "StoreError",
     "StoreMiss",
     "StoreCorruption",
+    "StoreIO",
+    "default_store_io",
+    "VerifyProblem",
+    "VerifyReport",
+    "verify_store",
     "required_artifacts",
     "warm_start",
     "load_context_record",
@@ -84,5 +92,6 @@ __all__ = [
     "prefix_artifact_name",
     "precompute_prefix",
     "load_prefix",
+    "load_prefix_checked",
     "refresh_prefixes",
 ]

@@ -1,0 +1,108 @@
+"""The store's physical I/O operations, as an injectable seam.
+
+Every byte :class:`~repro.store.store.ArtifactStore` moves to or from
+disk goes through one :class:`StoreIO` instance — open, write, fsync,
+``os.replace``, directory fsync, and the read side.  The default
+implementation is a thin veneer over ``os``/``pathlib``; the point of
+the indirection is that :mod:`repro.faults` can substitute a
+:class:`~repro.faults.injector.FaultInjector` that implements the same
+surface and deterministically simulates torn writes, ``ENOSPC``,
+``EIO`` and crash-at-step-N — so crash-consistency and degradation
+behavior are testable without root privileges, loop devices or actual
+power cuts.
+
+Durability note: :meth:`StoreIO.fsync_dir` flushes a *directory* entry
+after a rename, which is what makes an ``os.replace``-committed file
+survive power loss (the data fsync alone only protects the inode's
+contents, not the link to it).  On platforms that cannot open
+directories (no ``O_DIRECTORY``; e.g. Windows) it degrades to a no-op —
+the rename is still atomic with respect to crashes of *this process*,
+which is the portable part of the contract.
+
+Selecting an injector without code changes: ``default_store_io``
+consults the ``REPRO_FAULTS`` environment variable and, when set,
+builds a :class:`~repro.faults.injector.FaultInjector` from its plan
+text (see :func:`repro.faults.plan.parse_fault_plan`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, BinaryIO
+
+__all__ = ["StoreIO", "default_store_io", "REPRO_FAULTS_ENV"]
+
+REPRO_FAULTS_ENV = "REPRO_FAULTS"
+
+
+class StoreIO:
+    """Real disk I/O — the production implementation of the seam."""
+
+    def open_write(self, path: Path) -> BinaryIO:
+        """Open ``path`` for binary writing (the temp-file side)."""
+        return open(path, "wb")
+
+    def write(self, handle: BinaryIO, data: bytes) -> None:
+        """Write ``data`` to an open handle."""
+        handle.write(data)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        """Flush and fsync an open handle (file contents reach the disk)."""
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    def replace(self, source: Path, target: Path) -> None:
+        """Atomically rename ``source`` over ``target``."""
+        os.replace(source, target)
+
+    def fsync_dir(self, directory: Path) -> None:
+        """Fsync a directory so a just-renamed entry survives power loss.
+
+        No-op where directories cannot be opened for fsync (platforms
+        without ``O_DIRECTORY``) — the crash-of-this-process atomicity
+        of ``os.replace`` is unaffected, only power-loss durability.
+        """
+        flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+        try:
+            fd = os.open(directory, flags)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def read_bytes(self, path: Path) -> bytes:
+        """Read a file's full contents (payloads, manifests)."""
+        return Path(path).read_bytes()
+
+    def fire(self, site: str, **info: Any) -> None:
+        """Service-level fault hook; the real IO never fires anything.
+
+        :class:`~repro.faults.injector.FaultInjector` overrides this to
+        inject delays/errors at named sites (``serve.spread``,
+        ``serve.worker``, ``serve.ingest``, ...); production code calls
+        it unconditionally so the call sites are always exercised.
+        """
+
+
+_DEFAULT = StoreIO()
+
+
+def default_store_io() -> StoreIO:
+    """The process-wide IO: real disk, unless ``REPRO_FAULTS`` is set.
+
+    The environment hook is how the soak harness (and an operator
+    running a game-day) injects faults into an unmodified binary:
+    ``REPRO_FAULTS='seed=7;read:eio@p=0.01' repro serve ...``.
+    """
+    plan_text = os.environ.get(REPRO_FAULTS_ENV, "").strip()
+    if not plan_text:
+        return _DEFAULT
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import parse_fault_plan
+
+    return FaultInjector(parse_fault_plan(plan_text))

@@ -49,6 +49,7 @@ __all__ = [
     "compute_prefix",
     "save_prefix",
     "load_prefix",
+    "load_prefix_checked",
     "selection_at",
     "resume_selection",
     "precompute_prefix",
@@ -279,6 +280,42 @@ def save_prefix(
     return updated
 
 
+def load_prefix_checked(
+    store: ArtifactStore,
+    record: Mapping[str, Any],
+    selector: str,
+    params: Mapping[str, Any],
+) -> tuple[SelectionPrefix | None, str | None]:
+    """Like :func:`load_prefix`, but tells *absent* apart from *broken*.
+
+    Returns ``(prefix, problem)``: ``(None, None)`` when the record
+    simply lists no prefix for these bound params — the expected cold
+    case — and ``(None, "<reason>")`` when the record **does** list one
+    but the artifact would not load (corruption, concurrent gc, a
+    payload of the wrong type).  The caller still serves the cold path
+    either way; the ``problem`` string is what lets the service surface
+    a ``degraded`` health marker instead of silently absorbing store
+    damage request after request.
+    """
+    name = prefix_artifact_name(selector, params)
+    if not any(
+        row.get("name") == name for row in record.get("prefixes", [])
+    ):
+        return None, None
+    try:
+        value = store.get(artifact_key(record["context_key"], name))
+    except StoreMiss as error:
+        return None, f"prefix {name!r} listed on the record but gone: {error}"
+    except StoreError as error:
+        return None, f"prefix {name!r} unreadable: {error}"
+    if not isinstance(value, SelectionPrefix):
+        return None, (
+            f"prefix {name!r} loaded as {type(value).__name__}, "
+            "not SelectionPrefix"
+        )
+    return value, None
+
+
 def load_prefix(
     store: ArtifactStore,
     record: Mapping[str, Any],
@@ -292,16 +329,8 @@ def load_prefix(
     unreadable artifact (corruption, concurrent gc) degrades to the
     cold path rather than failing the request.
     """
-    name = prefix_artifact_name(selector, params)
-    if not any(
-        row.get("name") == name for row in record.get("prefixes", [])
-    ):
-        return None
-    try:
-        value = store.get(artifact_key(record["context_key"], name))
-    except StoreError:
-        return None
-    return value if isinstance(value, SelectionPrefix) else None
+    value, _problem = load_prefix_checked(store, record, selector, params)
+    return value
 
 
 def precompute_prefix(

@@ -66,20 +66,22 @@ query service, not an internet-facing deployment.
 from __future__ import annotations
 
 import json
+import logging
 import queue as queue_module
 import threading
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Hashable, Mapping
+from typing import Any, Callable, Hashable, Mapping
 
 from repro.api.context import SelectionContext
 from repro.api.registry import get_selector, list_selectors
 from repro.data.io import parse_id
 from repro.runtime.estimator import SpreadEstimator
+from repro.store.io import StoreIO
 from repro.store.prefix import (
     PREFIXABLE_SELECTORS,
     SelectionPrefix,
-    load_prefix,
+    load_prefix_checked,
     resume_selection,
     selection_at,
 )
@@ -89,19 +91,34 @@ from repro.store.warm import (
     load_context_record,
     load_serving_context,
 )
+from repro.utils.retry import RetryPolicy, with_retry
 from repro.utils.rng import derive_seed
 
 __all__ = ["QueryService", "ServiceError", "make_server", "serve"]
 
 PREDICT_METHODS = ("CD", "IC", "LT")
 
+logger = logging.getLogger("repro.serve")
+
 
 class ServiceError(ValueError):
-    """A client-visible request failure (mapped to HTTP 400/404)."""
+    """A client-visible request failure (mapped to HTTP 4xx/503).
 
-    def __init__(self, message: str, status: int = 400) -> None:
+    ``retry_after`` (seconds) is set on transient 503s — backpressure,
+    a dead evaluation worker, a stalled engine — and surfaces as the
+    HTTP ``Retry-After`` header so a well-behaved client backs off
+    instead of hammering a degraded service.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 400,
+        retry_after: int | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 def _parse_id(value: Any) -> Hashable:
@@ -123,17 +140,25 @@ class _ServingSlot:
         self.record = dict(record)
         self.context = context
         self._estimators: dict[str, SpreadEstimator] = {}
-        # name -> SelectionPrefix | None (None = listed but unreadable,
-        # cached so a corrupt artifact costs one store read, not one
-        # per request).  Resume-extended prefixes are cached here too —
-        # in memory only; request threads never write the store.
-        self._prefixes: dict[str, SelectionPrefix | None] = {}
+        # name -> (SelectionPrefix | None, problem | None): the checked
+        # load result, cached so a corrupt artifact costs one store
+        # read, not one per request.  Resume-extended prefixes are
+        # cached here too — in memory only; request threads never write
+        # the store.
+        self._prefixes: dict[str, tuple[SelectionPrefix | None, str | None]] = {}
         self._lock = threading.Lock()
 
     def prefix(
         self, store: ArtifactStore, selector: str, params: Mapping[str, Any]
-    ) -> SelectionPrefix | None:
-        """The persisted (or slot-cached) prefix for bound params, if any."""
+    ) -> tuple[SelectionPrefix | None, str | None]:
+        """The persisted (or slot-cached) prefix for bound params.
+
+        Returns :func:`~repro.store.prefix.load_prefix_checked`'s
+        ``(prefix, problem)`` pair; ``problem`` is non-``None`` exactly
+        when the record lists a prefix these params should have hit but
+        the artifact would not load — the caller's cue to degrade
+        loudly rather than silently.
+        """
         from repro.store.prefix import prefix_artifact_name
 
         name = prefix_artifact_name(selector, params)
@@ -141,18 +166,18 @@ class _ServingSlot:
             row.get("name") == name
             for row in self.record.get("prefixes", [])
         ):
-            return None
+            return None, None
         with self._lock:
             if name in self._prefixes:
                 return self._prefixes[name]
-        loaded = load_prefix(store, self.record, selector, params)
+        loaded = load_prefix_checked(store, self.record, selector, params)
         with self._lock:
             return self._prefixes.setdefault(name, loaded)
 
     def cache_prefix(self, prefix: SelectionPrefix) -> None:
         """Remember a resume-extended prefix (in-memory, this slot only)."""
         with self._lock:
-            self._prefixes[prefix.artifact_name()] = prefix
+            self._prefixes[prefix.artifact_name()] = (prefix, None)
 
     def estimator(self, method: str) -> SpreadEstimator:
         # ThreadingHTTPServer handles each request in its own thread;
@@ -203,13 +228,28 @@ class _Coalescer:
 
     The queue is bounded (``depth``): a submit against a full queue
     raises a 503 :class:`ServiceError` immediately — explicit
-    backpressure instead of unbounded buffering.
+    backpressure instead of unbounded buffering.  The result wait is
+    bounded too (``timeout``): a wedged engine turns into a 503 with
+    ``Retry-After``, not a silently pinned HTTP thread.
+
+    ``fire`` is the fault-injection hook (``StoreIO.fire``, a no-op in
+    production): the worker consults ``serve.worker`` before each batch
+    and ``serve.spread`` before each engine dispatch.  A worker killed
+    mid-batch fails *that batch's* items and dies; the next submit
+    restarts it (``worker_deaths`` counts the restarts for /healthz).
     """
 
-    def __init__(self, depth: int = 64) -> None:
+    def __init__(
+        self,
+        depth: int = 64,
+        timeout: float | None = 60.0,
+        fire: Callable[..., None] | None = None,
+    ) -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
         self.depth = depth
+        self.timeout = timeout
+        self._fire = fire if fire is not None else (lambda site, **info: None)
         self._queue: "queue_module.Queue[_BatchItem]" = queue_module.Queue(
             maxsize=depth
         )
@@ -220,6 +260,7 @@ class _Coalescer:
         self.submitted = 0
         self.dispatches = 0
         self.rejected = 0
+        self.worker_deaths = 0
 
     def submit(self, slot: _ServingSlot, method: str, seeds: list) -> float:
         """Enqueue one evaluation and block until its batch resolves."""
@@ -234,10 +275,20 @@ class _Coalescer:
                 f"evaluation queue is full ({self.depth} pending); "
                 "retry later",
                 status=503,
+                retry_after=1,
             ) from None
         with self._lock:
             self.submitted += 1
-        item.event.wait()
+        if not item.event.wait(self.timeout):
+            # The batch never resolved (wedged engine, dead worker that
+            # lost the item).  Shedding with Retry-After beats pinning
+            # the HTTP thread; the item stays owned by the worker, and
+            # its late result is simply dropped.
+            raise ServiceError(
+                "evaluation timed out; the service is degraded",
+                status=503,
+                retry_after=5,
+            )
         if item.error is not None:
             raise item.error
         return item.result  # type: ignore[return-value]
@@ -258,7 +309,23 @@ class _Coalescer:
                     items.append(self._queue.get_nowait())
                 except queue_module.Empty:
                     break
-            self._run_batch(items)
+            try:
+                self._fire("serve.worker")
+                self._run_batch(items)
+            except BaseException as error:
+                # The worker is dying (injected WorkerDied, or anything
+                # _run_batch's per-group handler could not absorb).
+                # Fail this batch's unresolved items so their request
+                # threads get a 503 instead of a timeout, count the
+                # death, and end the thread; the next submit restarts.
+                for item in items:
+                    if item.result is None and item.error is None:
+                        item.error = error
+                    item.event.set()
+                with self._lock:
+                    self.worker_deaths += 1
+                logger.warning("evaluation worker died: %s", error)
+                return
 
     def _run_batch(self, items: list[_BatchItem]) -> None:
         groups: "OrderedDict[tuple[int, str], list[_BatchItem]]" = OrderedDict()
@@ -267,6 +334,7 @@ class _Coalescer:
         for (_, method), group in groups.items():
             slot = group[0].slot
             try:
+                self._fire("serve.spread", method=method, items=len(group))
                 if method == "CD":
                     evaluator = slot.context.cd_evaluator()
                     for item in group:
@@ -295,6 +363,7 @@ class _Coalescer:
                 "submitted": self.submitted,
                 "dispatches": self.dispatches,
                 "rejected": self.rejected,
+                "worker_deaths": self.worker_deaths,
             }
 
 
@@ -307,28 +376,71 @@ class QueryService:
         cache_size: int = 4,
         queue_depth: int = 64,
         ingest_timeout: float | None = 600.0,
+        evaluation_timeout: float | None = 60.0,
+        io: StoreIO | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
-        self.store = ArtifactStore(store_root, create=False)
+        # io=None resolves through default_store_io(), so REPRO_FAULTS
+        # in the server's environment injects faults here too; tests
+        # pass a FaultInjector directly.
+        self.store = ArtifactStore(store_root, create=False, io=io)
         self.cache_size = cache_size
         # How long a wait=true /ingest blocks before returning the
         # still-running job (None = unbounded, the pre-timeout behavior).
         self.ingest_timeout = ingest_timeout
+        # Bounded retries for transient store reads (EIO that a re-read
+        # survives); the jitter is seeded, so chaos runs replay exactly.
+        self.retry = retry if retry is not None else RetryPolicy()
         self._slots: "OrderedDict[str, _ServingSlot]" = OrderedDict()
         # The LRU and the pinned default are shared across the
         # ThreadingHTTPServer's request threads.
         self._lock = threading.RLock()
         self._default_key: str | None = None
-        self._coalescer = _Coalescer(depth=queue_depth)
+        self._coalescer = _Coalescer(
+            depth=queue_depth,
+            timeout=evaluation_timeout,
+            fire=self.store.io.fire,
+        )
         # /select path telemetry (prefix hit / resume / cold), for
         # /healthz and the load harness — never part of /select bodies.
         self._select_paths = {"prefix": 0, "resume": 0, "cold": 0}
+        # Degradation telemetry: reason -> count of requests served in
+        # a degraded way (cold fallback on a corrupt prefix, engine
+        # failure shed as 503, ...).  Sticky until restart; /healthz
+        # reports status "degraded" while non-empty, because each entry
+        # means the store or engine needs operator attention even
+        # though requests keep succeeding.
+        self._degraded: dict[str, int] = {}
         # Ingest bookkeeping: one job at a time, history kept for
         # GET /ingest polling.
         self._ingests: "OrderedDict[int, dict[str, Any]]" = OrderedDict()
         self._ingest_seq = 0
         self._ingest_active = False
+
+    def _note_degraded(self, reason: str, detail: str = "") -> None:
+        """Count a degraded-mode event; warn once per distinct reason."""
+        with self._lock:
+            first = reason not in self._degraded
+            self._degraded[reason] = self._degraded.get(reason, 0) + 1
+        if first:
+            logger.warning(
+                "serving degraded (%s)%s", reason,
+                f": {detail}" if detail else "",
+            )
+
+    def _read_with_retry(self, label: str, fn: Callable[[], Any]) -> Any:
+        """A transient-fault-tolerant store read (see ``self.retry``)."""
+        return with_retry(
+            fn,
+            self.retry,
+            retry_on=(OSError,),
+            label=label,
+            on_retry=lambda attempt, error: self._note_degraded(
+                "store_read_retry", f"{label}: {error}"
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Context loading (LRU)
@@ -356,9 +468,21 @@ class QueryService:
         # threads racing the same cold context both load it; the second
         # insert below wins nothing but wastes only its own work.
         try:
-            record = load_context_record(self.store, context_ref)
+            record = self._read_with_retry(
+                "load_context_record",
+                lambda: load_context_record(self.store, context_ref),
+            )
         except StoreMiss as error:
             raise ServiceError(str(error), status=404) from error
+        except OSError as error:
+            # Retries exhausted on a transient-looking store read: shed
+            # with Retry-After rather than surfacing an internal error.
+            self._note_degraded("store_read_failed", str(error))
+            raise ServiceError(
+                f"the store is temporarily unreadable: {error}",
+                status=503,
+                retry_after=2,
+            ) from error
         key = record["context_key"]
         with self._lock:
             if context_ref is None:
@@ -367,11 +491,21 @@ class QueryService:
                 self._slots.move_to_end(key)
                 return self._slots[key]
         try:
-            context = load_serving_context(self.store, record)
+            context = self._read_with_retry(
+                "load_serving_context",
+                lambda: load_serving_context(self.store, record),
+            )
         except StoreError as error:
             raise ServiceError(
                 f"context {key} cannot be loaded from the store: {error}",
                 status=404,
+            ) from error
+        except OSError as error:
+            self._note_degraded("store_read_failed", str(error))
+            raise ServiceError(
+                f"the store is temporarily unreadable: {error}",
+                status=503,
+                retry_after=2,
             ) from error
         slot = _ServingSlot(record, context)
         with self._lock:
@@ -412,13 +546,24 @@ class QueryService:
     # Queries
     # ------------------------------------------------------------------
     def healthz(self) -> dict[str, Any]:
+        # Liveness must never fail: if even the store scan is erroring,
+        # the report *is* the degradation signal.
+        try:
+            contexts: int | None = len(
+                self._read_with_retry("record_keys", self._record_keys)
+            )
+        except OSError as error:
+            self._note_degraded("store_read_failed", str(error))
+            contexts = None
         with self._lock:
             loaded = list(self._slots)
             select_paths = dict(self._select_paths)
+            degraded = dict(self._degraded)
         return {
-            "status": "ok",
+            "status": "degraded" if degraded else "ok",
+            "degraded": degraded,
             "store": str(self.store.root),
-            "contexts": len(self._record_keys()),
+            "contexts": contexts,
             "loaded": loaded,
             "select_paths": select_paths,
             "queue": self._coalescer.stats(),
@@ -427,7 +572,19 @@ class QueryService:
     def contexts(self) -> dict[str, Any]:
         from repro.store.warm import list_context_records
 
-        return {"contexts": list_context_records(self.store)}
+        try:
+            records = self._read_with_retry(
+                "list_context_records",
+                lambda: list_context_records(self.store),
+            )
+        except OSError as error:
+            self._note_degraded("store_read_failed", str(error))
+            raise ServiceError(
+                f"the store is temporarily unreadable: {error}",
+                status=503,
+                retry_after=2,
+            ) from error
+        return {"contexts": records}
 
     def selectors(self) -> dict[str, Any]:
         return {
@@ -509,20 +666,35 @@ class QueryService:
         """
         name = selector.name
         if name in PREFIXABLE_SELECTORS:
-            prefix = slot.prefix(self.store, name, selector.params)
-            if prefix is not None:
-                if k <= prefix.k_max:
-                    with self._lock:
-                        self._select_paths["prefix"] += 1
-                    return selection_at(prefix, k)
-                if prefix.resumable:
-                    selection, extended = resume_selection(
-                        slot.context, prefix, k
-                    )
-                    slot.cache_prefix(extended)
-                    with self._lock:
-                        self._select_paths["resume"] += 1
-                    return selection
+            # The whole warm path is best-effort: the cold path below
+            # can always answer, byte-identically, so *no* prefix
+            # problem — a corrupt artifact, a torn checkpoint list, a
+            # resume that trips on damaged state — is allowed to turn
+            # into a 500.  It degrades, and /healthz says so.
+            try:
+                prefix, problem = slot.prefix(
+                    self.store, name, selector.params
+                )
+                if problem is not None:
+                    self._note_degraded("prefix_corrupt", problem)
+                if prefix is not None:
+                    if k <= prefix.k_max:
+                        with self._lock:
+                            self._select_paths["prefix"] += 1
+                        return selection_at(prefix, k)
+                    if prefix.resumable:
+                        selection, extended = resume_selection(
+                            slot.context, prefix, k
+                        )
+                        slot.cache_prefix(extended)
+                        with self._lock:
+                            self._select_paths["resume"] += 1
+                        return selection
+            except Exception as error:
+                self._note_degraded(
+                    "prefix_fallback",
+                    f"warm path for {name!r} k={k} failed: {error}",
+                )
         with self._lock:
             self._select_paths["cold"] += 1
         return selector.select(slot.context, k)
@@ -539,11 +711,18 @@ class QueryService:
         try:
             value = self._coalescer.submit(slot, "CD", seeds)
         except ServiceError:
-            raise  # queue backpressure (503) passes through untouched
+            raise  # queue backpressure / timeout (503) passes through
         except ValueError as error:
             raise ServiceError(
                 f"the stored artifacts lack the sigma_cd evaluator: {error}"
             ) from None
+        except (RuntimeError, OSError) as error:
+            self._note_degraded("engine_failure", str(error))
+            raise ServiceError(
+                f"evaluation engine failure: {error}",
+                status=503,
+                retry_after=1,
+            ) from error
         return {
             "context": slot.record["context_key"],
             "seeds": payload["seeds"],
@@ -564,12 +743,19 @@ class QueryService:
             if method == "CD":
                 predicted = float(predicted)
         except ServiceError:
-            raise  # queue backpressure (503) passes through untouched
+            raise  # queue backpressure / timeout (503) passes through
         except ValueError as error:
             raise ServiceError(
                 f"method {method!r} cannot be served from the stored "
                 f"artifacts: {error}"
             ) from None
+        except (RuntimeError, OSError) as error:
+            self._note_degraded("engine_failure", str(error))
+            raise ServiceError(
+                f"evaluation engine failure: {error}",
+                status=503,
+                retry_after=1,
+            ) from error
         return {
             "context": slot.record["context_key"],
             "seeds": payload["seeds"],
@@ -622,9 +808,19 @@ class QueryService:
         if not delta.tuples and not delta.closed:
             raise ServiceError("an ingest needs 'tuples' and/or 'closed'")
         try:
-            record = load_context_record(self.store, payload.get("context"))
+            record = self._read_with_retry(
+                "ingest_load_context_record",
+                lambda: load_context_record(self.store, payload.get("context")),
+            )
         except StoreMiss as error:
             raise ServiceError(str(error), status=404) from error
+        except OSError as error:
+            self._note_degraded("store_read_failed", str(error))
+            raise ServiceError(
+                f"the store is temporarily unreadable: {error}",
+                status=503,
+                retry_after=2,
+            ) from error
         # Strict booleans: bool("false") is True in python, so a JSON
         # string like "false" used to silently flip these flags on.
         wait = payload.get("wait", False)
@@ -649,12 +845,27 @@ class QueryService:
                 "report": None,
             }
             self._ingests[job["job"]] = job
-        thread = threading.Thread(
-            target=self._run_ingest,
-            args=(job, record, delta, verify),
-            daemon=True,
-        )
-        thread.start()
+        try:
+            thread = threading.Thread(
+                target=self._run_ingest,
+                args=(job, record, delta, verify),
+                daemon=True,
+            )
+            thread.start()
+        except Exception as error:
+            # A thread that never started will never run _run_ingest's
+            # finally; release the one-at-a-time flag here or every
+            # future ingest gets a permanent 409.
+            with self._lock:
+                self._ingest_active = False
+                job["status"] = "failed"
+                job["error"] = f"ingest worker failed to start: {error}"
+            self._note_degraded("ingest_start_failed", str(error))
+            raise ServiceError(
+                "the ingest worker could not be started; retry later",
+                status=503,
+                retry_after=5,
+            ) from error
         timed_out = False
         if wait:
             # A bounded join: a hung derive must not pin an HTTP thread
@@ -678,10 +889,14 @@ class QueryService:
         try:
             from repro.stream.derive import derive_bundle
 
+            self.store.io.fire("serve.ingest", job=job["job"])
             result = derive_bundle(
                 self.store, delta, record=record, verify=verify
             )
-            context = load_serving_context(self.store, result.record)
+            context = self._read_with_retry(
+                "ingest_load_serving_context",
+                lambda: load_serving_context(self.store, result.record),
+            )
             slot = _ServingSlot(result.record, context)
             with self._lock:
                 key = result.derived_key
@@ -698,11 +913,22 @@ class QueryService:
                     result.record.get("lineage_depth", 0)
                 )
                 job["report"] = result.report.to_dict()
-        except Exception as error:
+        except BaseException as error:
+            # BaseException, not Exception: a worker killed by
+            # SystemExit (or an injected WorkerDied wrapped in one)
+            # must still leave the job marked failed — a job stuck
+            # "running" forever with the flag released would report a
+            # phantom in-flight ingest to every GET /ingest poll.
             with self._lock:
                 job["status"] = "failed"
-                job["error"] = str(error)
+                job["error"] = str(error) or type(error).__name__
+            self._note_degraded("ingest_failed", job["error"])
+            if not isinstance(error, Exception):
+                raise  # SystemExit/KeyboardInterrupt keep their semantics
         finally:
+            # Unconditional: however the derive ended — clean commit,
+            # bad delta, worker death — the one-at-a-time flag drops so
+            # the next POST /ingest is a 202, never a permanent 409.
             with self._lock:
                 self._ingest_active = False
 
@@ -721,12 +947,19 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
-    def _respond(self, status: int, body: dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        body: dict[str, Any],
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
         try:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(data)
         except (BrokenPipeError, ConnectionResetError):
@@ -739,7 +972,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._respond(200, fn(*args))
         except ServiceError as error:
-            self._respond(error.status, {"error": str(error)})
+            headers = (
+                {"Retry-After": str(int(error.retry_after))}
+                if error.retry_after is not None
+                else None
+            )
+            self._respond(error.status, {"error": str(error)}, headers)
         except Exception as error:  # pragma: no cover - defensive
             self._respond(500, {"error": f"internal error: {error}"})
 
@@ -785,6 +1023,9 @@ def make_server(
     cache_size: int = 4,
     queue_depth: int = 64,
     ingest_timeout: float | None = 600.0,
+    evaluation_timeout: float | None = 60.0,
+    io: StoreIO | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run HTTP server over ``store_root`` (not yet serving).
 
@@ -796,6 +1037,9 @@ def make_server(
         cache_size=cache_size,
         queue_depth=queue_depth,
         ingest_timeout=ingest_timeout,
+        evaluation_timeout=evaluation_timeout,
+        io=io,
+        retry=retry,
     )
     handler = type("BoundHandler", (_Handler,), {"service": service})
     return ThreadingHTTPServer((host, port), handler)

@@ -5,6 +5,11 @@ Layout (all under one root directory)::
     <root>/objects/<key[:2]>/<key>/manifest.json   # commit marker
     <root>/objects/<key[:2]>/<key>/payload.bin     # pickled artifact
 
+(A ``refresh`` that replaces a live entry commits its new bytes under a
+checksum-named ``payload-<sum>.bin`` generation file instead — the
+manifest records which file is current — so the old manifest+payload
+pair stays readable until the new manifest renames over it.)
+
 A manifest names the store format version, the payload's byte count and
 checksum, a creation timestamp and a JSON ``meta`` mapping (dataset
 name, artifact slot, learn parameters — whatever the writer wants
@@ -31,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Collection, Iterator
 
+from repro.store.io import StoreIO, default_store_io
 from repro.store.keys import FORMAT_VERSION
 from repro.store.serialize import (
     PayloadError,
@@ -76,6 +82,12 @@ class StoreEntry:
     checksum: str
     created_at: float
     meta: dict[str, Any] = field(default_factory=dict)
+    # Which file in the entry directory holds the payload.  Fresh
+    # entries use ``payload.bin``; a ``refresh`` over a live entry
+    # commits its new bytes under a checksum-named generation file so
+    # the old manifest+payload pair stays readable until the new
+    # manifest renames into place (crash-atomic replacement).
+    payload_name: str = _PAYLOAD
 
     def describe(self) -> str:
         """A one-line human summary (the ``repro store ls`` row source)."""
@@ -91,8 +103,17 @@ class ArtifactStore:
     # younger ones may be a concurrent writer's in-flight payload.
     _TMP_GRACE_S = 3600.0
 
-    def __init__(self, root: str | os.PathLike[str], create: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        create: bool = True,
+        io: StoreIO | None = None,
+    ) -> None:
         self.root = Path(root)
+        # All physical I/O routes through this seam; ``repro.faults``
+        # substitutes a deterministic fault injector here (directly, or
+        # process-wide via the REPRO_FAULTS environment variable).
+        self.io = io if io is not None else default_store_io()
         self._objects = self.root / "objects"
         if create:
             self._objects.mkdir(parents=True, exist_ok=True)
@@ -132,17 +153,42 @@ class ArtifactStore:
         if not refresh and self.contains(key):
             return self.entry(key)
         payload = dump_payload(obj)
+        directory = self._entry_dir(key)
+        directory.mkdir(parents=True, exist_ok=True)
+        # A refresh over a live entry must be crash-atomic: replacing
+        # payload.bin in place would leave the *old* manifest pointing
+        # at the *new* bytes if we die before the manifest commits — a
+        # torn entry where both versions are lost.  Instead the new
+        # payload lands under a checksum-named generation file and the
+        # manifest (the commit marker) says which file is current; the
+        # superseded file is unlinked only after the commit.
+        previous: StoreEntry | None = None
+        if refresh and (directory / _MANIFEST).exists():
+            try:
+                previous = self._read_manifest(directory / _MANIFEST)
+                if previous.format_version != FORMAT_VERSION:
+                    previous = None
+            except StoreCorruption:
+                previous = None
+        digest = checksum(payload)
+        payload_name = _PAYLOAD
+        if previous is not None and previous.checksum != digest:
+            payload_name = f"payload-{digest[:12]}.bin"
+        elif previous is not None:
+            # Same bytes: rewriting the existing file is tear-free (the
+            # replacement content matches what the old manifest claims)
+            # and repairs any external damage to it.
+            payload_name = previous.payload_name
         entry = StoreEntry(
             key=key,
             format_version=FORMAT_VERSION,
             payload_bytes=len(payload),
-            checksum=checksum(payload),
+            checksum=digest,
             created_at=time.time(),
             meta=dict(meta or {}),
+            payload_name=payload_name,
         )
-        directory = self._entry_dir(key)
-        directory.mkdir(parents=True, exist_ok=True)
-        self._replace_into(directory / _PAYLOAD, payload)
+        self._replace_into(directory / entry.payload_name, payload)
         manifest = {
             "format_version": entry.format_version,
             "key": entry.key,
@@ -151,22 +197,43 @@ class ArtifactStore:
             "created_at": entry.created_at,
             "meta": entry.meta,
         }
+        if entry.payload_name != _PAYLOAD:
+            manifest["payload"] = entry.payload_name
         self._replace_into(
             directory / _MANIFEST,
             (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode(
                 "utf-8"
             ),
         )
+        if previous is not None and previous.payload_name != entry.payload_name:
+            # Post-commit garbage: the superseded payload generation.
+            # A crash before this unlink leaves a stale file that gc
+            # collects after the grace window.
+            try:
+                (directory / previous.payload_name).unlink()
+            except OSError:
+                pass
         return entry
 
     def _replace_into(self, target: Path, data: bytes) -> None:
-        """Atomically materialize ``data`` at ``target``."""
+        """Atomically materialize ``data`` at ``target`` (durably).
+
+        temp write → fsync → ``os.replace`` → parent-directory fsync.
+        The directory fsync is what makes the rename itself survive
+        power loss: without it a committed manifest can vanish with the
+        unflushed directory block, resurrecting the pre-write state (or
+        a payload/manifest tear) after reboot.
+        """
+        io = self.io
         temporary = target.parent / f".tmp-{uuid.uuid4().hex}"
-        with open(temporary, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, target)
+        handle = io.open_write(temporary)
+        try:
+            io.write(handle, data)
+            io.fsync(handle)
+        finally:
+            handle.close()
+        io.replace(temporary, target)
+        io.fsync_dir(target.parent)
 
     # ------------------------------------------------------------------
     # Reading
@@ -197,8 +264,22 @@ class ArtifactStore:
         return entry
 
     def _read_manifest(self, path: Path) -> StoreEntry:
+        # A vanished file is evidence about the *entry* (torn or
+        # concurrently deleted) and maps to StoreCorruption; any other
+        # OSError (EIO, a flaky mount) is evidence about the *device*
+        # and propagates raw — it may succeed on retry, and classifying
+        # it as corruption would let gc delete a healthy entry.
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            data = self.io.read_bytes(path)
+        except FileNotFoundError as error:
+            raise StoreCorruption(
+                f"unreadable manifest {path}: {error}"
+            ) from error
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            name = str(payload.get("payload", _PAYLOAD))
+            if "/" in name or "\\" in name or not name.startswith("payload"):
+                raise ValueError(f"suspicious payload file name {name!r}")
             return StoreEntry(
                 key=str(payload["key"]),
                 format_version=int(payload["format_version"]),
@@ -206,20 +287,23 @@ class ArtifactStore:
                 checksum=str(payload["checksum"]),
                 created_at=float(payload["created_at"]),
                 meta=dict(payload.get("meta", {})),
+                payload_name=name,
             )
-        except (OSError, ValueError, TypeError, KeyError) as error:
+        except (ValueError, TypeError, KeyError) as error:
             raise StoreCorruption(f"unreadable manifest {path}: {error}") from error
 
     def _verified_payload(self, key: str) -> bytes:
         """The raw payload bytes of ``key``, checksum-verified."""
         entry = self.entry(key)
-        payload_path = self._entry_dir(key) / _PAYLOAD
+        payload_path = self._entry_dir(key) / entry.payload_name
         try:
-            payload = payload_path.read_bytes()
-        except OSError as error:
+            payload = self.io.read_bytes(payload_path)
+        except FileNotFoundError as error:
             raise StoreCorruption(
                 f"entry {key} has a manifest but no readable payload: {error}"
             ) from error
+        # Other OSErrors propagate raw — transient device errors are
+        # retryable, not proof of a torn write (see _read_manifest).
         if len(payload) != entry.payload_bytes or checksum(payload) != entry.checksum:
             raise StoreCorruption(
                 f"entry {key} payload does not match its manifest "
@@ -347,6 +431,25 @@ class ArtifactStore:
                 if not dry_run:
                     self.delete(key)
                 continue
+            for stray in directory.glob("payload*"):
+                # Superseded payload generations: a crashed refresh can
+                # leave the old (or an uncommitted new) payload file
+                # behind.  Same grace window as temp files — a younger
+                # one may belong to a refresh that is about to commit.
+                if stray.name == entry.payload_name:
+                    continue
+                try:
+                    age = now - stray.stat().st_mtime
+                except OSError:
+                    continue
+                if age < self._TMP_GRACE_S:
+                    continue
+                removed.append(str(stray.relative_to(self.root)))
+                if not dry_run:
+                    try:
+                        stray.unlink()
+                    except OSError:
+                        pass
             if older_than_s is not None and now - entry.created_at > older_than_s:
                 if entry.meta.get("context") in protected:
                     continue

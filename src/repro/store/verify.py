@@ -1,0 +1,234 @@
+"""Whole-store integrity audit: ``repro store verify [--deep]``.
+
+Walks every entry directory of an :class:`~repro.store.store.ArtifactStore`
+and classifies what it finds:
+
+* **errors** — states that should be impossible under the store's
+  commit discipline and mean bytes were lost or mutated: an unreadable
+  manifest, a manifest whose payload is missing or fails its checksum
+  (a torn write), a payload that does not unpickle (``--deep``), and a
+  context record that references an artifact, alias source or selection
+  prefix that does not load (a dangling reference);
+* **orphans** — healthy, committed entries that no context record
+  claims: the residue of a crash between artifact writes and the
+  record commit (re-derivable by design, reclaimable by ``gc``), or of
+  a dropped prefix row.  Reported — and non-zero-exiting in the CLI —
+  because an operator should know the store carries unreachable bytes;
+* **notes** — benign observations: other-format entries (invisible
+  misses), leftover temp files inside the gc grace window.
+
+The soak harness runs this after every chaos run: injected faults may
+legitimately orphan entries (a failed mid-derive), but any *error* is
+a reliability bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.store.keys import FORMAT_VERSION, artifact_key
+from repro.store.serialize import checksum, load_payload
+from repro.store.store import ArtifactStore, StoreError
+
+__all__ = ["VerifyProblem", "VerifyReport", "verify_store"]
+
+
+@dataclass(frozen=True)
+class VerifyProblem:
+    """One finding: its severity class, the entry, and what is wrong."""
+
+    severity: str  # "error" | "orphan" | "note"
+    kind: str
+    key: str
+    detail: str
+
+    def render(self) -> str:
+        return f"[{self.severity}] {self.kind}: {self.key[:16]} — {self.detail}"
+
+
+@dataclass
+class VerifyReport:
+    """Everything a verify pass observed."""
+
+    entries: int = 0
+    records: int = 0
+    payload_bytes: int = 0
+    deep: bool = False
+    problems: list[VerifyProblem] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[VerifyProblem]:
+        return [p for p in self.problems if p.severity == "error"]
+
+    @property
+    def orphans(self) -> list[VerifyProblem]:
+        return [p for p in self.problems if p.severity == "orphan"]
+
+    @property
+    def notes(self) -> list[VerifyProblem]:
+        return [p for p in self.problems if p.severity == "note"]
+
+    @property
+    def clean(self) -> bool:
+        """No errors and no orphans (notes are always tolerated)."""
+        return not self.errors and not self.orphans
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "entries": self.entries,
+            "records": self.records,
+            "payload_bytes": self.payload_bytes,
+            "deep": self.deep,
+            "errors": len(self.errors),
+            "orphans": len(self.orphans),
+            "notes": len(self.notes),
+            "clean": self.clean,
+        }
+
+
+def verify_store(store: ArtifactStore, deep: bool = False) -> VerifyReport:
+    """Audit every entry and record reference; see the module docstring.
+
+    ``deep`` additionally unpickles every current-format payload —
+    catching a payload that checksums correctly but does not decode
+    (version skew, truncated pickle stream with a stale manifest).
+    """
+    report = VerifyReport(deep=deep)
+    found = report.problems
+    committed: dict[str, dict[str, str]] = {}
+
+    for directory in store._entry_dirs():
+        key = directory.name
+        if not store._valid_key(key):
+            found.append(VerifyProblem(
+                "note", "foreign-entry", str(directory.name),
+                "directory is not a store key (gc will remove it)",
+            ))
+            continue
+        temp_files = list(directory.glob(".tmp-*"))
+        if temp_files:
+            found.append(VerifyProblem(
+                "note", "temp-files", key,
+                f"{len(temp_files)} in-flight/leftover temp file(s)",
+            ))
+        manifest_path = directory / "manifest.json"
+        if not manifest_path.exists():
+            if any(directory.glob("payload*")):
+                found.append(VerifyProblem(
+                    "note", "uncommitted", key,
+                    "payload without a manifest (crashed writer; invisible)",
+                ))
+            continue
+        try:
+            entry = store._read_manifest(manifest_path)
+        except StoreError as error:
+            found.append(VerifyProblem(
+                "error", "corrupt-manifest", key, str(error)
+            ))
+            continue
+        report.entries += 1
+        payload_path = directory / entry.payload_name
+        stale = [
+            stray for stray in directory.glob("payload*")
+            if stray.name != entry.payload_name
+        ]
+        if stale:
+            found.append(VerifyProblem(
+                "note", "stale-payload", key,
+                f"{len(stale)} superseded payload generation(s) "
+                "(crashed refresh; gc reclaims them)",
+            ))
+        if entry.format_version != FORMAT_VERSION:
+            found.append(VerifyProblem(
+                "note", "stale-format", key,
+                f"format_version {entry.format_version} (reader wants "
+                f"{FORMAT_VERSION}); treated as a miss",
+            ))
+            continue
+        try:
+            payload = store.io.read_bytes(payload_path)
+        except OSError as error:
+            found.append(VerifyProblem(
+                "error", "missing-payload", key,
+                f"manifest committed but payload unreadable: {error}",
+            ))
+            continue
+        if (
+            len(payload) != entry.payload_bytes
+            or checksum(payload) != entry.checksum
+        ):
+            found.append(VerifyProblem(
+                "error", "torn-payload", key,
+                f"payload is {len(payload)}B, manifest says "
+                f"{entry.payload_bytes}B / checksum mismatch",
+            ))
+            continue
+        report.payload_bytes += len(payload)
+        if deep:
+            try:
+                load_payload(payload)
+            except ValueError as error:
+                found.append(VerifyProblem(
+                    "error", "undecodable-payload", key, str(error)
+                ))
+                continue
+        committed[key] = {
+            "context": str(entry.meta.get("context", "")),
+            "artifact": str(entry.meta.get("artifact", "")),
+        }
+
+    # Cross-checks: every readable record's references must resolve to
+    # healthy entries, and every healthy entry should be reachable from
+    # some record.
+    from repro.store.warm import (
+        CONTEXT_RECORD,
+        GRAPH_ARTIFACT,
+        STREAM_STATS_ARTIFACT,
+        TRAIN_LOG_ARTIFACT,
+        artifact_source_key,
+        list_context_records,
+    )
+
+    referenced: set[str] = set()
+    records = list_context_records(store)
+    report.records = len(records)
+    for record in records:
+        ckey = record["context_key"]
+        referenced.add(artifact_key(ckey, CONTEXT_RECORD))
+        names = [GRAPH_ARTIFACT, *record.get("artifacts", [])]
+        for name in names:
+            source = artifact_source_key(record, name)
+            akey = artifact_key(source, name)
+            referenced.add(akey)
+            if akey not in committed:
+                found.append(VerifyProblem(
+                    "error", "dangling-reference", akey,
+                    f"record {ckey[:12]} references artifact {name!r} "
+                    f"(context {source[:12]}) with no healthy entry",
+                ))
+        # Bundle-support artifacts (the incremental-maintenance inputs)
+        # ride alongside the record without being listed in its
+        # ``artifacts``; they are reachable, but optional — absence is
+        # not a dangling reference.
+        for name in (TRAIN_LOG_ARTIFACT, STREAM_STATS_ARTIFACT):
+            source = artifact_source_key(record, name)
+            referenced.add(artifact_key(source, name))
+        for row in record.get("prefixes", []):
+            akey = artifact_key(ckey, row.get("name", ""))
+            referenced.add(akey)
+            if akey not in committed:
+                found.append(VerifyProblem(
+                    "error", "dangling-prefix", akey,
+                    f"record {ckey[:12]} lists prefix {row.get('name')!r} "
+                    "with no healthy entry",
+                ))
+
+    for key, meta in sorted(committed.items()):
+        if key not in referenced:
+            found.append(VerifyProblem(
+                "orphan", "orphaned-entry", key,
+                f"healthy entry ({meta['artifact'] or '?'} of context "
+                f"{meta['context'][:12] or '?'}) that no record references",
+            ))
+    return report

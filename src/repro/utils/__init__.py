@@ -8,6 +8,7 @@ internal module layout.
 
 from repro.utils.ordering import node_sort_key, ranked_nodes
 from repro.utils.pqueue import LazyQueue, QueueEntry
+from repro.utils.retry import RetryBudgetExceeded, RetryPolicy, with_retry
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.timing import Timer
 from repro.utils.validation import (
@@ -23,7 +24,10 @@ __all__ = [
     "make_rng",
     "node_sort_key",
     "ranked_nodes",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
     "spawn_rngs",
+    "with_retry",
     "Timer",
     "require",
     "require_non_negative",

@@ -1,0 +1,102 @@
+"""Bounded retries with deterministic backoff and jitter.
+
+The serving stack retries *transient* failures — an ``EIO`` that a
+re-read survives, a store read racing a concurrent writer — a bounded
+number of times before degrading.  Jitter is derived from
+:func:`repro.utils.rng.derive_seed`, not wall-clock entropy, so two
+replicas replaying the same request schedule back off identically and
+a chaos run (:mod:`repro.faults`) is replayable end to end.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.utils.rng import derive_seed
+
+__all__ = ["RetryPolicy", "RetryBudgetExceeded", "with_retry"]
+
+T = TypeVar("T")
+
+
+class RetryBudgetExceeded(Exception):
+    """Every attempt failed; carries the last underlying error."""
+
+    def __init__(self, attempts: int, last_error: BaseException) -> None:
+        super().__init__(
+            f"operation failed after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''}: {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to try, and how long to wait in between.
+
+    ``delay(attempt)`` is exponential (``base * 2**attempt``) capped at
+    ``max_delay_s``, with a deterministic jitter fraction drawn from
+    ``derive_seed(seed, label, attempt)`` — bounded, reproducible, and
+    decorrelated across labels so a thundering herd of retries still
+    spreads out.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.02
+    max_delay_s: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delay(self, attempt: int, label: object = "") -> float:
+        """Seconds to sleep after failed attempt ``attempt`` (0-based)."""
+        raw = min(self.base_delay_s * (2 ** attempt), self.max_delay_s)
+        if not raw or not self.jitter:
+            return raw
+        # A deterministic draw in [1 - jitter, 1]: full-jitter shape,
+        # but replayable (see module docstring).
+        unit = (
+            derive_seed(self.seed, label, attempt) % 1_000_000
+        ) / 1_000_000.0
+        return raw * (1.0 - self.jitter * unit)
+
+
+def with_retry(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    label: object = "",
+    sleep: Callable[[float], Any] = time.sleep,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the policy's attempts run out.
+
+    Only exceptions in ``retry_on`` are retried; anything else
+    propagates immediately (a validation error does not become three
+    validation errors and a delay).  When the budget is exhausted the
+    *original* exception type propagates (re-raised), so callers'
+    existing handlers keep working; the attempt count is available by
+    catching the error and inspecting ``on_retry`` notifications.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.attempts):
+        try:
+            return fn()
+        except retry_on as error:
+            last = error
+            if on_retry is not None:
+                on_retry(attempt, error)
+            if attempt + 1 < policy.attempts:
+                sleep(policy.delay(attempt, label))
+    assert last is not None
+    raise last

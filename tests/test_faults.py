@@ -1,0 +1,315 @@
+"""repro.faults: deterministic fault plans and the injecting StoreIO.
+
+The contract under test: a fault plan is *replayable* — the same plan
+text against the same operation sequence fires the same faults at the
+same steps — and the injector's faults are *honest* — a torn write
+really leaves half the bytes, a crash really is uncatchable by
+``except Exception``, and a store driven through the injector is left
+in a state its own reader contract describes (miss, never corruption).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+import pytest
+
+from repro.faults.injector import CrashPoint, FaultInjector, WorkerDied
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    parse_fault_plan,
+)
+from repro.faults.sweep import CrashAtStep
+from repro.store.io import (
+    REPRO_FAULTS_ENV,
+    StoreIO,
+    default_store_io,
+)
+from repro.store.keys import artifact_key
+from repro.store.store import ArtifactStore, StoreMiss
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("read", "emfile", probability=0.1)
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match="probability must be in"):
+            FaultSpec("read", "eio", probability=1.5)
+
+    def test_at_step_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("read", "eio", at_step=0)
+
+    def test_some_trigger_is_required(self):
+        with pytest.raises(ValueError, match="no trigger"):
+            FaultSpec("read", "eio")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError, match="delay must be"):
+            FaultSpec("read", "delay", at_step=1, delay_s=-0.1)
+
+    def test_every_documented_kind_constructs(self):
+        for kind in FAULT_KINDS:
+            FaultSpec("write", kind, at_step=1)
+
+
+class TestPlanText:
+    def test_parse_a_full_plan(self):
+        plan = parse_fault_plan(
+            "seed=7;read:eio@p=0.02;replace:crash@n=3;"
+            "serve.spread:delay@delay=0.05@p=0.25@max=4"
+        )
+        assert plan.seed == 7
+        assert len(plan.specs) == 3
+        eio, crash, delay = plan.specs
+        assert (eio.site, eio.kind, eio.probability) == ("read", "eio", 0.02)
+        assert (crash.site, crash.at_step) == ("replace", 3)
+        assert delay.delay_s == 0.05 and delay.max_fires == 4
+
+    def test_seed_defaults_to_zero_and_blank_clauses_are_skipped(self):
+        plan = parse_fault_plan(";;read:eio@p=0.5; ;")
+        assert plan.seed == 0
+        assert len(plan.specs) == 1
+
+    def test_describe_round_trips(self):
+        text = "seed=11;read:eio@p=0.02;replace:crash@n=3;write:torn@p=0.5@max=2"
+        plan = parse_fault_plan(text)
+        assert plan.describe() == text
+        assert parse_fault_plan(plan.describe()).describe() == text
+
+    def test_describe_prefers_step_over_probability(self):
+        # at_step wins as the trigger, and describe() reflects that.
+        spec = FaultSpec("read", "eio", probability=0.5, at_step=2)
+        assert "@n=2" in FaultPlan(specs=[spec]).describe()
+        assert "@p=" not in FaultPlan(specs=[spec]).describe()
+
+    def test_parse_errors_name_the_offending_text(self):
+        with pytest.raises(ValueError, match="bad fault clause"):
+            parse_fault_plan("just-a-word@p=1")
+        with pytest.raises(ValueError, match="bad fault modifier"):
+            parse_fault_plan("read:eio@p")
+        with pytest.raises(ValueError, match="unknown fault modifier"):
+            parse_fault_plan("read:eio@prob=0.5")
+        with pytest.raises(ValueError, match="bad fault modifier"):
+            parse_fault_plan("read:eio@p=lots")
+        with pytest.raises(ValueError, match="bad fault-plan seed"):
+            parse_fault_plan("seed=eleven;read:eio@p=0.5")
+
+
+def _drive_reads(injector: FaultInjector, path, operations: int):
+    """Run ``operations`` reads, collecting (step, error-or-None)."""
+    outcomes = []
+    for _ in range(operations):
+        try:
+            injector.read_bytes(path)
+            outcomes.append(None)
+        except OSError as error:
+            outcomes.append(error.errno)
+    return outcomes
+
+
+class TestInjectorDeterminism:
+    def test_same_plan_fires_identically(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        text = "seed=5;read:eio@p=0.3"
+        one = FaultInjector(parse_fault_plan(text))
+        two = FaultInjector(parse_fault_plan(text))
+        assert _drive_reads(one, path, 100) == _drive_reads(two, path, 100)
+        assert one.fired == two.fired
+        assert one.fired  # p=0.3 over 100 ops: silence would be a bug
+
+    def test_unrelated_spec_does_not_reshuffle_decisions(self, tmp_path):
+        # Spec RNG streams are keyed by spec identity, not list index:
+        # adding a write rule must not change which reads fail.
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        alone = FaultInjector(parse_fault_plan("seed=5;read:eio@p=0.3"))
+        paired = FaultInjector(
+            parse_fault_plan("seed=5;write:enospc@p=0.9;read:eio@p=0.3")
+        )
+        assert _drive_reads(alone, path, 100) == _drive_reads(
+            paired, path, 100
+        )
+
+    def test_at_step_fires_exactly_once(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        injector = FaultInjector(parse_fault_plan("read:eio@n=2"))
+        outcomes = _drive_reads(injector, path, 6)
+        assert outcomes == [None, errno.EIO, None, None, None, None]
+
+    def test_max_fires_bounds_a_probabilistic_rule(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        injector = FaultInjector(parse_fault_plan("read:eio@p=1@max=3"))
+        outcomes = _drive_reads(injector, path, 10)
+        assert outcomes.count(errno.EIO) == 3
+        assert outcomes[:3] == [errno.EIO] * 3
+
+    def test_stats_reports_plan_fires_and_operations(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        injector = FaultInjector(parse_fault_plan("seed=2;read:eio@n=1"))
+        _drive_reads(injector, path, 3)
+        stats = injector.stats()
+        assert stats["plan"] == "seed=2;read:eio@n=1"
+        assert stats["fired"] == {"read:eio": 1}
+        assert stats["total_fired"] == 1
+        assert stats["operations"] == {"read": 3}
+
+
+class TestFaultKinds:
+    def test_eio_and_enospc_carry_their_errno(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"x")
+        for kind, code in (("eio", errno.EIO), ("enospc", errno.ENOSPC)):
+            injector = FaultInjector(parse_fault_plan(f"read:{kind}@n=1"))
+            with pytest.raises(OSError) as info:
+                injector.read_bytes(path)
+            assert info.value.errno == code
+
+    def test_torn_write_leaves_half_the_bytes_then_errors(self, tmp_path):
+        injector = FaultInjector(parse_fault_plan("write:torn@n=1"))
+        path = tmp_path / "partial"
+        handle = injector.open_write(path)
+        try:
+            with pytest.raises(OSError) as info:
+                injector.write(handle, b"x" * 100)
+        finally:
+            handle.close()
+        assert info.value.errno == errno.EIO
+        assert path.stat().st_size == 50  # the torn half actually landed
+
+    def test_delay_sleeps_but_succeeds(self, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"payload")
+        injector = FaultInjector(
+            parse_fault_plan("read:delay@n=1@delay=0.001")
+        )
+        assert injector.read_bytes(path) == b"payload"
+        assert injector.fired == [("read", "delay", 1)]
+
+    def test_crash_is_not_an_ordinary_exception(self, tmp_path):
+        # Process death must defeat ``except Exception`` handlers the
+        # way a power cut would; only BaseException-aware code (the
+        # sweep harness) may observe it.
+        injector = FaultInjector(parse_fault_plan("read:crash@n=1"))
+        path = tmp_path / "f"
+        path.write_bytes(b"x")
+        with pytest.raises(CrashPoint) as info:
+            injector.read_bytes(path)
+        assert not isinstance(info.value, Exception)
+        assert (info.value.site, info.value.step) == ("read", 1)
+
+    def test_worker_death_is_a_survivable_runtime_error(self):
+        injector = FaultInjector(parse_fault_plan("serve.worker:die@n=1"))
+        with pytest.raises(WorkerDied):
+            injector.fire("serve.worker")
+        assert issubclass(WorkerDied, RuntimeError)
+
+    def test_generic_error_kind_raises_runtime_error(self):
+        injector = FaultInjector(parse_fault_plan("serve.spread:error@n=1"))
+        with pytest.raises(RuntimeError, match="injected failure"):
+            injector.fire("serve.spread", items=3)
+
+
+class TestStoreUnderFaults:
+    def test_crash_before_any_replace_leaves_a_clean_miss(self, tmp_path):
+        key = artifact_key("ctx", "thing")
+        injector = FaultInjector(parse_fault_plan("replace:crash@n=1"))
+        store = ArtifactStore(tmp_path, io=injector)
+        with pytest.raises(CrashPoint):
+            store.put(key, {"value": 1})
+        # The reboot: clean I/O sees no committed entry, and a re-run
+        # completes the write from scratch.
+        reopened = ArtifactStore(tmp_path)
+        with pytest.raises(StoreMiss):
+            reopened.get(key)
+        reopened.put(key, {"value": 1})
+        assert reopened.get(key) == {"value": 1}
+
+    def test_enospc_mid_write_aborts_without_corruption(self, tmp_path):
+        key = artifact_key("ctx", "thing")
+        injector = FaultInjector(parse_fault_plan("write:enospc@n=1"))
+        store = ArtifactStore(tmp_path, io=injector)
+        with pytest.raises(OSError) as info:
+            store.put(key, {"value": 2})
+        assert info.value.errno == errno.ENOSPC
+        reopened = ArtifactStore(tmp_path)
+        with pytest.raises(StoreMiss):
+            reopened.get(key)
+        reopened.put(key, {"value": 2})
+        assert reopened.get(key) == {"value": 2}
+
+
+class TestEnvironmentSeam:
+    def test_unset_env_yields_the_shared_real_io(self, monkeypatch):
+        monkeypatch.delenv(REPRO_FAULTS_ENV, raising=False)
+        io = default_store_io()
+        assert type(io) is StoreIO
+        assert default_store_io() is io  # one shared instance
+
+    def test_blank_env_is_treated_as_unset(self, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "   ")
+        assert type(default_store_io()) is StoreIO
+
+    def test_env_plan_builds_an_injector(self, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "seed=3;read:eio@p=0.5")
+        io = default_store_io()
+        assert isinstance(io, FaultInjector)
+        assert io.plan.seed == 3
+        assert io.plan.describe() == "seed=3;read:eio@p=0.5"
+
+    def test_env_plan_errors_surface_at_construction(self, monkeypatch):
+        monkeypatch.setenv(REPRO_FAULTS_ENV, "read:eio@p=lots")
+        with pytest.raises(ValueError, match="bad fault modifier"):
+            default_store_io()
+
+
+class TestWritePathOrdering:
+    """Satellite: the durability order of every physical write.
+
+    temp open → write → fsync → os.replace → parent-directory fsync,
+    for the payload first and the manifest second.  The directory fsync
+    after each rename is what makes the commit survive power loss.
+    """
+
+    def test_put_drives_the_full_durable_sequence(self, tmp_path):
+        counter = CrashAtStep(crash_at=None)
+        store = ArtifactStore(tmp_path, io=counter)
+        store.put(artifact_key("ctx", "thing"), {"value": 3})
+        sites = [site for site, _ in counter.trace]
+        per_file = ["open", "write", "fsync", "replace", "fsync_dir"]
+        assert sites == per_file * 2  # payload commit, then manifest
+
+    def test_payload_commits_before_manifest(self, tmp_path):
+        counter = CrashAtStep(crash_at=None)
+        store = ArtifactStore(tmp_path, io=counter)
+        store.put(artifact_key("ctx", "thing"), {"value": 3})
+        replaced = [
+            os.path.basename(path)
+            for site, path in counter.trace
+            if site == "replace"
+        ]
+        assert replaced == ["payload.bin", "manifest.json"]
+
+    def test_every_rename_is_followed_by_its_directory_fsync(self, tmp_path):
+        counter = CrashAtStep(crash_at=None)
+        store = ArtifactStore(tmp_path, io=counter)
+        store.put(artifact_key("ctx", "thing"), {"value": 3})
+        trace = counter.trace
+        for index, (site, path) in enumerate(trace):
+            if site != "replace":
+                continue
+            next_site, next_path = trace[index + 1]
+            assert next_site == "fsync_dir"
+            assert next_path == os.path.dirname(path)
+
+    def test_fsync_dir_tolerates_a_missing_directory(self, tmp_path):
+        StoreIO().fsync_dir(tmp_path / "never-created")  # must not raise

@@ -1,0 +1,177 @@
+"""Crash-consistency kill-point sweeps over the store's commit paths.
+
+Each sweep runs one mutation, learns how many physical write steps it
+performs, then kills the "process" (``CrashPoint``) after every single
+step, reboots (reopens with clean I/O) and asserts the record-as-commit
+invariant: the store is fully-old or fully-new, never torn — and the
+reboot's own ``gc`` pass never collects anything a surviving record
+still references.  The three swept operations are the three commit
+disciplines in the codebase: a raw artifact ``put``, a prefix commit
+(artifact before record row), and a delta ``derive_bundle`` (artifacts
+before lineage record).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SelectionContext
+from repro.faults.sweep import (
+    WRITE_SITES,
+    crash_consistency_sweep,
+    lineage_invariant_problems,
+)
+from repro.store import ArtifactStore
+from repro.store.keys import artifact_key
+from repro.store.prefix import bind_selector, compute_prefix, save_prefix
+from repro.store.store import StoreMiss
+from repro.store.warm import (
+    CONTEXT_RECORD,
+    list_context_records,
+    load_context_record,
+    warm_start,
+)
+from repro.stream import derive_bundle
+
+from tests.test_stream import split_base_delta
+
+
+@pytest.fixture(scope="module")
+def warm_template(tmp_path_factory, flixster_mini):
+    """A committed base bundle: the starting state for commit sweeps."""
+    root = tmp_path_factory.mktemp("killpoints") / "template"
+    base_log, delta = split_base_delta(flixster_mini.log)
+    context = SelectionContext(
+        flixster_mini.graph, base_log, seed=3, credit_scheme="uniform",
+    )
+    warm_start(
+        ArtifactStore(root),
+        context,
+        ["credit_index", "cd_evaluator"],
+        dataset_name=flixster_mini.name,
+    )
+    return root, context, delta
+
+
+class TestPlainPutSweep:
+    def test_every_kill_point_leaves_old_or_new(self, tmp_path):
+        template = tmp_path / "template"
+        ArtifactStore(template)  # an empty, initialized store
+        key = artifact_key("ctx", "thing")
+        value = {"payload": list(range(32))}
+
+        def check(store, crashed_at):
+            try:
+                loaded = store.get(key)
+            except StoreMiss:
+                assert crashed_at is not None, "clean run must commit"
+                return
+            assert loaded == value, "a visible entry must be complete"
+
+        report = crash_consistency_sweep(
+            template,
+            lambda store: store.put(key, value),
+            check,
+            workdir=tmp_path / "trials",
+        )
+        # One open/write/fsync/replace/fsync_dir pass per file, payload
+        # and manifest: the sweep must have enumerated all of them.
+        assert report.steps == 2 * len(WRITE_SITES)
+        assert len(report.trials) == report.steps + 1
+        assert report.ok, report.violations
+
+    def test_sweep_detects_a_broken_commit_discipline(self, tmp_path):
+        # Sensitivity check: an operation that commits a record pointing
+        # at artifacts that were never written must be flagged — on the
+        # clean run, not just under crashes.  A sweep that passed this
+        # would be vacuous.
+        template = tmp_path / "template"
+        ArtifactStore(template)
+        ckey = "deadbeef" * 4
+
+        def record_first(store):
+            store.put(
+                artifact_key(ckey, CONTEXT_RECORD),
+                {"context_key": ckey, "artifacts": ["credit_index"],
+                 "dataset": "x"},
+                meta={"context": ckey, "artifact": CONTEXT_RECORD},
+            )
+
+        report = crash_consistency_sweep(
+            template, record_first, workdir=tmp_path / "trials",
+        )
+        assert not report.ok
+        assert any(
+            "does not load" in problem
+            for trial in report.violations
+            for problem in trial.get("problems", [])
+        )
+
+
+class TestPrefixCommitSweep:
+    def test_prefix_commit_is_artifact_then_row(
+        self, warm_template, tmp_path
+    ):
+        template, context, _delta = warm_template
+        selector = bind_selector(context, "cd", {})
+        prefix = compute_prefix(context, selector, k_max=2)
+        name = prefix.artifact_name()
+
+        def operation(store):
+            save_prefix(store, load_context_record(store), prefix)
+
+        def check(store, crashed_at):
+            record = load_context_record(store)
+            listed = [
+                row for row in record.get("prefixes", [])
+                if row.get("name") == name
+            ]
+            if crashed_at is None:
+                assert listed, "clean run must list the prefix"
+            # If the row is visible the artifact must load and agree —
+            # lineage_invariant_problems already asserts that; here we
+            # assert the converse direction explicitly for this name.
+            if listed:
+                loaded = store.get(artifact_key(record["context_key"], name))
+                assert loaded.k_max == listed[0]["k_max"]
+
+        report = crash_consistency_sweep(
+            template, operation, check, workdir=tmp_path / "trials",
+        )
+        # Two puts (prefix artifact, then record), two files each.
+        assert report.steps == 4 * len(WRITE_SITES)
+        assert report.ok, report.violations
+
+
+class TestDeriveSweep:
+    def test_derive_bundle_survives_every_sampled_kill_point(
+        self, warm_template, tmp_path
+    ):
+        template, _context, delta = warm_template
+        base_record = load_context_record(ArtifactStore(template))
+
+        def check(store, crashed_at):
+            records = {
+                record["context_key"]
+                for record in list_context_records(store)
+            }
+            # The base bundle must never be damaged by a crashed derive.
+            assert base_record["context_key"] in records
+            if crashed_at is None:
+                assert len(records) == 2, "clean derive must add a bundle"
+
+        report = crash_consistency_sweep(
+            template,
+            lambda store: derive_bundle(store, delta),
+            check,
+            workdir=tmp_path / "trials",
+            max_steps=10,  # stride the long write sequence, keep ends
+        )
+        assert report.steps > 2 * len(WRITE_SITES)  # several artifacts
+        assert report.ok, report.violations
+
+
+class TestLineageInvariantCheck:
+    def test_healthy_store_reports_no_problems(self, warm_template):
+        template, _context, _delta = warm_template
+        assert lineage_invariant_problems(ArtifactStore(template)) == []

@@ -1,0 +1,139 @@
+"""repro.utils.retry: bounded, deterministic backoff.
+
+The serving stack leans on two properties: retries are *bounded* (a
+permanently failing read degrades, it does not spin), and the jitter
+is *derived*, not drawn from wall-clock entropy — two runs of the same
+schedule back off identically, which is what makes a chaos run
+replayable from its plan text alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.retry import RetryBudgetExceeded, RetryPolicy, with_retry
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_is_exponential_and_capped(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.3, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.3)  # capped
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5,
+                             seed=7)
+        first = [policy.delay(i, "read") for i in range(4)]
+        second = [policy.delay(i, "read") for i in range(4)]
+        assert first == second  # replayable
+        for attempt, value in enumerate(first):
+            raw = min(0.1 * (2 ** attempt), 1.0)
+            assert raw * 0.5 <= value <= raw
+
+    def test_jitter_decorrelates_labels(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay(0, "read-a") != policy.delay(0, "read-b")
+
+    def test_seed_changes_schedule(self):
+        one = RetryPolicy(seed=1).delay(0, "x")
+        two = RetryPolicy(seed=2).delay(0, "x")
+        assert one != two
+
+
+class TestWithRetry:
+    def test_success_first_try_never_sleeps(self):
+        sleeps: list[float] = []
+        result = with_retry(
+            lambda: 42, RetryPolicy(), sleep=sleeps.append
+        )
+        assert result == 42
+        assert sleeps == []
+
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        sleeps: list[float] = []
+        result = with_retry(
+            flaky, RetryPolicy(attempts=3), sleep=sleeps.append
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(sleeps) == 2  # one sleep between each attempt pair
+
+    def test_exhaustion_reraises_the_original_error(self):
+        boom = OSError("still broken")
+
+        def always():
+            raise boom
+
+        with pytest.raises(OSError) as info:
+            with_retry(always, RetryPolicy(attempts=3), sleep=lambda _: None)
+        assert info.value is boom  # callers' except OSError keeps working
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def wrong():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            with_retry(wrong, RetryPolicy(attempts=5), sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_on_retry_observes_each_failure(self):
+        seen: list[tuple[int, str]] = []
+
+        def always():
+            raise OSError("eio")
+
+        with pytest.raises(OSError):
+            with_retry(
+                always,
+                RetryPolicy(attempts=3),
+                sleep=lambda _: None,
+                on_retry=lambda attempt, error: seen.append(
+                    (attempt, str(error))
+                ),
+            )
+        assert seen == [(0, "eio"), (1, "eio"), (2, "eio")]
+
+    def test_sleep_schedule_is_replayable(self):
+        def always():
+            raise OSError("eio")
+
+        def run() -> list[float]:
+            sleeps: list[float] = []
+            with pytest.raises(OSError):
+                with_retry(
+                    always,
+                    RetryPolicy(attempts=4, seed=11),
+                    label="store-read",
+                    sleep=sleeps.append,
+                )
+            return sleeps
+
+        assert run() == run()
+
+    def test_budget_exceeded_type_exists(self):
+        # Exported for callers that want to distinguish exhaustion; the
+        # default contract re-raises the original error instead.
+        error = RetryBudgetExceeded(3, OSError("eio"))
+        assert error.attempts == 3
+        assert "3 attempts" in str(error)

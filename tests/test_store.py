@@ -273,3 +273,43 @@ class TestVerify:
         store.put(KEY_A, {"v": 1})
         (_entry_dir(store, KEY_A) / "payload.bin").write_bytes(b"torn")
         assert not store.verify(KEY_A)
+
+
+class TestRefreshGenerations:
+    """Crash-atomic refresh: a live entry is replaced via a new
+    checksum-named payload file, never by overwriting the current one —
+    so the old manifest+payload pair stays readable until the new
+    manifest commits (the kill-point sweep enumerates this)."""
+
+    def test_refresh_writes_a_new_generation(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = store.put(KEY_A, {"v": 1})
+        assert first.payload_name == "payload.bin"
+        second = store.put(KEY_A, {"v": 2}, refresh=True)
+        assert second.payload_name != "payload.bin"
+        assert second.payload_name.startswith("payload-")
+        assert store.get(KEY_A) == {"v": 2}
+        # The superseded generation was unlinked after the commit.
+        files = sorted(
+            path.name for path in _entry_dir(store, KEY_A).iterdir()
+        )
+        assert files == ["manifest.json", second.payload_name]
+
+    def test_identical_refresh_keeps_the_payload_name(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(KEY_A, {"v": 1})
+        entry = store.put(KEY_A, {"v": 1}, refresh=True, meta={"note": "x"})
+        assert entry.payload_name == "payload.bin"
+        assert store.entry(KEY_A).meta == {"note": "x"}
+
+    def test_gc_reclaims_stale_generations_after_grace(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(KEY_A, {"v": 1})
+        stale = _entry_dir(store, KEY_A) / "payload-0123456789ab.bin"
+        stale.write_bytes(b"crashed refresh residue")
+        assert store.gc() == []  # inside the grace window: kept
+        store._TMP_GRACE_S = 0.0
+        removed = store.gc()
+        assert [item for item in removed if "payload-" in item]
+        assert not stale.exists()
+        assert store.get(KEY_A) == {"v": 1}
