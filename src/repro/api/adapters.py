@@ -79,6 +79,7 @@ def _cd(
         checkpoints=checkpoints,
         state=state,
         state_out=state_out,
+        backend=ctx.backend,
     )
     _merge_time_log(time_log, inner, offset)
     return result
@@ -242,6 +243,7 @@ def _celfpp(
     family="sketch",
     description="Reverse-influence sampling for IC (Borgs et al. / TIM line)",
     needs_probabilities=True,
+    needs_sketches=True,
     stochastic=True,
 )
 def _ris(
@@ -251,14 +253,64 @@ def _ris(
     method: str | None = None,
     num_rr_sets: int = 10_000,
     seed: int | None = None,
+    hops: int | None = None,
+    checkpoints=None,
 ):
-    probabilities = ctx.ic_probabilities(method)
+    """Greedy coverage over the context's deterministic sketch batch.
+
+    The sketches come from :meth:`SelectionContext.sketches` — warm
+    starts and the runtime prefetch hand them over prebuilt — and the
+    coverage maximization dispatches through the backend seam.  With
+    the same base seed this is bit-identical to a direct
+    :func:`~repro.maximization.ris.ris_maximize` call.
+    """
+    sketches = ctx.sketches(
+        method=method, num_sketches=num_rr_sets, hops=hops, seed=seed
+    )
     return ris_maximize(
         ctx.graph,
-        probabilities,
+        ctx.ic_probabilities(method),
         k,
-        num_rr_sets=num_rr_sets,
-        seed=ctx.seed if seed is None else seed,
+        sketches=sketches,
+        backend=ctx.backend,
+        checkpoints=checkpoints,
+    )
+
+
+@register_selector(
+    "hop",
+    family="sketch",
+    description="Hop-limited RR-sketch coverage (1/2-hop bounds, "
+                "Tang et al. 2017)",
+    needs_probabilities=True,
+    needs_sketches=True,
+    stochastic=True,
+)
+def _hop(
+    ctx: SelectionContext,
+    k: int,
+    *,
+    method: str | None = None,
+    num_sketches: int = 10_000,
+    hops: int = 2,
+    seed: int | None = None,
+    checkpoints=None,
+):
+    """RIS with the reverse BFS truncated at ``hops`` edges.
+
+    Trades a small downward spread bias for bounded work per sketch —
+    the million-node fast path when cascades are short.
+    """
+    sketches = ctx.sketches(
+        method=method, num_sketches=num_sketches, hops=hops, seed=seed
+    )
+    return ris_maximize(
+        ctx.graph,
+        ctx.ic_probabilities(method),
+        k,
+        sketches=sketches,
+        backend=ctx.backend,
+        checkpoints=checkpoints,
     )
 
 

@@ -32,6 +32,7 @@ from repro.maximization.oracle import (
 )
 from repro.runtime.executor import Executor, as_executor
 from repro.utils.rng import derive_seed as _derive_seed
+from repro.utils.rng import integer_seed
 from repro.utils.validation import require
 
 __all__ = ["SelectionContext", "IC_PROBABILITY_METHODS", "ARTIFACT_NAMES"]
@@ -44,8 +45,8 @@ ORACLE_MODELS = ("cd", "ic", "lt")
 CREDIT_SCHEMES = ("timedecay", "uniform")
 
 # The persistable learned-artifact slots (the vocabulary of
-# :mod:`repro.store`): per-method IC probabilities plus the four
-# singleton caches and the interned CSR form.
+# :mod:`repro.store`): per-method IC probabilities plus the singleton
+# caches, the interned CSR form and the default RR-sketch batch.
 _PROBABILITY_PREFIX = "ic_probabilities/"
 ARTIFACT_NAMES = tuple(
     f"{_PROBABILITY_PREFIX}{method}" for method in IC_PROBABILITY_METHODS
@@ -55,7 +56,12 @@ ARTIFACT_NAMES = tuple(
     "credit_index",
     "cd_evaluator",
     "compiled_log",
+    "sketches",
 )
+
+# Distinguishes "use the context's sketch_hops" from an explicit
+# ``hops=None`` (unbounded reverse reachability).
+_UNSET = object()
 
 
 class SelectionContext:
@@ -100,6 +106,12 @@ class SelectionContext:
         sweeps of the oracle-backed selectors, the experiment runtime's
         fan-outs — dispatch their parallel units through.  ``None``
         (the default) keeps every code path exactly serial.
+    num_sketches:
+        Size of the context's default reverse-reachability sketch batch
+        (the ``sketches`` artifact slot; see :meth:`sketches`).
+    sketch_hops:
+        Hop limit of the default sketch batch (``None`` = unbounded
+        reverse reachability, classic RIS).
     """
 
     def __init__(
@@ -113,6 +125,8 @@ class SelectionContext:
         credit_scheme: str = "timedecay",
         backend: str | None = None,
         executor: Executor | str | None = None,
+        num_sketches: int = 10_000,
+        sketch_hops: int | None = None,
     ) -> None:
         require(
             probability_method in IC_PROBABILITY_METHODS,
@@ -128,6 +142,14 @@ class SelectionContext:
             f"credit_scheme must be one of {CREDIT_SCHEMES}, "
             f"got {credit_scheme!r}",
         )
+        require(
+            num_sketches >= 1,
+            f"num_sketches must be >= 1, got {num_sketches}",
+        )
+        require(
+            sketch_hops is None or sketch_hops >= 1,
+            f"sketch_hops must be >= 1 or None, got {sketch_hops}",
+        )
         self.graph = graph
         self.train_log = train_log
         self.probability_method = probability_method
@@ -135,6 +157,8 @@ class SelectionContext:
         self.truncation = truncation
         self.seed = seed
         self.credit_scheme = credit_scheme
+        self.num_sketches = num_sketches
+        self.sketch_hops = sketch_hops
         self.backend = resolve_backend(backend)
         self.executor = None if executor is None else as_executor(executor)
         self._probabilities: dict[str, dict[Edge, float]] = {}
@@ -150,6 +174,13 @@ class SelectionContext:
         self._propagations: dict[Hashable, PropagationGraph] = {}
         # Interned CSR representation for the numpy kernels (lazy).
         self._compiled_log = None
+        # The default sketch batch (the persistable slot) plus an
+        # ad-hoc cache for other (method, count, hops, seed) requests —
+        # per-trial injected seeds land here, the prefetch mirror
+        # included, so process workers ship warm sketches too.
+        self._sketches = None
+        self._sketch_cache: dict[tuple, object] = {}
+        self._sketchers: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     # Guards and derived seeds
@@ -191,6 +222,8 @@ class SelectionContext:
             "seed": self.seed,
             "credit_scheme": self.credit_scheme,
             "backend": self.backend,
+            "num_sketches": self.num_sketches,
+            "sketch_hops": self.sketch_hops,
         }
 
     def _artifact_slot(self, name: str):
@@ -211,6 +244,7 @@ class SelectionContext:
             "credit_index": "_credit_index",
             "cd_evaluator": "_cd_evaluator",
             "compiled_log": "_compiled_log",
+            "sketches": "_sketches",
         }[name]
         return (
             lambda: getattr(self, attr),
@@ -250,6 +284,7 @@ class SelectionContext:
             "credit_index": self.credit_index,
             "cd_evaluator": self.cd_evaluator,
             "compiled_log": self.compiled_log,
+            "sketches": self.sketches,
         }[name]()
 
     # ------------------------------------------------------------------
@@ -339,16 +374,108 @@ class SelectionContext:
         return self._lt_weights
 
     def influence_params(self):
-        """Learned Eq.-9 influenceability parameters (cached)."""
+        """Learned Eq.-9 influenceability parameters (cached).
+
+        Under the ``numpy`` backend the two chronological passes run as
+        :func:`repro.kernels.params_numpy.learn_influenceability_numpy`
+        over the cached :meth:`compiled_log` — bit-identical to the
+        reference per the kernel-parity contract.
+        """
         from repro.core.params import learn_influenceability
 
         if self._params is None:
-            self._params = learn_influenceability(
-                self.graph,
-                self._require_log("influenceability learning"),
-                propagations=self.propagation,
-            )
+            log = self._require_log("influenceability learning")
+            if self.backend == "numpy":
+                from repro.kernels.params_numpy import (
+                    learn_influenceability_numpy,
+                )
+
+                self._params = learn_influenceability_numpy(
+                    self.graph, log, compiled=self.compiled_log()
+                )
+            else:
+                self._params = learn_influenceability(
+                    self.graph,
+                    log,
+                    propagations=self.propagation,
+                )
         return self._params
+
+    def sketches(
+        self,
+        method: str | None = None,
+        num_sketches: int | None = None,
+        hops: int | None = _UNSET,  # type: ignore[assignment]
+        seed: int | None = None,
+    ):
+        """A deterministic reverse-reachability sketch batch (cached).
+
+        With no arguments this is the context's *default* batch — the
+        persistable ``sketches`` artifact slot (``num_sketches`` /
+        ``sketch_hops`` from the constructor, probabilities from the
+        default method, seed schedule from the context seed), the one
+        :mod:`repro.store` warm-starts.  Explicit arguments (notably
+        the per-trial ``seed`` the experiment runner injects into the
+        ``ris``/``hop`` selectors) land in an ad-hoc cache keyed by
+        ``(method, count, hops, generation seed)``.
+
+        The generation seed is
+        :func:`repro.core.sketch.sketch_generation_seed` of the base
+        seed (``seed`` or the context seed), so a direct
+        :func:`~repro.maximization.ris.ris_maximize` call with the same
+        base seed replays the very same sketches — and both backends
+        generate byte-identical batches.
+        """
+        method = self.probability_method if method is None else method
+        count = self.num_sketches if num_sketches is None else num_sketches
+        require(count >= 1, f"num_sketches must be >= 1, got {count}")
+        hops = self.sketch_hops if hops is _UNSET else hops
+        require(
+            hops is None or hops >= 1,
+            f"hops must be >= 1 or None, got {hops}",
+        )
+        base = self.seed if seed is None else integer_seed(seed)
+        from repro.core.sketch import generate_sketches, sketch_generation_seed
+
+        generation_seed = sketch_generation_seed(base, count, hops)
+        default = (
+            method == self.probability_method
+            and count == self.num_sketches
+            and hops == self.sketch_hops
+            and base == self.seed
+        )
+        if default and self._sketches is not None:
+            return self._sketches
+        key = (method, count, hops, generation_seed)
+        if not default and key in self._sketch_cache:
+            return self._sketch_cache[key]
+        probabilities = self.ic_probabilities(method)
+        if self.backend == "numpy":
+            from repro.kernels.sketch_numpy import CompiledSketcher
+
+            sketcher = self._sketchers.get(method)
+            if sketcher is None:
+                sketcher = CompiledSketcher.from_graph(
+                    self.graph, probabilities
+                )
+                self._sketchers[method] = sketcher
+            value = sketcher.generate(
+                count, hops=hops, seed=generation_seed, method=method
+            )
+        else:
+            value = generate_sketches(
+                self.graph,
+                probabilities,
+                count,
+                hops=hops,
+                seed=generation_seed,
+                method=method,
+            )
+        if default:
+            self._sketches = value
+        else:
+            self._sketch_cache[key] = value
+        return value
 
     def _credit(self):
         if self.credit_scheme == "uniform":

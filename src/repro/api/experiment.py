@@ -388,10 +388,11 @@ def _missing_artifacts(
 
     This is the capability-flag routing rule the pipeline's learn stage
     consumes: ``needs_index``/``needs_weights`` always require the log;
-    ``needs_probabilities`` only when the resolved assignment method is
-    learned (``EM``/``PT``); ``needs_oracle`` depending on the bound
-    ``model`` (the CD evaluator and LT weights are learned, IC follows
-    the probability rule).
+    ``needs_probabilities`` — and ``needs_sketches``, whose RR batches
+    are drawn over those probabilities — only when the resolved
+    assignment method is learned (``EM``/``PT``); ``needs_oracle``
+    depending on the bound ``model`` (the CD evaluator and LT weights
+    are learned, IC follows the probability rule).
     """
     method = params.get("method") or config.probability_method
     model = params.get("model", "cd")
@@ -402,6 +403,11 @@ def _missing_artifacts(
         missing.append("learned LT weights")
     if spec.needs_probabilities and method in ("EM", "PT"):
         missing.append(f"{method}-learned IC probabilities")
+    if spec.needs_sketches and method in ("EM", "PT"):
+        missing.append(
+            f"reverse-reachability sketches over {method}-learned "
+            "probabilities"
+        )
     if spec.needs_oracle:
         if model == "cd":
             missing.append("the sigma_cd evaluator")

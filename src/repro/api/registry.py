@@ -66,10 +66,14 @@ class SelectorSpec:
         The adapter callable (see module docstring for the contract).
     description:
         One-line summary for listings.
-    needs_oracle / needs_index / needs_probabilities / needs_weights:
+    needs_oracle / needs_index / needs_probabilities / needs_weights /
+    needs_sketches:
         Which shared artifacts the selector pulls from the context —
         i.e. what a caller must be able to provide (a training log is
         required for everything except the purely structural selectors).
+        ``needs_sketches`` marks the reverse-reachability consumers
+        (``ris``/``hop``): the runtime prefetches their sketch batches
+        under parallel executors and :mod:`repro.store` persists them.
     supports_budget:
         Whether the selector understands per-seed costs (reserved for
         budgeted selectors; none of the built-ins do yet).
@@ -91,6 +95,7 @@ class SelectorSpec:
     needs_index: bool = False
     needs_probabilities: bool = False
     needs_weights: bool = False
+    needs_sketches: bool = False
     supports_budget: bool = False
     supports_time_log: bool = False
     stochastic: bool = False
@@ -102,6 +107,7 @@ class SelectorSpec:
             "needs_index": self.needs_index,
             "needs_probabilities": self.needs_probabilities,
             "needs_weights": self.needs_weights,
+            "needs_sketches": self.needs_sketches,
             "supports_budget": self.supports_budget,
             "supports_time_log": self.supports_time_log,
             "stochastic": self.stochastic,
@@ -229,8 +235,8 @@ def register_selector(
 
     ``capabilities`` are the boolean :class:`SelectorSpec` flags
     (``needs_oracle``, ``needs_index``, ``needs_probabilities``,
-    ``needs_weights``, ``supports_budget``, ``supports_time_log``,
-    ``stochastic``).
+    ``needs_weights``, ``needs_sketches``, ``supports_budget``,
+    ``supports_time_log``, ``stochastic``).
     """
     require(
         family in FAMILIES, f"family must be one of {FAMILIES}, got {family!r}"

@@ -751,6 +751,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
                     if entry.meta.get("context") in depth
                     else "-"
                 ),
+                entry.meta.get("flags", "-") or "-",
                 entry.payload_bytes,
             ]
             for entry in sorted(
@@ -759,7 +760,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
             )
         ]
         print(format_table(
-            ["key", "context", "artifact", "dataset", "lineage", "bytes"],
+            ["key", "context", "artifact", "dataset", "lineage", "flags",
+             "bytes"],
             rows,
             title=(
                 f"artifact store {store.root}: {len(entries)} entries, "

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.core.index import CreditIndex, SeedCredits
+from repro.kernels import resolve_backend
 from repro.maximization.greedy import GreedyResult
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
@@ -119,6 +120,7 @@ def cd_maximize(
     checkpoints: list[tuple[int, float]] | None = None,
     state: CDState | None = None,
     state_out: list[CDState] | None = None,
+    backend: str | None = None,
 ) -> GreedyResult:
     """Select ``k`` seeds under the CD model (Algorithm 3 + CELF).
 
@@ -147,6 +149,12 @@ def cd_maximize(
     state_out:
         If given, the final :class:`CDState` is appended, ready to
         resume past this run's ``k``.
+    backend:
+        Compute backend for the initial gain sweep (the cold-start hot
+        path): under ``"numpy"`` the empty-seed-set gains come from
+        :func:`repro.kernels.cd_numpy.cd_initial_gains`, bit-identical
+        to the reference sweep; the CELF re-evaluations after each
+        selection touch few users and stay pure Python either way.
 
     Returns
     -------
@@ -169,10 +177,17 @@ def cd_maximize(
         working = index if mutate else index.copy()
         seed_credits = SeedCredits()
         queue = LazyQueue()
-        for user in list(working.users()):
-            gain = marginal_gain(working, seed_credits, user)
-            result.oracle_calls += 1
-            queue.push(user, gain, iteration=0)
+        if resolve_backend(backend) == "numpy":
+            from repro.kernels.cd_numpy import cd_initial_gains
+
+            for user, gain in cd_initial_gains(working):
+                result.oracle_calls += 1
+                queue.push(user, gain, iteration=0)
+        else:
+            for user in list(working.users()):
+                gain = marginal_gain(working, seed_credits, user)
+                result.oracle_calls += 1
+                queue.push(user, gain, iteration=0)
     while len(result.seeds) < k and queue:
         entry = queue.pop()
         if entry.iteration == len(result.seeds):

@@ -1,0 +1,70 @@
+"""The CD maximizer's initial gain sweep (NumPy).
+
+Algorithm 3's cold start evaluates the Theorem-3 marginal gain of
+*every* user against the empty seed set — by far the hottest part of
+:func:`repro.core.maximize.cd_maximize` (the CELF queue touches only a
+handful of users afterwards).  Against an empty seed set the gain
+collapses to ``1 + sum_a sum_u UC[x][a][u] / A_u``, so the whole sweep
+is two segmented sums over the credit index flattened in its own dict
+order.
+
+Bit-identity with :func:`repro.core.maximize.marginal_gain` holds
+because ``np.add.at`` applies updates sequentially in array order and
+the flattening enumerates ``(user, action, target)`` in exactly the
+reference's dict-iteration order; the ``(1 - Gamma)`` factor is
+exactly ``1.0`` for every action when no seeds exist, and
+``1.0 * term == term`` in IEEE arithmetic, so even the per-action
+accumulation order matches.  Users with zero activity get ``0.0``, as
+the reference's early return does.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.index import CreditIndex
+
+__all__ = ["cd_initial_gains"]
+
+User = Hashable
+
+
+def cd_initial_gains(index: CreditIndex) -> list[tuple[User, float]]:
+    """Empty-seed-set marginal gains, in ``index.users()`` order.
+
+    Returns ``(user, gain)`` pairs bit-identical to
+    ``marginal_gain(index, SeedCredits(), user)`` — the exact values
+    ``cd_maximize`` pushes into its lazy queue on a cold start.
+    """
+    users = list(index.users())
+    activity = index.activity
+    values: list[float] = []
+    target_activity: list[int] = []
+    entry_block: list[int] = []
+    block_user: list[int] = []
+    blocks = 0
+    for position, user in enumerate(users):
+        if activity.get(user, 0) == 0:
+            continue
+        for action, targets in index.out.get(user, {}).items():
+            for target, value in targets.items():
+                values.append(value)
+                target_activity.append(activity[target])
+                entry_block.append(blocks)
+            block_user.append(position)
+            blocks += 1
+    gains = np.zeros(len(users))
+    active = np.asarray(
+        [activity.get(user, 0) > 0 for user in users], dtype=bool
+    )
+    gains[active] = 1.0
+    if blocks:
+        quotients = np.asarray(values) / np.asarray(
+            target_activity, dtype=np.float64
+        )
+        terms = np.zeros(blocks)
+        np.add.at(terms, np.asarray(entry_block, dtype=np.int64), quotients)
+        np.add.at(gains, np.asarray(block_user, dtype=np.int64), terms)
+    return [(user, float(gains[position])) for position, user in enumerate(users)]

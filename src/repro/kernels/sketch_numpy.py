@@ -1,0 +1,387 @@
+"""Batched reverse-reachability sketch generation and coverage (NumPy).
+
+The vectorized twin of :mod:`repro.core.sketch`.  Sketch membership is
+a pure function of ``(seed, sketch index, edge id)`` through the shared
+64-bit mixer, so this kernel can expand thousands of sketches' BFS
+frontiers per level in one CSR gather and still produce *byte-identical*
+membership to the reference generator — the property the parity suite
+pins.
+
+Layout mirrors :class:`repro.kernels.interning.CompiledGraph`: node ids
+in :func:`~repro.utils.ordering.node_sort_key` order, an in-CSR sorted
+by ``(dst, src)`` via one ``lexsort`` whose flat positions *are* the
+canonical edge ids.  Per-sketch state lives in flat ``row * n + node``
+keys (no dense ``(batch, n)`` buffers), so memory scales with sketch
+membership, not with graph size — that is what lets the million-node
+benchmark generate 10^5 sketches over 10^6 nodes in-core.
+
+Greedy maximum coverage replaces the reference's per-set Python dicts
+with ``argmax``/``bincount`` over the CSR arrays: ``argmax`` returns
+the first maximal index, which is exactly the reference's smallest-id
+tie-break, so selections match integer-for-integer.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.sketch import (
+    _C1,
+    _C2,
+    _TARGET_SALT,
+    SketchSet,
+    _mix64,
+)
+from repro.graphs.digraph import SocialGraph
+from repro.kernels.interning import _gather_csr
+from repro.utils.ordering import node_sort_key
+from repro.utils.rng import integer_seed, make_rng
+from repro.utils.validation import require
+
+__all__ = [
+    "CompiledSketcher",
+    "coverage_maximize_numpy",
+    "HopEstimator",
+    "hop_spread_numpy",
+]
+
+User = Hashable
+Edge = tuple[User, User]
+
+_U33 = np.uint64(33)
+_U11 = np.uint64(11)
+_M1 = np.uint64(0xFF51AFD7ED558CCD)
+_M2 = np.uint64(0xC4CEB9FE1A85EC53)
+_INV53 = 2.0 ** -53
+
+
+def _mix64_np(x: np.ndarray) -> np.ndarray:
+    """The murmur3 finalizer on ``uint64`` arrays (wraparound == mod 2^64)."""
+    x = x ^ (x >> _U33)
+    x = x * _M1
+    x = x ^ (x >> _U33)
+    x = x * _M2
+    x = x ^ (x >> _U33)
+    return x
+
+
+def _positive_csr(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    reverse: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, list]:
+    """CSR over the positive-probability edges, canonically ordered.
+
+    ``reverse=True`` builds the in-CSR sorted by ``(dst, src)`` — flat
+    positions are the canonical edge ids the sketch coins key off —
+    ``reverse=False`` the out-CSR sorted by ``(src, dst)``.
+    """
+    nodes = sorted(graph.nodes(), key=node_sort_key)
+    ids = {node: index for index, node in enumerate(nodes)}
+    n = len(nodes)
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    for source, target in graph.edges():
+        probability = probabilities.get((source, target), 0.0)
+        if probability > 0.0:
+            sources.append(ids[source])
+            targets.append(ids[target])
+            weights.append(probability)
+    src = np.asarray(sources, dtype=np.int64)
+    dst = np.asarray(targets, dtype=np.int64)
+    prob = np.asarray(weights, dtype=np.float64)
+    rows, cols = (dst, src) if reverse else (src, dst)
+    order = np.lexsort((cols, rows))
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+    return indptr, cols[order], prob[order], nodes
+
+
+class CompiledSketcher:
+    """Sketch generator over an in-CSR with canonical edge ids.
+
+    Parameters
+    ----------
+    in_indptr / in_indices / probabilities:
+        The in-CSR of the positive-probability edges, rows sorted by
+        ``(dst, src)``; ``probabilities`` aligned with ``in_indices``.
+        The flat CSR position of an entry is its canonical edge id.
+    nodes:
+        Node labels by id (``None`` on the raw-CSR path, where ids are
+        their own labels — the synthetic million-node benchmark).
+    """
+
+    def __init__(
+        self,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        probabilities: np.ndarray,
+        nodes: list | None = None,
+    ) -> None:
+        self.in_indptr = np.asarray(in_indptr, dtype=np.int64)
+        self.in_indices = np.asarray(in_indices, dtype=np.int64)
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+        self.n = len(self.in_indptr) - 1
+        self.nodes = nodes
+        require(
+            len(self.in_indices) == len(self.probabilities),
+            "in_indices and probabilities must align",
+        )
+
+    @classmethod
+    def from_graph(
+        cls, graph: SocialGraph, probabilities: Mapping[Edge, float]
+    ) -> "CompiledSketcher":
+        indptr, indices, probs, nodes = _positive_csr(
+            graph, probabilities, reverse=True
+        )
+        return cls(indptr, indices, probs, nodes=nodes)
+
+    @classmethod
+    def from_csr(
+        cls,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        probabilities: np.ndarray,
+        nodes: list | None = None,
+    ) -> "CompiledSketcher":
+        """Wrap a prebuilt in-CSR (rows must be sorted by ``(dst, src)``)."""
+        return cls(in_indptr, in_indices, probabilities, nodes=nodes)
+
+    def generate(
+        self,
+        num_sketches: int,
+        hops: int | None = None,
+        seed: int | None = None,
+        method: str | None = None,
+        batch_size: int = 4096,
+    ) -> SketchSet:
+        """Generate sketches bit-identically to ``generate_sketches``.
+
+        Whole batches of sketches advance one BFS level per iteration:
+        one CSR gather expands every frontier node of every sketch in
+        the batch, the liveness coins come from the shared mixer keyed
+        on ``(sketch base, edge id)``, and membership dedup runs on
+        sorted ``row * n + node`` keys — row-major, so each sketch's
+        members end up ascending, matching the reference's ``sorted``.
+        """
+        require(
+            num_sketches >= 1, f"num_sketches must be >= 1, got {num_sketches}"
+        )
+        require(
+            hops is None or hops >= 1, f"hops must be >= 1 or None, got {hops}"
+        )
+        require(batch_size >= 1, f"batch_size must be >= 1, got {batch_size}")
+        seed = integer_seed(seed)
+        if seed is None:
+            seed = make_rng(None).getrandbits(64)
+        n = self.n
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return SketchSet(
+                num_nodes=0, num_sketches=0, hops=hops, seed=seed,
+                method=method, nodes=self.nodes, targets=empty,
+                indptr=np.zeros(1, dtype=np.int64), members=empty,
+            )
+        mixed = np.uint64(_mix64(seed))
+        one = np.uint64(1)
+        c1 = np.uint64(_C1)
+        c2 = np.uint64(_C2)
+        salt = np.uint64(_TARGET_SALT)
+        target_chunks: list[np.ndarray] = []
+        member_chunks: list[np.ndarray] = []
+        count_chunks: list[np.ndarray] = []
+        for start in range(0, num_sketches, batch_size):
+            stop = min(start + batch_size, num_sketches)
+            index = np.arange(start, stop, dtype=np.uint64)
+            bases = _mix64_np(mixed ^ ((index + one) * c1))
+            targets = (_mix64_np(bases ^ salt) % np.uint64(n)).astype(np.int64)
+            rows = np.arange(stop - start, dtype=np.int64)
+            # Flat (row, node) membership keys, kept sorted: rows are
+            # strictly increasing, so the initial targets already are.
+            member_keys = rows * n + targets
+            frontier_rows = rows
+            frontier_nodes = targets
+            level = 0
+            while len(frontier_nodes) and (hops is None or level < hops):
+                row_pos, neighbors, flat = _gather_csr(
+                    self.in_indptr, self.in_indices, frontier_nodes
+                )
+                if len(neighbors) == 0:
+                    break
+                sketch_rows = frontier_rows[row_pos]
+                coins = (
+                    _mix64_np(
+                        bases[sketch_rows]
+                        ^ ((flat.astype(np.uint64) + one) * c2)
+                    )
+                    >> _U11
+                ).astype(np.float64) * _INV53
+                live = coins < self.probabilities[flat]
+                if not live.any():
+                    break
+                candidates = np.unique(
+                    sketch_rows[live] * n + neighbors[live].astype(np.int64)
+                )
+                at = np.searchsorted(member_keys, candidates)
+                clipped = np.minimum(at, len(member_keys) - 1)
+                fresh = candidates[
+                    (at == len(member_keys))
+                    | (member_keys[clipped] != candidates)
+                ]
+                if len(fresh) == 0:
+                    break
+                member_keys = np.union1d(member_keys, fresh)
+                frontier_rows = fresh // n
+                frontier_nodes = fresh % n
+                level += 1
+            target_chunks.append(targets)
+            member_chunks.append(member_keys % n)
+            count_chunks.append(
+                np.bincount(member_keys // n, minlength=stop - start)
+            )
+        counts = np.concatenate(count_chunks)
+        indptr = np.zeros(num_sketches + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return SketchSet(
+            num_nodes=n,
+            num_sketches=num_sketches,
+            hops=hops,
+            seed=seed,
+            method=method,
+            nodes=self.nodes,
+            targets=np.concatenate(target_chunks),
+            indptr=indptr,
+            members=np.concatenate(member_chunks),
+        )
+
+
+def coverage_maximize_numpy(
+    sketches: SketchSet, k: int
+) -> tuple[list[int], list[int]]:
+    """Greedy maximum coverage via ``argmax``/``bincount``.
+
+    Integer-identical to :func:`repro.core.sketch.coverage_maximize`:
+    ``argmax`` picks the smallest id among tied maxima (the reference
+    tie-break), and cover counts decrement through one ``bincount``
+    over the members of the newly covered sketches per selection.
+    """
+    require(k >= 0, f"k must be non-negative, got {k}")
+    members = np.asarray(sketches.members, dtype=np.int64)
+    indptr = np.asarray(sketches.indptr, dtype=np.int64)
+    if k == 0 or sketches.num_sketches == 0 or len(members) == 0:
+        return [], []
+    n = sketches.num_nodes
+    sketch_ids = np.repeat(
+        np.arange(sketches.num_sketches, dtype=np.int64), np.diff(indptr)
+    )
+    counts = np.bincount(members, minlength=n)
+    covered = np.zeros(sketches.num_sketches, dtype=bool)
+    seeds: list[int] = []
+    gains: list[int] = []
+    for _ in range(min(k, int((counts > 0).sum()))):
+        best = int(np.argmax(counts))
+        gain = int(counts[best])
+        if gain <= 0:
+            break
+        seeds.append(best)
+        gains.append(gain)
+        hit = (members == best) & ~covered[sketch_ids]
+        newly = np.zeros(sketches.num_sketches, dtype=bool)
+        newly[sketch_ids[hit]] = True
+        covered |= newly
+        counts -= np.bincount(members[newly[sketch_ids]], minlength=n)
+    return seeds, gains
+
+
+class HopEstimator:
+    """The 1-hop/2-hop spread bound over a positive-probability out-CSR."""
+
+    def __init__(
+        self,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        probabilities: np.ndarray,
+        nodes: list | None = None,
+    ) -> None:
+        self.out_indptr = np.asarray(out_indptr, dtype=np.int64)
+        self.out_indices = np.asarray(out_indices, dtype=np.int64)
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+        self.n = len(self.out_indptr) - 1
+        self.nodes = nodes
+        self._ids = (
+            None
+            if nodes is None
+            else {node: index for index, node in enumerate(nodes)}
+        )
+
+    @classmethod
+    def from_graph(
+        cls, graph: SocialGraph, probabilities: Mapping[Edge, float]
+    ) -> "HopEstimator":
+        indptr, indices, probs, nodes = _positive_csr(
+            graph, probabilities, reverse=False
+        )
+        return cls(indptr, indices, probs, nodes=nodes)
+
+    def spread(self, seeds: Iterable[User], hops: int = 2) -> float:
+        """Matches :func:`repro.core.sketch.hop_spread` within 1e-9."""
+        require(hops in (1, 2), f"hops must be 1 or 2, got {hops}")
+        if self._ids is None:
+            seed_ids = np.unique(
+                np.asarray(
+                    [s for s in seeds if 0 <= s < self.n], dtype=np.int64
+                )
+            )
+        else:
+            seed_ids = np.unique(
+                np.asarray(
+                    [self._ids[s] for s in set(seeds) if s in self._ids],
+                    dtype=np.int64,
+                )
+            )
+        if len(seed_ids) == 0:
+            return 0.0
+        seed_mask = np.zeros(self.n, dtype=bool)
+        seed_mask[seed_ids] = True
+        _, neighbors, flat = _gather_csr(
+            self.out_indptr, self.out_indices, seed_ids
+        )
+        miss = np.ones(self.n)
+        keep = ~seed_mask[neighbors]
+        np.multiply.at(
+            miss, neighbors[keep], 1.0 - self.probabilities[flat[keep]]
+        )
+        direct = 1.0 - miss
+        total = float(len(seed_ids)) + float(direct.sum())
+        if hops == 1:
+            return total
+        middles = np.flatnonzero(direct > 0.0)
+        if len(middles) == 0:
+            return total
+        row_pos, second, flat2 = _gather_csr(
+            self.out_indptr, self.out_indices, middles
+        )
+        keep2 = ~seed_mask[second]
+        reach = direct[middles][row_pos[keep2]]
+        total += float(
+            np.sum(
+                reach
+                * self.probabilities[flat2[keep2]]
+                * (1.0 - direct[second[keep2]])
+            )
+        )
+        return total
+
+
+def hop_spread_numpy(
+    graph: SocialGraph,
+    probabilities: Mapping[Edge, float],
+    seeds: Iterable[User],
+    hops: int = 2,
+) -> float:
+    """One-shot convenience wrapper over :class:`HopEstimator`."""
+    return HopEstimator.from_graph(graph, probabilities).spread(seeds, hops=hops)

@@ -27,9 +27,16 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping
 
+from repro.core.sketch import (
+    SketchSet,
+    coverage_maximize,
+    generate_sketches,
+    sketch_generation_seed,
+)
 from repro.graphs.digraph import SocialGraph
+from repro.kernels import resolve_backend
 from repro.utils.ordering import node_sort_key
-from repro.utils.rng import make_rng
+from repro.utils.rng import integer_seed, make_rng
 from repro.utils.validation import require
 
 __all__ = [
@@ -128,6 +135,43 @@ class RISResult:
     num_rr_sets: int = 0
 
 
+def _coverage_result(
+    sketches: SketchSet,
+    k: int,
+    backend: str | None,
+    checkpoints: list[tuple[int, float]] | None,
+) -> RISResult:
+    """Greedy coverage over a :class:`SketchSet`, wrapped as a result.
+
+    Both coverage implementations return integer seed ids and integer
+    cover gains, so the selection and every float the result carries
+    (``gain * scale``, ``covered * scale``) are bit-identical across
+    backends.  ``checkpoints`` entry ``i`` matches a cold run at
+    ``k = i + 1`` — the :mod:`repro.store.prefix` contract.
+    """
+    if resolve_backend(backend) == "numpy":
+        from repro.kernels.sketch_numpy import coverage_maximize_numpy
+
+        seed_ids, gains = coverage_maximize_numpy(sketches, k)
+    else:
+        seed_ids, gains = coverage_maximize(sketches, k)
+    result = RISResult(num_rr_sets=sketches.num_sketches)
+    scale = (
+        sketches.num_nodes / sketches.num_sketches
+        if sketches.num_sketches
+        else 0.0
+    )
+    covered = 0
+    for seed_id, gain in zip(seed_ids, gains):
+        result.seeds.append(sketches.label_of(seed_id))
+        result.gains.append(gain * scale)
+        covered += gain
+        if checkpoints is not None:
+            checkpoints.append((0, covered * scale))
+    result.spread = covered * scale
+    return result
+
+
 def ris_maximize(
     graph: SocialGraph,
     probabilities: Mapping[Edge, float],
@@ -135,18 +179,57 @@ def ris_maximize(
     num_rr_sets: int = 10_000,
     seed: int | random.Random | None = None,
     rr_sets: list[frozenset[User]] | None = None,
+    *,
+    sketches: SketchSet | None = None,
+    hops: int | None = None,
+    backend: str | None = None,
+    checkpoints: list[tuple[int, float]] | None = None,
 ) -> RISResult:
-    """Select ``k`` seeds by greedy maximum coverage over RR sets.
+    """Select ``k`` seeds by greedy maximum coverage over RR sketches.
 
-    Pass precomputed ``rr_sets`` to amortise sampling across runs (e.g.
-    a k-sweep); otherwise ``num_rr_sets`` sets are sampled.  Greedy
-    coverage is implemented with exact cover-count bookkeeping, so it is
-    the true greedy on the sampled instance (no laziness needed: cover
-    counts update in O(total RR membership)).
+    The default path generates ``num_rr_sets`` deterministic hash-keyed
+    sketches (:mod:`repro.core.sketch` / the batched NumPy kernel,
+    picked by ``backend`` through the usual seam — both produce
+    byte-identical sketches): ``seed`` feeds the shared
+    :func:`~repro.utils.rng.derive_seed` schedule, so the same seed
+    replays the same sketches on any backend or executor, and
+    :meth:`SelectionContext.sketches
+    <repro.api.context.SelectionContext.sketches>` with the same base
+    seed yields the very same batch.  ``hops`` bounds the reverse BFS
+    depth (``None`` = classic unbounded RIS); pass prebuilt
+    ``sketches`` to amortise generation across runs.
+
+    ``rr_sets`` keeps the legacy sequential-RNG path byte-for-byte
+    (precomputed frozensets from :func:`generate_rr_sets`).
     """
     require(k >= 0, f"k must be non-negative, got {k}")
+    require(
+        rr_sets is None or sketches is None,
+        "pass precomputed rr_sets or sketches, not both",
+    )
     if rr_sets is None:
-        rr_sets = generate_rr_sets(graph, probabilities, num_rr_sets, seed)
+        if sketches is None:
+            base = integer_seed(seed)
+            generation_seed = (
+                None
+                if base is None
+                else sketch_generation_seed(base, num_rr_sets, hops)
+            )
+            if resolve_backend(backend) == "numpy":
+                from repro.kernels.sketch_numpy import CompiledSketcher
+
+                sketches = CompiledSketcher.from_graph(
+                    graph, probabilities
+                ).generate(num_rr_sets, hops=hops, seed=generation_seed)
+            else:
+                sketches = generate_sketches(
+                    graph,
+                    probabilities,
+                    num_rr_sets,
+                    hops=hops,
+                    seed=generation_seed,
+                )
+        return _coverage_result(sketches, k, backend, checkpoints)
     result = RISResult(num_rr_sets=len(rr_sets))
     if k == 0 or not rr_sets:
         return result
@@ -176,6 +259,8 @@ def ris_maximize(
         result.seeds.append(best)
         result.gains.append(gain * scale)
         total_covered += gain
+        if checkpoints is not None:
+            checkpoints.append((0, total_covered * scale))
         for index in membership[best]:
             if covered[index]:
                 continue

@@ -30,7 +30,8 @@ The ``learn`` stage is where the registry's capability flags become
 load-bearing: before anything runs, every selector entry is validated
 against the workload (budget vs ``supports_budget``) and the context
 (``needs_index``/``needs_oracle``/``needs_probabilities``/
-``needs_weights`` vs the availability of a training log), raising
+``needs_weights``/``needs_sketches`` vs the availability of a training
+log), raising
 :class:`~repro.utils.validation.ConfigError` up front; under a parallel
 executor the same flags drive artifact *prefetching*, so worker tasks
 only ever read the shared context instead of racing to build it (or,
@@ -262,6 +263,23 @@ def _prefetch_artifacts(config: ExperimentConfig,
             context.ic_probabilities(method)
         if spec.needs_weights:
             context.lt_weights()
+        if spec.needs_sketches:
+            for trial in range(config.trials):
+                bound = _bind(config, entry, context, trial)
+                params = bound.params
+                # Mirror the ris/hop adapter defaults exactly so the
+                # prefetched sketch-cache key matches the worker's
+                # lookup (including the injected per-trial seed).
+                context.sketches(
+                    method=params.get("method"),
+                    num_sketches=params.get(
+                        "num_rr_sets", params.get("num_sketches", 10_000)
+                    ),
+                    hops=params.get(
+                        "hops", 2 if entry.name == "hop" else None
+                    ),
+                    seed=params.get("seed"),
+                )
         if spec.needs_oracle:
             if model == "cd":
                 context.cd_evaluator()

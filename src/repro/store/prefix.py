@@ -63,6 +63,8 @@ PREFIXABLE_SELECTORS: dict[str, bool] = {
     "celf": True,
     "celfpp": True,
     "greedy": False,
+    "ris": False,
+    "hop": False,
 }
 
 _DIGEST_SIZE = 16
@@ -76,7 +78,10 @@ class SelectionPrefix:
     the ``i+1``-th selection — exactly the terminal values of a cold run
     at ``k = i + 1`` (the maximizers' checkpoint contract).  ``state``
     is the resumable machine state after ``k_max`` selections, or
-    ``None`` for checkpoint-only selectors.
+    ``None`` for checkpoint-only selectors.  ``metadata`` is the cold
+    selection's deterministic metadata (``num_rr_sets`` for the sketch
+    selectors; wall-clock ``time_log`` is excluded), replayed verbatim
+    so a prefix hit is byte-identical to a cold response.
     """
 
     selector: str
@@ -86,6 +91,7 @@ class SelectionPrefix:
     gains: list[float] = field(default_factory=list)
     checkpoints: list = field(default_factory=list)
     state: Any = None
+    metadata: dict[str, Any] = field(default_factory=dict)
 
     @property
     def resumable(self) -> bool:
@@ -164,6 +170,11 @@ def compute_prefix(
         gains=list(selection.gains),
         checkpoints=[tuple(entry) for entry in checkpoints],
         state=state_out[0] if state_out else None,
+        metadata={
+            key: value
+            for key, value in selection.metadata.items()
+            if key != "time_log"
+        },
     )
 
 
@@ -187,7 +198,7 @@ def selection_at(prefix: SelectionPrefix, k: int) -> SeedSelection:
         oracle_calls=int(oracle_calls),
         selector=prefix.selector,
         params=dict(prefix.params),
-        metadata={},
+        metadata=dict(getattr(prefix, "metadata", {}) or {}),
     )
 
 
@@ -226,6 +237,11 @@ def resume_selection(
         checkpoints=list(prefix.checkpoints)
         + [tuple(entry) for entry in checkpoints],
         state=state_out[0] if state_out else None,
+        metadata={
+            key: value
+            for key, value in selection.metadata.items()
+            if key != "time_log"
+        },
     )
     return selection, extended
 

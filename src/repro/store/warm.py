@@ -75,6 +75,8 @@ def required_artifacts(config: Any) -> list[str]:
     (``_missing_artifacts`` / ``_prefetch_artifacts``): ``needs_index``
     → the credit index, ``needs_probabilities`` → the resolved
     assignment's probabilities, ``needs_weights`` → LT weights,
+    ``needs_sketches`` → the default reverse-reachability batch (plus
+    the probabilities it is drawn over, so a sketch miss can re-learn),
     ``needs_oracle`` → whatever the bound model consumes; the CD-proxy
     evaluation and the prediction task add their own.  The
     influenceability parameters ride along whenever the time-decay
@@ -108,6 +110,9 @@ def required_artifacts(config: Any) -> list[str]:
                 _add(f"ic_probabilities/{method}")
             if spec.needs_weights:
                 _add("lt_weights")
+            if spec.needs_sketches:
+                _add(f"ic_probabilities/{method}")
+                _add("sketches")
             if spec.needs_oracle:
                 if model == "cd":
                     _add("cd_evaluator")
@@ -266,12 +271,15 @@ def warm_start(
             continue
         if store.contains(key) and not refresh:
             continue
-        store.put(
-            key,
-            context.get_artifact(name),
-            meta={**meta_base, "artifact": name},
-            refresh=refresh,
-        )
+        value = context.get_artifact(name)
+        meta = {**meta_base, "artifact": name}
+        describe = getattr(value, "describe", None)
+        if callable(describe):
+            # Self-describing artifacts (the sketch batch reports its
+            # hops / sample count / generation seed) surface their
+            # parameters in `repro store ls`.
+            meta["flags"] = describe()
+        store.put(key, value, meta=meta, refresh=refresh)
         events["saved"].append(name)
     # The graph is written for the serving layer but never *read* by
     # warm runs, so a corrupt payload would go unnoticed by the load
@@ -428,6 +436,12 @@ def load_serving_context(
         seed=int(learn["seed"]),
         credit_scheme=str(learn["credit_scheme"]),
         backend=str(learn["backend"]),
+        num_sketches=int(learn.get("num_sketches", 10_000)),
+        sketch_hops=(
+            None
+            if learn.get("sketch_hops") is None
+            else int(learn["sketch_hops"])
+        ),
     )
     for name in record.get("artifacts", []):
         if name in ARTIFACT_NAMES:

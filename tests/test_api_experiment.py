@@ -201,6 +201,10 @@ class TestRunExperiment:
                 toy.graph, em, k,
                 num_rr_sets=300, seed=ctx.derive_seed("ris", 0),
             ).seeds,
+            "hop": ris_maximize(
+                toy.graph, em, k,
+                num_rr_sets=10_000, seed=ctx.derive_seed("hop", 0), hops=2,
+            ).seeds,
             "simpath": simpath_maximize(toy.graph, weights, k).seeds,
             "pmia": PMIAModel(toy.graph, em).select_seeds(k).seeds,
             "ldag": LDAGModel(toy.graph, weights).select_seeds(k).seeds,

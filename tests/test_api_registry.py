@@ -61,8 +61,8 @@ class TestRegistry:
             assert spec.description
             assert set(spec.capabilities()) == {
                 "needs_oracle", "needs_index", "needs_probabilities",
-                "needs_weights", "supports_budget", "supports_time_log",
-                "stochastic",
+                "needs_weights", "needs_sketches", "supports_budget",
+                "supports_time_log", "stochastic",
             }
 
     def test_family_filter(self):

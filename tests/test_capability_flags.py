@@ -127,6 +127,45 @@ class TestNeedsWeights:
             run_experiment(config, context=structural_context)
 
 
+class TestNeedsSketches:
+    def test_learned_method_needs_log(self, structural_context):
+        config = selection_config(
+            selectors=["hop"], evaluate_spread=False
+        )  # method defaults EM
+        with pytest.raises(ConfigError, match="sketches"):
+            run_experiment(config, context=structural_context)
+
+    def test_static_method_runs_without_log(self, structural_context):
+        config = selection_config(
+            selectors=[
+                {"name": "hop", "params": {"method": "WC", "num_sketches": 150}}
+            ],
+            evaluate_spread=False,
+        )
+        result = run_experiment(config, context=structural_context)
+        assert len(result.runs[0].selection.seeds) == 2
+
+    def test_parallel_prefetch_builds_sketches_up_front(self):
+        config = selection_config(
+            selectors=[{"name": "ris", "params": {"num_rr_sets": 100}}],
+            executor="thread",
+            trials=2,
+            evaluate_spread=False,
+        )
+        result = run_experiment(config)
+        assert len(result.runs) == 2
+        serial = run_experiment(
+            selection_config(
+                selectors=[{"name": "ris", "params": {"num_rr_sets": 100}}],
+                trials=2,
+                evaluate_spread=False,
+            )
+        )
+        assert [run.selection.seeds for run in result.runs] == [
+            run.selection.seeds for run in serial.runs
+        ]
+
+
 class TestStochastic:
     def test_trial_seeds_derived_only_for_stochastic_selectors(self):
         config = selection_config(
