@@ -41,7 +41,6 @@ import json
 import os
 import platform
 import shutil
-import statistics
 import tempfile
 import threading
 import time
@@ -50,6 +49,7 @@ from pathlib import Path
 from repro.api import ExperimentConfig, SelectionContext, run_experiment
 from repro.data.datasets import flixster_like
 from repro.data.split import train_test_split
+from repro.obs.metrics import Registry
 from repro.store import ArtifactStore
 from repro.store.prefix import precompute_prefix
 from repro.store.service import QueryService, make_server
@@ -58,12 +58,6 @@ from repro.store.warm import load_context_record, load_serving_context, warm_sta
 BASELINE_FILE = "BENCH_store.json"
 BASELINE_SELECT_MS = 125.152  # BENCH_store.json medium selection_cd serve
 PREDICT_METHODS = ("CD", "IC", "LT")
-
-
-def _percentile(samples: list[float], q: float) -> float:
-    ordered = sorted(samples)
-    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
-    return ordered[index]
 
 
 def build_store(root: str, mode: str) -> int:
@@ -105,12 +99,14 @@ def bench_select_paths(root: str, k: int, requests: int) -> dict:
     assert warm_service.select(payload) == reference, "prefix/cold mismatch"
 
     def _median_ms(service: QueryService) -> float:
-        samples = []
+        # One histogram per path; summary() is the repo's pinned
+        # quantile math (repro.obs.metrics), not a private formula.
+        latency = Registry().histogram("bench_select_ms")
         for _ in range(requests):
             started = time.perf_counter()
             service.select(payload)
-            samples.append((time.perf_counter() - started) * 1000)
-        return statistics.median(samples)
+            latency.observe((time.perf_counter() - started) * 1000)
+        return latency.summary()["p50"]
 
     cold_ms = _median_ms(cold_service)
     prefix_ms = _median_ms(warm_service)
@@ -141,15 +137,19 @@ def bench_select_paths(root: str, k: int, requests: int) -> dict:
 class _LoadResult:
     def __init__(self) -> None:
         self.lock = threading.Lock()
-        self.samples: dict[str, list[float]] = {}
+        self.latency = Registry().histogram(
+            "bench_latency_ms", labelnames=("endpoint",)
+        )
+        self.endpoints: set[str] = set()
         self.statuses: dict[int, int] = {}
         self.bodies: dict[str, set[str]] = {}
         self.transport_errors = 0
 
     def record(self, endpoint: str, key: str, status: int,
                elapsed_ms: float, body: str) -> None:
+        self.latency.observe(elapsed_ms, endpoint=endpoint)
         with self.lock:
-            self.samples.setdefault(endpoint, []).append(elapsed_ms)
+            self.endpoints.add(endpoint)
             self.statuses[status] = self.statuses.get(status, 0) + 1
             if status == 200:
                 self.bodies.setdefault(key, set()).add(body)
@@ -231,15 +231,15 @@ def bench_load(root: str, k_max: int, workers: int, rounds: int) -> dict:
         server.server_close()
 
     total = sum(result.statuses.values())
-    endpoints = {
-        name: {
-            "count": len(samples),
-            "p50_ms": round(_percentile(samples, 0.50), 3),
-            "p99_ms": round(_percentile(samples, 0.99), 3),
-            "mean_ms": round(statistics.fmean(samples), 3),
+    endpoints = {}
+    for name in sorted(result.endpoints):
+        summary = result.latency.summary(endpoint=name)
+        endpoints[name] = {
+            "count": summary["count"],
+            "p50_ms": round(summary["p50"], 3),
+            "p99_ms": round(summary["p99"], 3),
+            "mean_ms": round(summary["mean"], 3),
         }
-        for name, samples in sorted(result.samples.items())
-    }
     status_5xx = sum(
         count for status, count in result.statuses.items() if status >= 500
     )

@@ -13,7 +13,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-data-based-im",
-    version="1.10.0",
+    version="1.11.0",
     description=(
         "Reproduction of 'A Data-Based Approach to Social Influence "
         "Maximization' (Goyal, Bonchi, Lakshmanan; PVLDB 2011)"

@@ -163,7 +163,7 @@ from repro.probabilities.static import (
 )
 from repro.store import ArtifactStore
 
-__version__ = "1.10.0"
+__version__ = "1.11.0"
 
 __all__ = [
     # api (the canonical surface)

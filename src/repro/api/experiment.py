@@ -457,6 +457,9 @@ class ExperimentResult:
     # report (updated/carried/relearned routing) and, with a store, the
     # derived bundle's identity (see repro.stream).
     ingest: dict[str, Any] | None = None
+    # Span export when the run was traced (REPRO_TRACE or `repro trace`):
+    # {"trace_id", "spans": [...]}; see repro.obs.trace.Trace.to_dict.
+    trace: dict[str, Any] | None = None
 
     def labels(self) -> list[str]:
         """Selector labels in config order."""
@@ -616,7 +619,7 @@ class ExperimentResult:
                     for method, pairs in self.prediction.records.items()
                 },
             }
-        return {
+        payload = {
             "config": self.config.to_dict(),
             "dataset": self.dataset_name,
             "timings": dict(self.timings),
@@ -633,6 +636,9 @@ class ExperimentResult:
             ],
             "prediction": prediction,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     def to_json(self, indent: int | None = 2) -> str:
         """Serialise to JSON (see :meth:`to_dict` for the schema)."""

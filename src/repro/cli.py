@@ -339,6 +339,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a wait=true /ingest blocks before returning the "
         "still-running job (0 or less = unbounded)",
     )
+    serve.add_argument(
+        "--access-log", action="store_true",
+        help="log one line per request (client, route, status, latency, "
+        "request id) on the repro.serve logger",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a JSON-configured experiment under tracing and export "
+        "the span tree as JSON (repro.obs)",
+    )
+    trace.add_argument("--config", required=True,
+                       help="experiment config JSON (as `repro run`)")
+    trace.add_argument("--out", default=None,
+                       help="write the trace export here (default: stdout)")
+    trace.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="override the config's artifact store root",
+    )
+    trace.add_argument(
+        "--trace-id", default=None,
+        help="explicit trace id (span ids derive from it, so a fixed id "
+        "makes the whole export reproducible)",
+    )
+    trace.add_argument(
+        "--executor", choices=["auto", "serial", "thread", "process"],
+        default=None, help="override the config's executor",
+    )
 
     soak = commands.add_parser(
         "soak",
@@ -391,6 +419,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "ingest": _cmd_ingest,
         "prefix": _cmd_prefix,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "soak": _cmd_soak,
     }[args.command]
     return handler(args)
@@ -1001,10 +1030,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         serve(args.store, host=args.host, port=args.port,
               cache_size=args.cache, queue_depth=args.queue_depth,
-              ingest_timeout=ingest_timeout)
+              ingest_timeout=ingest_timeout, access_log=args.access_log)
     except StoreError as error:
         print(str(error), file=sys.stderr)
         return 2
+    return 0
+
+
+def _render_span_tree(trace_export: dict) -> str:
+    """An indented one-line-per-span view of a trace export."""
+    children: dict[str, list[dict]] = {}
+    roots: list[dict] = []
+    for span in trace_export["spans"]:
+        parent = span.get("parent_id")
+        if parent:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        flag = "  ERROR" if span.get("status") == "error" else ""
+        lines.append(
+            f"{'  ' * depth}{span['name']}  "
+            f"{span['duration_s'] * 1000.0:.1f}ms{flag}"
+        )
+        for child in sorted(
+            children.get(span["span_id"], []),
+            key=lambda item: item["start_s"],
+        ):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda item: item["start_s"]):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.obs.trace import Trace
+
+    try:
+        config = ExperimentConfig.from_json_file(args.config)
+        if args.executor is not None:
+            config.executor = args.executor
+        if args.store is not None:
+            config.store = args.store
+    except (OSError, TypeError, ValueError) as error:
+        print(f"bad experiment config: {error}", file=sys.stderr)
+        return 2
+    trace = Trace(trace_id=args.trace_id)
+    with trace.activate():
+        result = run_experiment(config)
+    export = result.trace if result.trace is not None else trace.to_dict()
+    payload = json_module.dumps(export, indent=2, sort_keys=True) + "\n"
+    if args.out is not None:
+        Path(args.out).write_text(payload, encoding="utf-8")
+        print(_render_span_tree(export))
+        print(
+            f"trace {export['trace_id']}: {len(export['spans'])} spans "
+            f"-> {args.out}"
+        )
+    else:
+        sys.stdout.write(payload)
     return 0
 
 

@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, BinaryIO
 
 from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import trace as obs_trace
 from repro.store.io import StoreIO
 
 __all__ = ["CrashPoint", "WorkerDied", "FaultInjector"]
@@ -123,12 +124,19 @@ class FaultInjector(StoreIO):
         """
         torn: list[tuple[FaultSpec, int]] = []
         for spec, step in self._due(site):
-            if spec.kind == "delay":
-                time.sleep(spec.delay_s)
-            elif spec.kind == "torn":
-                torn.append((spec, step))
-            else:
-                self._raise_for(spec, site, step)
+            # The span wraps the fault's *effect* (sleep or raise), so an
+            # error-kind fault closes it on the exception path with the
+            # raised type recorded — the trace shows exactly which
+            # injected fault tore through which operation.
+            with obs_trace.span(
+                "fault.fire", site=site, kind=spec.kind, step=step
+            ):
+                if spec.kind == "delay":
+                    time.sleep(spec.delay_s)
+                elif spec.kind == "torn":
+                    torn.append((spec, step))
+                else:
+                    self._raise_for(spec, site, step)
         return torn
 
     # ------------------------------------------------------------------

@@ -24,13 +24,13 @@ from __future__ import annotations
 
 import http.client
 import json
-import statistics
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.faults.injector import FaultInjector
+from repro.obs.metrics import exact_median, exact_percentile
 from repro.faults.plan import parse_fault_plan
 from repro.store.store import ArtifactStore
 from repro.utils.retry import RetryPolicy
@@ -377,10 +377,10 @@ def run_soak(store_root: str, config: SoakConfig | None = None) -> dict[str, Any
     endpoints = {
         name: {
             "count": len(samples),
-            "p50_ms": round(statistics.median(samples), 3),
-            "p99_ms": round(sorted(samples)[
-                min(len(samples) - 1, round(0.99 * (len(samples) - 1)))
-            ], 3),
+            # The repo's pinned quantile semantics (repro.obs.metrics),
+            # byte-identical to the private formulas they replace.
+            "p50_ms": round(exact_median(samples), 3),
+            "p99_ms": round(exact_percentile(samples, 0.99), 3),
         }
         for name, samples in sorted(traffic.samples.items())
     }

@@ -48,6 +48,8 @@ from __future__ import annotations
 import os
 import warnings
 
+from repro.obs import trace as obs_trace
+
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
@@ -100,21 +102,26 @@ def resolve_backend(requested: str | None = None) -> str:
     ``"python"`` with a one-time :class:`RuntimeWarning`.
     """
     global _WARNED_FALLBACK
-    if requested is None or requested == "auto":
-        requested = os.environ.get(BACKEND_ENV_VAR, "") or "python"
-    if requested not in BACKENDS:
-        raise ValueError(
-            f"backend must be one of {BACKENDS + ('auto',)}, got {requested!r}"
-        )
-    if requested == "numpy" and not numpy_available():
-        if not _WARNED_FALLBACK:
-            warnings.warn(
-                "the 'numpy' backend was requested but NumPy is not "
-                "installed; falling back to the pure-Python reference "
-                "implementations",
-                RuntimeWarning,
-                stacklevel=2,
+    with obs_trace.span("kernels.resolve_backend") as sp:
+        sp.set(requested=str(requested))
+        if requested is None or requested == "auto":
+            requested = os.environ.get(BACKEND_ENV_VAR, "") or "python"
+        if requested not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS + ('auto',)}, "
+                f"got {requested!r}"
             )
-            _WARNED_FALLBACK = True
-        return "python"
-    return requested
+        if requested == "numpy" and not numpy_available():
+            if not _WARNED_FALLBACK:
+                warnings.warn(
+                    "the 'numpy' backend was requested but NumPy is not "
+                    "installed; falling back to the pure-Python reference "
+                    "implementations",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _WARNED_FALLBACK = True
+            sp.set(resolved="python", fallback=True)
+            return "python"
+        sp.set(resolved=requested)
+        return requested

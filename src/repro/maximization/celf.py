@@ -19,11 +19,12 @@ That property is what :mod:`repro.store.prefix` persists: serve a
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
 from repro.maximization.greedy import GreedyResult, _sweep
+from repro.obs import trace as obs_trace
+from repro.obs.trace import monotonic
 from repro.maximization.oracle import SpreadOracle
 from repro.utils.pqueue import LazyQueue
 from repro.utils.validation import require
@@ -88,54 +89,63 @@ def celf_maximize(
       to, ready to resume past this run's ``k``.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
-    started = time.perf_counter()
-    result = GreedyResult()
-    if state is not None:
-        queue = LazyQueue.restore(state.queue)
-        selected: list[User] = list(state.seeds)
-        result.seeds = list(state.seeds)
-        result.gains = list(state.gains)
-        result.oracle_calls = state.oracle_calls
-        current_spread = state.spread
-    else:
-        pool = list(oracle.candidates() if candidates is None else candidates)
-        if k == 0 or not pool:
-            if state_out is not None:
-                state_out.append(CELFState(queue=LazyQueue().snapshot()))
-            return result
-        queue = LazyQueue()
-        gains = _sweep(oracle, [], pool, executor)
-        result.oracle_calls += len(pool)
-        for node, gain in zip(pool, gains):
-            queue.push(node, gain, iteration=0)
-        selected = []
-        current_spread = 0.0
-
-    while len(selected) < k and queue:
-        entry = queue.pop()
-        if entry.iteration == len(selected):
-            # Fresh gain: by submodularity no other node can beat it.
-            selected.append(entry.item)
-            current_spread += entry.gain
-            result.seeds.append(entry.item)
-            result.gains.append(entry.gain)
-            if time_log is not None:
-                time_log.append((len(selected), time.perf_counter() - started))
-            if checkpoints is not None:
-                checkpoints.append((result.oracle_calls, current_spread))
+    started = monotonic()
+    with obs_trace.span(
+        "maximize.celf", k=k, resumed=state is not None
+    ) as span:
+        result = GreedyResult()
+        if state is not None:
+            queue = LazyQueue.restore(state.queue)
+            selected: list[User] = list(state.seeds)
+            result.seeds = list(state.seeds)
+            result.gains = list(state.gains)
+            result.oracle_calls = state.oracle_calls
+            current_spread = state.spread
         else:
-            new_gain = oracle.spread(selected + [entry.item]) - current_spread
-            result.oracle_calls += 1
-            queue.push(entry.item, new_gain, iteration=len(selected))
-    result.spread = current_spread
-    if state_out is not None:
-        state_out.append(
-            CELFState(
-                queue=queue.snapshot(),
-                seeds=list(selected),
-                gains=list(result.gains),
-                spread=current_spread,
-                oracle_calls=result.oracle_calls,
+            pool = list(
+                oracle.candidates() if candidates is None else candidates
             )
-        )
-    return result
+            if k == 0 or not pool:
+                if state_out is not None:
+                    state_out.append(CELFState(queue=LazyQueue().snapshot()))
+                span.set(oracle_calls=0)
+                return result
+            queue = LazyQueue()
+            gains = _sweep(oracle, [], pool, executor)
+            result.oracle_calls += len(pool)
+            for node, gain in zip(pool, gains):
+                queue.push(node, gain, iteration=0)
+            selected = []
+            current_spread = 0.0
+
+        while len(selected) < k and queue:
+            entry = queue.pop()
+            if entry.iteration == len(selected):
+                # Fresh gain: by submodularity no other node can beat it.
+                selected.append(entry.item)
+                current_spread += entry.gain
+                result.seeds.append(entry.item)
+                result.gains.append(entry.gain)
+                if time_log is not None:
+                    time_log.append((len(selected), monotonic() - started))
+                if checkpoints is not None:
+                    checkpoints.append((result.oracle_calls, current_spread))
+            else:
+                new_gain = (
+                    oracle.spread(selected + [entry.item]) - current_spread
+                )
+                result.oracle_calls += 1
+                queue.push(entry.item, new_gain, iteration=len(selected))
+        result.spread = current_spread
+        if state_out is not None:
+            state_out.append(
+                CELFState(
+                    queue=queue.snapshot(),
+                    seeds=list(selected),
+                    gains=list(result.gains),
+                    spread=current_spread,
+                    oracle_calls=result.oracle_calls,
+                )
+            )
+        span.set(oracle_calls=result.oracle_calls, seeds=len(result.seeds))
+        return result

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Iterable
 
 from repro.maximization.oracle import SpreadOracle
+from repro.obs import trace as obs_trace
 from repro.utils.validation import require
 
 __all__ = ["GreedyResult", "greedy_maximize"]
@@ -115,27 +116,29 @@ def greedy_maximize(
         artifacts (:mod:`repro.store.prefix`) rely on.
     """
     require(k >= 0, f"k must be non-negative, got {k}")
-    pool = list(oracle.candidates() if candidates is None else candidates)
-    result = GreedyResult()
-    current_spread = 0.0
-    selected: set[User] = set()
-    for _ in range(min(k, len(pool))):
-        remaining = [node for node in pool if node not in selected]
-        if not remaining:
-            break
-        spreads = _sweep(oracle, list(selected), remaining, executor)
-        result.oracle_calls += len(remaining)
-        best_node = None
-        best_spread = float("-inf")
-        for node, candidate_spread in zip(remaining, spreads):
-            if candidate_spread > best_spread:
-                best_spread = candidate_spread
-                best_node = node
-        selected.add(best_node)
-        result.seeds.append(best_node)
-        result.gains.append(best_spread - current_spread)
-        current_spread = best_spread
-        if checkpoints is not None:
-            checkpoints.append((result.oracle_calls, current_spread))
-    result.spread = current_spread
-    return result
+    with obs_trace.span("maximize.greedy", k=k) as span:
+        pool = list(oracle.candidates() if candidates is None else candidates)
+        result = GreedyResult()
+        current_spread = 0.0
+        selected: set[User] = set()
+        for _ in range(min(k, len(pool))):
+            remaining = [node for node in pool if node not in selected]
+            if not remaining:
+                break
+            spreads = _sweep(oracle, list(selected), remaining, executor)
+            result.oracle_calls += len(remaining)
+            best_node = None
+            best_spread = float("-inf")
+            for node, candidate_spread in zip(remaining, spreads):
+                if candidate_spread > best_spread:
+                    best_spread = candidate_spread
+                    best_node = node
+            selected.add(best_node)
+            result.seeds.append(best_node)
+            result.gains.append(best_spread - current_spread)
+            current_spread = best_spread
+            if checkpoints is not None:
+                checkpoints.append((result.oracle_calls, current_spread))
+        result.spread = current_spread
+        span.set(oracle_calls=result.oracle_calls, seeds=len(result.seeds))
+        return result

@@ -35,6 +35,7 @@ from repro.core.sketch import (
 )
 from repro.graphs.digraph import SocialGraph
 from repro.kernels import resolve_backend
+from repro.obs import trace as obs_trace
 from repro.utils.ordering import node_sort_key
 from repro.utils.rng import integer_seed, make_rng
 from repro.utils.validation import require
@@ -207,67 +208,76 @@ def ris_maximize(
         rr_sets is None or sketches is None,
         "pass precomputed rr_sets or sketches, not both",
     )
-    if rr_sets is None:
-        if sketches is None:
-            base = integer_seed(seed)
-            generation_seed = (
-                None
-                if base is None
-                else sketch_generation_seed(base, num_rr_sets, hops)
-            )
-            if resolve_backend(backend) == "numpy":
-                from repro.kernels.sketch_numpy import CompiledSketcher
-
-                sketches = CompiledSketcher.from_graph(
-                    graph, probabilities
-                ).generate(num_rr_sets, hops=hops, seed=generation_seed)
-            else:
-                sketches = generate_sketches(
-                    graph,
-                    probabilities,
-                    num_rr_sets,
-                    hops=hops,
-                    seed=generation_seed,
+    with obs_trace.span(
+        "maximize.ris", k=k, legacy=rr_sets is not None
+    ) as span:
+        if rr_sets is None:
+            if sketches is None:
+                base = integer_seed(seed)
+                generation_seed = (
+                    None
+                    if base is None
+                    else sketch_generation_seed(base, num_rr_sets, hops)
                 )
-        return _coverage_result(sketches, k, backend, checkpoints)
-    result = RISResult(num_rr_sets=len(rr_sets))
-    if k == 0 or not rr_sets:
-        return result
+                if resolve_backend(backend) == "numpy":
+                    from repro.kernels.sketch_numpy import CompiledSketcher
 
-    # node -> indices of RR sets containing it.
-    membership: dict[User, list[int]] = {}
-    for index, rr in enumerate(rr_sets):
-        for node in rr:
-            membership.setdefault(node, []).append(index)
-    cover_count = {node: len(indices) for node, indices in membership.items()}
-    covered = [False] * len(rr_sets)
-    scale = graph.num_nodes / len(rr_sets)
-    total_covered = 0
-    for _ in range(min(k, len(cover_count))):
-        best = None
-        gain = 0
-        for node, count in cover_count.items():
-            if count > gain or (
-                count == gain
-                and best is not None
-                and node_sort_key(node) < node_sort_key(best)
-            ):
-                best = node
-                gain = count
-        if best is None or gain <= 0:
-            break
-        result.seeds.append(best)
-        result.gains.append(gain * scale)
-        total_covered += gain
-        if checkpoints is not None:
-            checkpoints.append((0, total_covered * scale))
-        for index in membership[best]:
-            if covered[index]:
-                continue
-            covered[index] = True
-            for node in rr_sets[index]:
-                if node in cover_count:
-                    cover_count[node] -= 1
-        del cover_count[best]
-    result.spread = total_covered * scale
-    return result
+                    sketches = CompiledSketcher.from_graph(
+                        graph, probabilities
+                    ).generate(num_rr_sets, hops=hops, seed=generation_seed)
+                else:
+                    sketches = generate_sketches(
+                        graph,
+                        probabilities,
+                        num_rr_sets,
+                        hops=hops,
+                        seed=generation_seed,
+                    )
+            result = _coverage_result(sketches, k, backend, checkpoints)
+            span.set(seeds=len(result.seeds), num_rr_sets=result.num_rr_sets)
+            return result
+        result = RISResult(num_rr_sets=len(rr_sets))
+        if k == 0 or not rr_sets:
+            span.set(seeds=0, num_rr_sets=result.num_rr_sets)
+            return result
+
+        # node -> indices of RR sets containing it.
+        membership: dict[User, list[int]] = {}
+        for index, rr in enumerate(rr_sets):
+            for node in rr:
+                membership.setdefault(node, []).append(index)
+        cover_count = {
+            node: len(indices) for node, indices in membership.items()
+        }
+        covered = [False] * len(rr_sets)
+        scale = graph.num_nodes / len(rr_sets)
+        total_covered = 0
+        for _ in range(min(k, len(cover_count))):
+            best = None
+            gain = 0
+            for node, count in cover_count.items():
+                if count > gain or (
+                    count == gain
+                    and best is not None
+                    and node_sort_key(node) < node_sort_key(best)
+                ):
+                    best = node
+                    gain = count
+            if best is None or gain <= 0:
+                break
+            result.seeds.append(best)
+            result.gains.append(gain * scale)
+            total_covered += gain
+            if checkpoints is not None:
+                checkpoints.append((0, total_covered * scale))
+            for index in membership[best]:
+                if covered[index]:
+                    continue
+                covered[index] = True
+                for node in rr_sets[index]:
+                    if node in cover_count:
+                        cover_count[node] -= 1
+            del cover_count[best]
+        result.spread = total_covered * scale
+        span.set(seeds=len(result.seeds), num_rr_sets=result.num_rr_sets)
+        return result

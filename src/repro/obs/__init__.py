@@ -1,0 +1,56 @@
+"""repro.obs — unified tracing and metrics for pipeline, store, serving.
+
+Two halves, both strictly out-of-band (nothing here may perturb
+response bodies, stored artifacts, or any byte-determinism contract):
+
+- :mod:`repro.obs.trace` — lightweight nested spans with monotonic
+  timing and deterministic span ids, propagated through the
+  :class:`~repro.runtime.executor.Executor` seam so serial, thread and
+  process runs produce the same span tree shape.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms plus the exact
+  quantile math the bench harnesses share, rendered on demand in the
+  Prometheus text exposition format by ``GET /metrics``.
+
+See ``docs/OBSERVABILITY.md`` for the span catalog and metric
+vocabulary.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    default_registry,
+    exact_median,
+    exact_percentile,
+    render_exposition,
+)
+from repro.obs.trace import (
+    TRACE_ENV_VAR,
+    Span,
+    Trace,
+    current_trace,
+    monotonic,
+    span,
+    trace_enabled,
+    trace_from_env,
+)
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "Span",
+    "Trace",
+    "current_trace",
+    "monotonic",
+    "span",
+    "trace_enabled",
+    "trace_from_env",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "default_registry",
+    "exact_median",
+    "exact_percentile",
+    "render_exposition",
+]

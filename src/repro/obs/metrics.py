@@ -1,0 +1,399 @@
+"""Counters, gauges, histograms and the Prometheus text exposition.
+
+One registry class backs every telemetry surface in the repo:
+
+- ``repro serve`` holds a per-service :class:`Registry` (so two
+  services in one process never mix counters) and renders it on
+  ``GET /metrics``; ``/healthz`` reads its JSON fields back *from* the
+  registry, keeping the response schema byte-compatible with the
+  pre-registry servers.
+- The pipeline publishes stage-duration gauges to the process-wide
+  :func:`default_registry`.
+- The load/soak harnesses build latency summaries through
+  :meth:`Histogram.summary` instead of three private percentile
+  implementations.
+
+Quantile semantics are pinned, not approximated: the harnesses have
+published reports since PR 7 using the nearest-rank formula
+``sorted(samples)[min(n - 1, round(q * (n - 1)))]`` for p99 (Python
+banker's rounding and all) and :func:`statistics.median` for p50.
+:func:`exact_percentile` / :func:`exact_median` are those exact
+functions; :meth:`Histogram.summary` composes them.  Histograms also
+keep fixed cumulative buckets for exposition — buckets are for
+scrapers, summaries are exact.
+
+Rendering is deterministic: metrics in registration order, label sets
+sorted, values formatted minimally.  The content type to serve with a
+rendered page is :data:`EXPOSITION_CONTENT_TYPE`.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "EXPOSITION_CONTENT_TYPE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "default_registry",
+    "exact_median",
+    "exact_percentile",
+    "render_exposition",
+]
+
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Default latency ladder, in seconds: 1ms..10s covers everything from
+#: a warm prefix lookup to a cold MC-evaluated select.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def exact_percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, exactly as the bench harnesses define it.
+
+    ``sorted(samples)[min(n - 1, round(q * (n - 1)))]`` — note Python's
+    banker's rounding on the index.  Raises on an empty sequence, like
+    the private implementations it replaces.
+    """
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def exact_median(samples: Sequence[float]) -> float:
+    """p50 as :func:`statistics.median` (mean of middle two for even n)."""
+    return statistics.median(samples)
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: Mapping[str, Any], metric: str
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"metric {metric} takes labels {sorted(labelnames)}, "
+            f"got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labelnames: tuple[str, ...], key: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(labelnames, key)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    kind = ""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+
+    def _key(self, labels: Mapping[str, Any]) -> tuple[str, ...]:
+        return _label_key(self.labelnames, labels, self.name)
+
+    def _render(self) -> Iterator[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name, help, labelnames, lock) -> None:
+        super().__init__(name, help, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+    def by_label(self, labelname: str) -> dict[str, float]:
+        """``{label value: count}`` projection for one label position."""
+        position = self.labelnames.index(labelname)
+        with self._lock:
+            return {key[position]: value for key, value in self._values.items()}
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def _render(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            # An unlabelled counter is 0 until first incremented; a
+            # scraper should see the sample, not an absent series.
+            yield f"{self.name} 0"
+            return
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            yield f"{self.name}{labels} {_format_value(value)}"
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (depths, durations, timestamps)."""
+
+    kind = "gauge"
+
+    def __init__(self, name, help, labelnames, lock) -> None:
+        super().__init__(name, help, labelnames, lock)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def _render(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            yield f"{self.name} 0"
+            return
+        for key, value in items:
+            labels = _render_labels(self.labelnames, key)
+            yield f"{self.name}{labels} {_format_value(value)}"
+
+
+class _Series:
+    """One label set's histogram state."""
+
+    __slots__ = ("samples", "total", "count", "bucket_counts")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.samples: list[float] | None = []
+        self.total = 0.0
+        self.count = 0
+        self.bucket_counts = [0] * num_buckets
+
+
+class Histogram(_Metric):
+    """Observations with exact summaries and fixed exposition buckets.
+
+    Raw samples are retained so :meth:`summary` can reproduce the
+    harnesses' exact quantiles; the cumulative buckets exist only for
+    the Prometheus rendering.  Retention is bounded per label set
+    (``max_samples``, default 100k — a long soak's worth): past the
+    cap the sample list is dropped and quantiles report 0.0, while
+    buckets, sum and count stay exact forever.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name,
+        help,
+        labelnames,
+        lock,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        max_samples: int = 100_000,
+    ) -> None:
+        super().__init__(name, help, labelnames, lock)
+        self.buckets = tuple(sorted(float(edge) for edge in buckets))
+        self.max_samples = max_samples
+        self._series: dict[tuple[str, ...], _Series] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        value = float(value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _Series(len(self.buckets))
+            series.total += value
+            series.count += 1
+            # Cumulative `le` semantics: a value lands in every bucket
+            # whose edge is >= it.
+            for position, edge in enumerate(self.buckets):
+                if value <= edge:
+                    series.bucket_counts[position] += 1
+            if series.samples is not None:
+                series.samples.append(value)
+                if len(series.samples) > self.max_samples:
+                    series.samples = None
+
+    def samples(self, **labels: Any) -> list[float]:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return list(series.samples or ()) if series else []
+
+    def count(self, **labels: Any) -> int:
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        return exact_percentile(self.samples(**labels), q)
+
+    def median(self, **labels: Any) -> float:
+        return exact_median(self.samples(**labels))
+
+    def summary(self, **labels: Any) -> dict[str, float]:
+        """``{count, mean, p50, p99}`` with the harnesses' exact math.
+
+        p50 is :func:`exact_median`, p99 :func:`exact_percentile` —
+        byte-for-byte the numbers ``bench_serve_load``/``bench_soak``
+        reported before deduplication.  Empty series summarize to
+        zeros rather than raising.
+        """
+        values = self.samples(**labels)
+        if not values:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p99": 0.0}
+        return {
+            "count": len(values),
+            "mean": statistics.fmean(values),
+            "p50": exact_median(values),
+            "p99": exact_percentile(values, 0.99),
+        }
+
+    def _render(self) -> Iterator[str]:
+        with self._lock:
+            items = sorted(
+                (key, list(series.bucket_counts), series.total, series.count)
+                for key, series in self._series.items()
+            )
+        for key, bucket_counts, total, count in items:
+            for edge, cumulative in zip(self.buckets, bucket_counts):
+                labels = _render_labels(
+                    self.labelnames + ("le",), key + (_format_value(edge),)
+                )
+                yield f"{self.name}_bucket{labels} {cumulative}"
+            labels = _render_labels(self.labelnames + ("le",), key + ("+Inf",))
+            yield f"{self.name}_bucket{labels} {count}"
+            plain = _render_labels(self.labelnames, key)
+            yield f"{self.name}_sum{plain} {_format_value(total)}"
+            yield f"{self.name}_count{plain} {count}"
+
+
+class Registry:
+    """A named collection of metrics with get-or-create registration."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls, name, help, labelnames, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, threading.Lock(), **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, labelnames, buckets=buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """This registry alone in Prometheus text format."""
+        return render_exposition(self)
+
+
+def render_exposition(*registries: Registry) -> str:
+    """Concatenate registries into one Prometheus text page.
+
+    Serve with ``Content-Type:`` :data:`EXPOSITION_CONTENT_TYPE`.
+    Later registries' duplicate metric names are skipped (a service
+    registry listed first wins over the process-wide default).
+    """
+    lines: list[str] = []
+    seen: set[str] = set()
+    for registry in registries:
+        with registry._lock:
+            metrics = list(registry._metrics.values())
+        for metric in metrics:
+            if metric.name in seen:
+                continue
+            seen.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric._render())
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_DEFAULT = Registry()
+
+
+def default_registry() -> Registry:
+    """The process-wide registry (pipeline stage gauges land here)."""
+    return _DEFAULT

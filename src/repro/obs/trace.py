@@ -1,0 +1,311 @@
+"""Lightweight nested tracing spans with deterministic ids.
+
+Design constraints, in order:
+
+1. **Out-of-band.** Tracing must never perturb results.  Spans read
+   clocks and append to a list; they never touch RNG state, artifact
+   bytes, or response bodies.  The parity suite runs every determinism
+   contract with tracing on and off and asserts bit-identity.
+2. **Free when off.** ``span(...)`` with no active trace costs one
+   :mod:`contextvars` read and returns a shared null object — cheap
+   enough to leave in hot paths (`store.get`, kernel dispatch).
+3. **Deterministic span ids.** A span's id is a blake2b digest of
+   ``(trace_id, parent_id, name, index)`` where ``index`` is the
+   per-(parent, name) child counter.  Two runs with the same trace id
+   and the same call structure produce the same ids — and, crucially,
+   the serial, thread and process executors produce the *same span
+   tree* for the same work (the executor pins each task's index
+   explicitly, so scheduling order cannot leak into ids).
+4. **Executor-safe.** Worker threads and processes do not inherit the
+   submitting context.  The :class:`~repro.runtime.executor.Executor`
+   seam therefore ships an explicit :func:`export_task` token with
+   each task; :func:`run_task` rebuilds a recorder around the task and
+   returns its spans for :func:`absorb_task` to merge in submission
+   order.
+
+Timestamps are offsets from each recorder's construction on the
+``monotonic`` clock (:func:`time.perf_counter` — the single clock
+source for the whole codebase; ``utils.timing`` imports it from here).
+Offsets from worker recorders are relative to the worker task's own
+start, not the parent trace epoch: span *durations* are always
+meaningful, cross-process start offsets are not.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import hashlib
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "Span",
+    "Trace",
+    "absorb_task",
+    "current_trace",
+    "export_task",
+    "monotonic",
+    "run_task",
+    "span",
+    "trace_enabled",
+    "trace_from_env",
+]
+
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+#: The single monotonic clock source.  Everything that times work —
+#: spans, ``utils.timing.Timer``, the serving latency histograms —
+#: reads this name so there is exactly one clock to reason about.
+monotonic = time.perf_counter
+
+# The active recorder for this context: (Trace, current span id | None).
+_ACTIVE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_active", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed, named region.  Plain data; picklable across workers."""
+
+    span_id: str
+    parent_id: str | None
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    duration_s: float = 0.0
+    status: str = "ok"
+    error: str | None = None
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span (merged into ``attrs``)."""
+        self.attrs.update(attrs)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s, 6),
+            "status": self.status,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class Trace:
+    """A span recorder: the per-run trace id plus the collected spans.
+
+    Spans are appended on *close*, so the list is in completion order;
+    tree structure lives in the ``parent_id`` links.  Thread-safe — a
+    traced thread-pool map appends from the submitting thread only,
+    but direct concurrent use (e.g. a traced server) is also safe.
+    """
+
+    def __init__(self, trace_id: str | None = None) -> None:
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex[:16]
+        self.spans: list[Span] = []
+        self._epoch = monotonic()
+        self._lock = threading.Lock()
+        self._child_counts: dict[tuple[str | None, str], int] = {}
+
+    def span_id_for(self, parent_id: str | None, name: str, index: int) -> str:
+        seed = f"{self.trace_id}/{parent_id or ''}/{name}/{index}"
+        return hashlib.blake2b(seed.encode("utf-8"), digest_size=8).hexdigest()
+
+    def next_index(self, parent_id: str | None, name: str) -> int:
+        with self._lock:
+            key = (parent_id, name)
+            index = self._child_counts.get(key, 0)
+            self._child_counts[key] = index + 1
+            return index
+
+    def record(self, recorded: Span) -> None:
+        with self._lock:
+            self.spans.append(recorded)
+
+    def activate(self) -> "_Activation":
+        """Context manager making this trace current for the block."""
+        return _Activation(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "spans": [recorded.to_dict() for recorded in self.spans],
+        }
+
+
+class _Activation:
+    __slots__ = ("_trace", "_token")
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+        self._token = None
+
+    def __enter__(self) -> Trace:
+        self._token = _ACTIVE.set((self._trace, None))
+        return self._trace
+
+    def __exit__(self, *exc_info: Any) -> None:
+        _ACTIVE.reset(self._token)
+
+
+def current_trace() -> Trace | None:
+    """The active trace in this context, or None."""
+    state = _ACTIVE.get()
+    return state[0] if state is not None else None
+
+
+def trace_enabled() -> bool:
+    return _ACTIVE.get() is not None
+
+
+def trace_from_env() -> Trace | None:
+    """A fresh trace if ``REPRO_TRACE`` requests one, else None.
+
+    ``1``/``on``/``true`` get a random trace id; any other non-empty
+    value is hashed into a *stable* trace id, so two runs with
+    ``REPRO_TRACE=myrun`` produce identical span ids (the executor
+    span-tree parity tests rely on this).
+    """
+    value = os.environ.get(TRACE_ENV_VAR, "").strip()
+    if not value or value.lower() in ("0", "off", "false", "no"):
+        return None
+    if value.lower() in ("1", "on", "true", "yes"):
+        return Trace()
+    stable = hashlib.blake2b(value.encode("utf-8"), digest_size=8).hexdigest()
+    return Trace(trace_id=stable)
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class span:
+    """``with span("store.get", key=...) as sp:`` — record one region.
+
+    When no trace is active the body runs untouched and ``sp`` is a
+    shared null object.  When active, the span closes on exit — on the
+    exception path too, with ``status="error"`` and the exception type
+    name — and is appended to the trace.
+    """
+
+    __slots__ = ("_name", "_attrs", "_state", "_span", "_token", "_started")
+
+    def __init__(self, name: str, **attrs: Any) -> None:
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span | _NullSpan:
+        state = _ACTIVE.get()
+        self._state = state
+        if state is None:
+            return _NULL_SPAN
+        trace, parent_id = state
+        index = trace.next_index(parent_id, self._name)
+        opened = Span(
+            span_id=trace.span_id_for(parent_id, self._name, index),
+            parent_id=parent_id,
+            name=self._name,
+            attrs=dict(self._attrs),
+            start_s=monotonic() - trace._epoch,
+        )
+        self._span = opened
+        self._token = _ACTIVE.set((trace, opened.span_id))
+        self._started = monotonic()
+        return opened
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if self._state is None:
+            return False
+        opened = self._span
+        opened.duration_s = monotonic() - self._started
+        if exc_type is not None:
+            opened.status = "error"
+            opened.error = exc_type.__name__
+        _ACTIVE.reset(self._token)
+        self._state[0].record(opened)
+        return False
+
+
+# --------------------------------------------------------------------------
+# Executor seam: explicit context hand-off to worker threads/processes.
+
+
+def export_task(index: int) -> tuple[str, str | None, int] | None:
+    """A picklable token carrying the trace context into task ``index``.
+
+    None when tracing is off — :func:`run_task` then runs the task
+    bare.  The token pins the task's child index explicitly, so span
+    ids do not depend on which worker runs the task or when.
+    """
+    state = _ACTIVE.get()
+    if state is None:
+        return None
+    trace, parent_id = state
+    return (trace.trace_id, parent_id, index)
+
+
+def run_task(
+    token: tuple[str, str | None, int] | None,
+    fn: Callable[[Any], Any],
+    item: Any,
+) -> tuple[Any, list[Span] | None]:
+    """Run one executor task under its own span recorder.
+
+    Returns ``(result, spans)`` where ``spans`` covers everything the
+    task recorded inside an ``executor.task`` root span (None when
+    tracing is off).  The recorder is local to the task, so thread and
+    process workers need no shared state; ids stay deterministic
+    because the root span's index comes from the token.
+    """
+    if token is None:
+        return fn(item), None
+    trace_id, parent_id, index = token
+    recorder = Trace(trace_id=trace_id)
+    root = Span(
+        span_id=recorder.span_id_for(parent_id, "executor.task", index),
+        parent_id=parent_id,
+        name="executor.task",
+        attrs={"index": index},
+    )
+    reset = _ACTIVE.set((recorder, root.span_id))
+    started = monotonic()
+    try:
+        result = fn(item)
+    except BaseException as error:
+        root.status = "error"
+        root.error = type(error).__name__
+        raise
+    finally:
+        root.duration_s = monotonic() - started
+        _ACTIVE.reset(reset)
+        recorder.record(root)
+    return result, recorder.spans
+
+
+def absorb_task(spans: list[Span] | None) -> None:
+    """Merge a finished task's spans into the active trace."""
+    state = _ACTIVE.get()
+    if state is None or not spans:
+        return
+    trace = state[0]
+    for recorded in spans:
+        trace.record(recorded)

@@ -37,6 +37,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 from repro.graphs.digraph import SocialGraph
 from repro.kernels import resolve_backend
+from repro.obs import trace as obs_trace
 from repro.runtime.executor import Executor, split_chunks
 from repro.utils.ordering import node_sort_key
 from repro.utils.rng import derive_seed
@@ -263,51 +264,56 @@ class SpreadEstimator:
         answer concurrent ``/spread``/``/predict`` queries in one pass
         instead of one engine dispatch per HTTP request.
         """
-        plans: list[tuple[list[User], list[tuple[int, int]]]] = []
-        for seeds in seed_sets:
-            seed_list = list(seeds)
-            canonical = repr(sorted(repr(node) for node in seed_list))
-            set_seed = derive_seed(self.seed, "spread", canonical)
-            plans.append(
-                (
-                    seed_list,
-                    [
-                        (size, derive_seed(set_seed, index))
-                        for index, size in enumerate(self.batch_sizes())
-                    ],
+        with obs_trace.span(
+            "estimator.spread_many", model=self.model, sets=len(seed_sets)
+        ):
+            plans: list[tuple[list[User], list[tuple[int, int]]]] = []
+            for seeds in seed_sets:
+                seed_list = list(seeds)
+                canonical = repr(sorted(repr(node) for node in seed_list))
+                set_seed = derive_seed(self.seed, "spread", canonical)
+                plans.append(
+                    (
+                        seed_list,
+                        [
+                            (size, derive_seed(set_seed, index))
+                            for index, size in enumerate(self.batch_sizes())
+                        ],
+                    )
                 )
-            )
-        engine = self.engine()
-        executor = self.executor
-        if executor is None or not executor.is_parallel:
-            all_means = [
-                _run_batch_chunk((engine, self.model, seed_list, batches))
-                for seed_list, batches in plans
+            engine = self.engine()
+            executor = self.executor
+            if executor is None or not executor.is_parallel:
+                all_means = [
+                    _run_batch_chunk((engine, self.model, seed_list, batches))
+                    for seed_list, batches in plans
+                ]
+            else:
+                # Chunk each set's batches exactly as _run would, but
+                # submit the union in one map call — the per-batch means
+                # (and so the reduced floats) cannot differ, only the
+                # scheduling.
+                payloads = []
+                chunk_counts = []
+                for seed_list, batches in plans:
+                    chunks = split_chunks(list(batches), executor.workers())
+                    chunk_counts.append(len(chunks))
+                    payloads.extend(
+                        (engine, self.model, seed_list, chunk)
+                        for chunk in chunks
+                    )
+                results = iter(executor.map(_run_batch_chunk, payloads))
+                all_means = []
+                for count in chunk_counts:
+                    means: list[float] = []
+                    for _ in range(count):
+                        means.extend(next(results))
+                    all_means.append(means)
+            return [
+                sum(mean * size for mean, (size, _) in zip(means, batches))
+                / self.num_simulations
+                for (_, batches), means in zip(plans, all_means)
             ]
-        else:
-            # Chunk each set's batches exactly as _run would, but submit
-            # the union in one map call — the per-batch means (and so
-            # the reduced floats) cannot differ, only the scheduling.
-            payloads = []
-            chunk_counts = []
-            for seed_list, batches in plans:
-                chunks = split_chunks(list(batches), executor.workers())
-                chunk_counts.append(len(chunks))
-                payloads.extend(
-                    (engine, self.model, seed_list, chunk) for chunk in chunks
-                )
-            results = iter(executor.map(_run_batch_chunk, payloads))
-            all_means = []
-            for count in chunk_counts:
-                means: list[float] = []
-                for _ in range(count):
-                    means.extend(next(results))
-                all_means.append(means)
-        return [
-            sum(mean * size for mean, (size, _) in zip(means, batches))
-            / self.num_simulations
-            for (_, batches), means in zip(plans, all_means)
-        ]
 
     def _run(
         self, seeds: list[User], batches: Sequence[tuple[int, int]]

@@ -39,6 +39,7 @@ import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Callable, Sequence, TypeVar
 
+from repro.obs import trace as obs_trace
 from repro.utils.validation import require
 
 __all__ = [
@@ -97,6 +98,12 @@ def split_chunks(items: Sequence[T], parts: int) -> list[list[T]]:
         chunks.append(items[start:start + size])
         start += size
     return chunks
+
+
+def _traced_call(payload):
+    """Module-level (hence picklable) task wrapper for traced maps."""
+    token, fn, item = payload
+    return obs_trace.run_task(token, fn, item)
 
 
 class Executor:
@@ -183,6 +190,8 @@ class Executor:
         items = list(items)
         if not items:
             return []
+        if obs_trace.trace_enabled():
+            return self._map_traced(fn, items)
         if (
             self.kind == "serial"
             or len(items) == 1
@@ -194,6 +203,43 @@ class Executor:
             return list(pool.map(self._reentrancy_guard(fn), items))
         chunksize = max(1, len(items) // (self.workers() * 2))
         return list(pool.map(fn, items, chunksize=chunksize))
+
+    def _map_traced(self, fn: Callable[[Any], T], items: list) -> list[T]:
+        """``map`` with span propagation across the executor boundary.
+
+        Worker threads and processes do not inherit the submitting
+        context, so every task ships an explicit trace token; tokens
+        pin each task's child index, making span ids independent of
+        scheduling, and the three kinds wrap tasks identically so
+        serial, thread and process runs yield the same span tree.
+        Task results are untouched — tracing stays out-of-band.
+        """
+        inline = (
+            self.kind == "serial"
+            or len(items) == 1
+            or getattr(self._local, "active", False)
+        )
+        with obs_trace.span("executor.map", kind=self.kind, tasks=len(items)):
+            payloads = [
+                (obs_trace.export_task(index), fn, item)
+                for index, item in enumerate(items)
+            ]
+            if inline:
+                outs = [_traced_call(payload) for payload in payloads]
+            elif self.kind == "thread":
+                pool = self._get_pool()
+                outs = list(
+                    pool.map(self._reentrancy_guard(_traced_call), payloads)
+                )
+            else:
+                pool = self._get_pool()
+                chunksize = max(1, len(items) // (self.workers() * 2))
+                outs = list(pool.map(_traced_call, payloads, chunksize=chunksize))
+            results: list[T] = []
+            for result, spans in outs:
+                obs_trace.absorb_task(spans)
+                results.append(result)
+            return results
 
     def _reentrancy_guard(self, fn: Callable[[Any], T]) -> Callable[[Any], T]:
         local = self._local

@@ -56,6 +56,8 @@ from repro.api.experiment import (
 from repro.api.registry import get_selector
 from repro.data.split import train_test_split
 from repro.evaluation.prediction import PredictionExperiment, select_test_traces
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import default_registry
 from repro.runtime.estimator import SpreadEstimator
 from repro.runtime.executor import Executor, as_executor, split_chunks
 from repro.utils.rng import derive_seed
@@ -564,13 +566,42 @@ def execute_pipeline(
             )
         state.context = context
         result.dataset_name = dataset.name if dataset is not None else "context"
+    # Tracing: honor an already-active trace (e.g. `repro trace`), else
+    # let REPRO_TRACE opt a run in.  Spans are out-of-band — they never
+    # touch RNG state or results — so traced and untraced runs stay
+    # bit-identical (the obs parity tests pin this).
+    own_trace = None
+    if obs_trace.current_trace() is None:
+        own_trace = obs_trace.trace_from_env()
+    activation = own_trace.activate() if own_trace is not None else None
+    stage_gauge = default_registry().gauge(
+        "repro_stage_seconds",
+        "Duration of the last run of each pipeline stage",
+        ("stage",),
+    )
     try:
-        for stage in compile_pipeline(config, dataset is not None,
-                                      context is not None):
-            with Timer() as timer:
-                stage.run(state)
-            result.timings[f"{stage.name}_s"] = timer.elapsed
+        if activation is not None:
+            activation.__enter__()
+        with obs_trace.span(
+            "pipeline.run",
+            task=config.task,
+            dataset=config.dataset,
+            backend=config.backend or "auto",
+            executor=executor.kind,
+        ):
+            for stage in compile_pipeline(config, dataset is not None,
+                                          context is not None):
+                with obs_trace.span(f"pipeline.{stage.name}"):
+                    with Timer() as timer:
+                        stage.run(state)
+                result.timings[f"{stage.name}_s"] = timer.elapsed
+                stage_gauge.set(timer.elapsed, stage=stage.name)
+        active = obs_trace.current_trace()
+        if active is not None:
+            result.trace = active.to_dict()
     finally:
+        if activation is not None:
+            activation.__exit__(None, None, None)
         # The pipeline owns this executor (built from the config above);
         # release its worker pool.  A retained reference transparently
         # respawns the pool on the next parallel map.

@@ -36,6 +36,7 @@ from typing import Any, Mapping
 
 from repro.api.context import SelectionContext
 from repro.api.registry import Selector, get_selector
+from repro.obs import trace as obs_trace
 from repro.api.results import SeedSelection
 from repro.store.keys import artifact_key, canonical_json
 from repro.store.store import ArtifactStore, StoreError, StoreMiss
@@ -161,7 +162,8 @@ def compute_prefix(
     state_out: list = []
     if PREFIXABLE_SELECTORS[name]:
         extras["state_out"] = state_out
-    selection = selector.select(context, k_max, extras=extras)
+    with obs_trace.span("prefix.compute", selector=name, k_max=k_max):
+        selection = selector.select(context, k_max, extras=extras)
     return SelectionPrefix(
         selector=name,
         params=dict(selector.params),
@@ -219,15 +221,19 @@ def resume_selection(
     selector = get_selector(prefix.selector, **prefix.params)
     checkpoints: list = []
     state_out: list = []
-    selection = selector.select(
-        context,
-        k,
-        extras={
-            "state": prefix.state,
-            "checkpoints": checkpoints,
-            "state_out": state_out,
-        },
-    )
+    with obs_trace.span(
+        "prefix.resume", selector=prefix.selector,
+        k_max=prefix.k_max, k=k,
+    ):
+        selection = selector.select(
+            context,
+            k,
+            extras={
+                "state": prefix.state,
+                "checkpoints": checkpoints,
+                "state_out": state_out,
+            },
+        )
     extended = SelectionPrefix(
         selector=prefix.selector,
         params=dict(prefix.params),

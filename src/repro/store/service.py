@@ -10,6 +10,7 @@ action log is never opened.
 Endpoints (JSON in, JSON out)::
 
     GET  /healthz            liveness + store summary
+    GET  /metrics            Prometheus text exposition (repro.obs)
     GET  /contexts           the store's context records
     GET  /selectors          the registry with capability flags
     GET  /ingest             status of past/running ingest jobs
@@ -69,6 +70,7 @@ import json
 import logging
 import queue as queue_module
 import threading
+import uuid
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Hashable, Mapping
@@ -76,6 +78,14 @@ from typing import Any, Callable, Hashable, Mapping
 from repro.api.context import SelectionContext
 from repro.api.registry import get_selector, list_selectors
 from repro.data.io import parse_id
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import (
+    EXPOSITION_CONTENT_TYPE,
+    Registry,
+    default_registry,
+    render_exposition,
+)
+from repro.obs.trace import monotonic
 from repro.runtime.estimator import SpreadEstimator
 from repro.store.io import StoreIO
 from repro.store.prefix import (
@@ -244,6 +254,7 @@ class _Coalescer:
         depth: int = 64,
         timeout: float | None = 60.0,
         fire: Callable[..., None] | None = None,
+        metrics: Registry | None = None,
     ) -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
@@ -255,12 +266,27 @@ class _Coalescer:
         )
         self._worker: threading.Thread | None = None
         self._lock = threading.Lock()
-        # Telemetry for /healthz and the load harness: how many items
-        # arrived, and how many engine dispatches they collapsed into.
-        self.submitted = 0
-        self.dispatches = 0
-        self.rejected = 0
-        self.worker_deaths = 0
+        # Telemetry for /healthz, /metrics and the load harness: how
+        # many items arrived, and how many engine dispatches they
+        # collapsed into.  Registry counters (not plain ints) so the
+        # exposition and the JSON report read the same cells.
+        registry = metrics if metrics is not None else Registry()
+        self._submitted = registry.counter(
+            "repro_coalescer_submitted_total",
+            "Evaluations accepted into the coalescing queue",
+        )
+        self._dispatches = registry.counter(
+            "repro_coalescer_dispatches_total",
+            "Engine dispatches ((context, method) groups, not items)",
+        )
+        self._rejected = registry.counter(
+            "repro_coalescer_rejected_total",
+            "Submissions shed with 503 against a full queue",
+        )
+        self._worker_deaths = registry.counter(
+            "repro_coalescer_worker_deaths_total",
+            "Evaluation worker deaths (the next submit restarts one)",
+        )
 
     def submit(self, slot: _ServingSlot, method: str, seeds: list) -> float:
         """Enqueue one evaluation and block until its batch resolves."""
@@ -269,16 +295,14 @@ class _Coalescer:
         try:
             self._queue.put_nowait(item)
         except queue_module.Full:
-            with self._lock:
-                self.rejected += 1
+            self._rejected.inc()
             raise ServiceError(
                 f"evaluation queue is full ({self.depth} pending); "
                 "retry later",
                 status=503,
                 retry_after=1,
             ) from None
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
         if not item.event.wait(self.timeout):
             # The batch never resolved (wedged engine, dead worker that
             # lost the item).  Shedding with Retry-After beats pinning
@@ -322,8 +346,7 @@ class _Coalescer:
                     if item.result is None and item.error is None:
                         item.error = error
                     item.event.set()
-                with self._lock:
-                    self.worker_deaths += 1
+                self._worker_deaths.inc()
                 logger.warning("evaluation worker died: %s", error)
                 return
 
@@ -333,38 +356,39 @@ class _Coalescer:
             groups.setdefault((id(item.slot), item.method), []).append(item)
         for (_, method), group in groups.items():
             slot = group[0].slot
-            try:
-                self._fire("serve.spread", method=method, items=len(group))
-                if method == "CD":
-                    evaluator = slot.context.cd_evaluator()
+            with obs_trace.span(
+                "serve.coalesce.batch", method=method, items=len(group)
+            ):
+                try:
+                    self._fire("serve.spread", method=method, items=len(group))
+                    if method == "CD":
+                        evaluator = slot.context.cd_evaluator()
+                        for item in group:
+                            item.result = evaluator.spread(item.seeds)
+                    else:
+                        estimator = slot.estimator(method)
+                        values = estimator.spread_many(
+                            [item.seeds for item in group]
+                        )
+                        for item, value in zip(group, values):
+                            item.result = value
+                except Exception as error:
                     for item in group:
-                        item.result = evaluator.spread(item.seeds)
-                else:
-                    estimator = slot.estimator(method)
-                    values = estimator.spread_many(
-                        [item.seeds for item in group]
-                    )
-                    for item, value in zip(group, values):
-                        item.result = value
-            except Exception as error:
-                for item in group:
-                    if item.result is None:
-                        item.error = error
-            finally:
-                with self._lock:
-                    self.dispatches += 1
-                for item in group:
-                    item.event.set()
+                        if item.result is None:
+                            item.error = error
+                finally:
+                    self._dispatches.inc()
+                    for item in group:
+                        item.event.set()
 
     def stats(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "depth": self.depth,
-                "submitted": self.submitted,
-                "dispatches": self.dispatches,
-                "rejected": self.rejected,
-                "worker_deaths": self.worker_deaths,
-            }
+        return {
+            "depth": self.depth,
+            "submitted": int(self._submitted.value()),
+            "dispatches": int(self._dispatches.value()),
+            "rejected": int(self._rejected.value()),
+            "worker_deaths": int(self._worker_deaths.value()),
+        }
 
 
 class QueryService:
@@ -382,10 +406,17 @@ class QueryService:
     ) -> None:
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        # Per-service registry: every counter this class keeps lives
+        # here, /healthz reads the same cells back into its JSON
+        # schema, and GET /metrics renders the whole thing (two
+        # services in one process never mix telemetry).
+        self.metrics = Registry()
         # io=None resolves through default_store_io(), so REPRO_FAULTS
         # in the server's environment injects faults here too; tests
         # pass a FaultInjector directly.
-        self.store = ArtifactStore(store_root, create=False, io=io)
+        self.store = ArtifactStore(
+            store_root, create=False, io=io, metrics=self.metrics
+        )
         self.cache_size = cache_size
         # How long a wait=true /ingest blocks before returning the
         # still-running job (None = unbounded, the pre-timeout behavior).
@@ -402,28 +433,74 @@ class QueryService:
             depth=queue_depth,
             timeout=evaluation_timeout,
             fire=self.store.io.fire,
+            metrics=self.metrics,
         )
         # /select path telemetry (prefix hit / resume / cold), for
         # /healthz and the load harness — never part of /select bodies.
-        self._select_paths = {"prefix": 0, "resume": 0, "cold": 0}
+        # Pre-touched to zeros so the exposition (and the legacy
+        # `_select_paths` view) shows all three paths from the start.
+        self._select_counter = self.metrics.counter(
+            "repro_select_requests_total",
+            "Answered /select requests by serving path",
+            ("path",),
+        )
+        for path in ("prefix", "resume", "cold"):
+            self._select_counter.inc(0, path=path)
         # Degradation telemetry: reason -> count of requests served in
         # a degraded way (cold fallback on a corrupt prefix, engine
         # failure shed as 503, ...).  Sticky until restart; /healthz
         # reports status "degraded" while non-empty, because each entry
         # means the store or engine needs operator attention even
         # though requests keep succeeding.
-        self._degraded: dict[str, int] = {}
+        self._degraded_counter = self.metrics.counter(
+            "repro_degraded_total",
+            "Degraded-mode events by reason (sticky until restart)",
+            ("reason",),
+        )
+        # HTTP surface telemetry, recorded by the handler around every
+        # routed request; strictly out-of-band (never in a body).
+        self._requests = self.metrics.counter(
+            "repro_requests_total",
+            "HTTP requests by endpoint and status code",
+            ("endpoint", "status"),
+        )
+        self._request_seconds = self.metrics.histogram(
+            "repro_request_seconds",
+            "HTTP request latency in seconds by endpoint",
+            ("endpoint",),
+        )
+        self._last_ingest = self.metrics.gauge(
+            "repro_last_ingest_seconds",
+            "Derive duration of the most recent successful ingest",
+        )
         # Ingest bookkeeping: one job at a time, history kept for
         # GET /ingest polling.
         self._ingests: "OrderedDict[int, dict[str, Any]]" = OrderedDict()
         self._ingest_seq = 0
         self._ingest_active = False
 
+    @property
+    def _select_paths(self) -> dict[str, int]:
+        """The select-path counts as the pre-registry dict (all paths)."""
+        counts = self._select_counter.by_label("path")
+        return {
+            path: int(counts.get(path, 0))
+            for path in ("prefix", "resume", "cold")
+        }
+
+    @property
+    def _degraded(self) -> dict[str, int]:
+        """Degradation counts by reason — empty exactly when healthy."""
+        return {
+            reason: int(count)
+            for reason, count in self._degraded_counter.by_label("reason").items()
+        }
+
     def _note_degraded(self, reason: str, detail: str = "") -> None:
         """Count a degraded-mode event; warn once per distinct reason."""
         with self._lock:
-            first = reason not in self._degraded
-            self._degraded[reason] = self._degraded.get(reason, 0) + 1
+            first = self._degraded_counter.value(reason=reason) == 0
+            self._degraded_counter.inc(reason=reason)
         if first:
             logger.warning(
                 "serving degraded (%s)%s", reason,
@@ -662,8 +739,20 @@ class QueryService:
         the deterministic strip in :meth:`select`) is byte-identical —
         the prefix artifacts record the cold trace exactly, and resume
         continues it bit-identically — so which path answered is
-        observable only in /healthz telemetry, never in the response.
+        observable only in /healthz and /metrics telemetry (and the
+        ``serve.select`` span's ``path`` attribute), never in the
+        response.
         """
+        with obs_trace.span(
+            "serve.select", selector=selector.name, k=k
+        ) as span:
+            path, selection = self._select_on_path(slot, selector, k)
+            span.set(path=path)
+            self._select_counter.inc(path=path)
+            return selection
+
+    def _select_on_path(self, slot: _ServingSlot, selector, k: int):
+        """The selection plus which path ("prefix"/"resume"/"cold") answered."""
         name = selector.name
         if name in PREFIXABLE_SELECTORS:
             # The whole warm path is best-effort: the cold path below
@@ -679,25 +768,19 @@ class QueryService:
                     self._note_degraded("prefix_corrupt", problem)
                 if prefix is not None:
                     if k <= prefix.k_max:
-                        with self._lock:
-                            self._select_paths["prefix"] += 1
-                        return selection_at(prefix, k)
+                        return "prefix", selection_at(prefix, k)
                     if prefix.resumable:
                         selection, extended = resume_selection(
                             slot.context, prefix, k
                         )
                         slot.cache_prefix(extended)
-                        with self._lock:
-                            self._select_paths["resume"] += 1
-                        return selection
+                        return "resume", selection
             except Exception as error:
                 self._note_degraded(
                     "prefix_fallback",
                     f"warm path for {name!r} k={k} failed: {error}",
                 )
-        with self._lock:
-            self._select_paths["cold"] += 1
-        return selector.select(slot.context, k)
+        return "cold", selector.select(slot.context, k)
 
     def _seeds(self, payload: Mapping[str, Any]) -> list[Hashable]:
         seeds = payload.get("seeds")
@@ -890,9 +973,14 @@ class QueryService:
             from repro.stream.derive import derive_bundle
 
             self.store.io.fire("serve.ingest", job=job["job"])
+            started = monotonic()
             result = derive_bundle(
                 self.store, delta, record=record, verify=verify
             )
+            # The last-ingest gauge answers "how long does an ingest
+            # take on this store right now" from a /metrics scrape; a
+            # failed derive leaves the previous value standing.
+            self._last_ingest.set(monotonic() - started)
             context = self._read_with_retry(
                 "ingest_load_serving_context",
                 lambda: load_serving_context(self.store, result.record),
@@ -942,8 +1030,10 @@ class QueryService:
 
 class _Handler(BaseHTTPRequestHandler):
     service: QueryService  # injected by make_server
+    access_log = False  # set by make_server (`repro serve --access-log`)
 
-    # Quiet by default; the CLI passes a logger hook if it wants access logs.
+    # Quiet: http.server's own lines carry no request ids or latency;
+    # the structured access log in _run replaces them when enabled.
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         pass
 
@@ -954,9 +1044,18 @@ class _Handler(BaseHTTPRequestHandler):
         headers: Mapping[str, str] | None = None,
     ) -> None:
         data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self._send(status, data, "application/json", headers)
+
+    def _send(
+        self,
+        status: int,
+        data: bytes,
+        content_type: str,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
         try:
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
@@ -969,19 +1068,47 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
 
     def _run(self, fn, *args) -> None:
+        service = self.service
+        trace = obs_trace.current_trace()
+        request_id = trace.trace_id if trace is not None else uuid.uuid4().hex[:12]
+        started = monotonic()
+        status, headers = 200, None
         try:
-            self._respond(200, fn(*args))
+            body = fn(*args)
         except ServiceError as error:
-            headers = (
-                {"Retry-After": str(int(error.retry_after))}
-                if error.retry_after is not None
-                else None
-            )
-            self._respond(error.status, {"error": str(error)}, headers)
+            status = error.status
+            body = {"error": str(error)}
+            if error.retry_after is not None:
+                headers = {"Retry-After": str(int(error.retry_after))}
         except Exception as error:  # pragma: no cover - defensive
-            self._respond(500, {"error": f"internal error: {error}"})
+            status, body = 500, {"error": f"internal error: {error}"}
+        self._respond(status, body, headers)
+        duration_s = monotonic() - started
+        # Out-of-band by construction: recorded after the response
+        # bytes are already on the wire.
+        service._requests.inc(endpoint=self.path, status=status)
+        service._request_seconds.observe(duration_s, endpoint=self.path)
+        if self.access_log:
+            logger.info(
+                '%s "%s %s" %d %.1fms id=%s',
+                self.client_address[0],
+                self.command,
+                self.path,
+                status,
+                duration_s * 1000.0,
+                request_id,
+            )
+
+    def _metrics(self) -> None:
+        page = render_exposition(self.service.metrics, default_registry())
+        self._send(200, page.encode("utf-8"), EXPOSITION_CONTENT_TYPE)
 
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/metrics":
+            # Not JSON and not counted in its own counters: a scrape
+            # that moved the numbers it reports would never settle.
+            self._metrics()
+            return
         routes = {
             "/healthz": self.service.healthz,
             "/contexts": self.service.contexts,
@@ -1026,11 +1153,14 @@ def make_server(
     evaluation_timeout: float | None = 60.0,
     io: StoreIO | None = None,
     retry: RetryPolicy | None = None,
+    access_log: bool = False,
 ) -> ThreadingHTTPServer:
     """A ready-to-run HTTP server over ``store_root`` (not yet serving).
 
     ``port=0`` binds an ephemeral port (tests); read it back from
-    ``server.server_address``.
+    ``server.server_address``.  ``access_log=True`` logs one line per
+    request (client, route, status, latency, request id) on the
+    ``repro.serve`` logger.
     """
     service = QueryService(
         store_root,
@@ -1041,7 +1171,11 @@ def make_server(
         io=io,
         retry=retry,
     )
-    handler = type("BoundHandler", (_Handler,), {"service": service})
+    handler = type(
+        "BoundHandler",
+        (_Handler,),
+        {"service": service, "access_log": access_log},
+    )
     return ThreadingHTTPServer((host, port), handler)
 
 
@@ -1052,8 +1186,13 @@ def serve(
     cache_size: int = 4,
     queue_depth: int = 64,
     ingest_timeout: float | None = 600.0,
+    access_log: bool = False,
 ) -> None:
     """Run the query service until interrupted (the CLI entry point)."""
+    if access_log and not logging.getLogger().handlers:
+        logging.basicConfig(
+            level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+        )
     server = make_server(
         store_root,
         host=host,
@@ -1061,6 +1200,7 @@ def serve(
         cache_size=cache_size,
         queue_depth=queue_depth,
         ingest_timeout=ingest_timeout,
+        access_log=access_log,
     )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro serve: http://{bound_host}:{bound_port} over store {store_root}")

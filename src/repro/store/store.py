@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Collection, Iterator
 
+from repro.obs import trace as obs_trace
 from repro.store.io import StoreIO, default_store_io
 from repro.store.keys import FORMAT_VERSION
 from repro.store.serialize import (
@@ -108,12 +109,26 @@ class ArtifactStore:
         root: str | os.PathLike[str],
         create: bool = True,
         io: StoreIO | None = None,
+        metrics: Any | None = None,
     ) -> None:
         self.root = Path(root)
         # All physical I/O routes through this seam; ``repro.faults``
         # substitutes a deterministic fault injector here (directly, or
         # process-wide via the REPRO_FAULTS environment variable).
         self.io = io if io is not None else default_store_io()
+        # Optional observability seam: a repro.obs.metrics.Registry.
+        # When set (the query service passes its own), every get/put
+        # outcome is counted — strictly out-of-band, bytes unchanged.
+        self._get_counter = self._put_counter = None
+        if metrics is not None:
+            self._get_counter = metrics.counter(
+                "repro_store_get_total",
+                "Store reads by outcome",
+                ("result",),
+            )
+            self._put_counter = metrics.counter(
+                "repro_store_put_total", "Store entry commits"
+            )
         self._objects = self.root / "objects"
         if create:
             self._objects.mkdir(parents=True, exist_ok=True)
@@ -150,6 +165,18 @@ class ArtifactStore:
         ``refresh`` is false — the key scheme guarantees equal keys mean
         equal values, so rewriting would only churn bytes.
         """
+        with obs_trace.span("store.put", key=key[:12], refresh=refresh):
+            return self._put(key, obj, meta, refresh)
+
+    def _put(
+        self,
+        key: str,
+        obj: Any,
+        meta: dict[str, Any] | None,
+        refresh: bool,
+    ) -> StoreEntry:
+        if self._put_counter is not None:
+            self._put_counter.inc()
         if not refresh and self.contains(key):
             return self.entry(key)
         payload = dump_payload(obj)
@@ -318,10 +345,24 @@ class ArtifactStore:
         when the entry cannot be trusted (checksum or size mismatch,
         undecodable payload).
         """
-        try:
-            return load_payload(self._verified_payload(key))
-        except PayloadError as error:
-            raise StoreCorruption(f"entry {key}: {error}") from error
+        with obs_trace.span("store.get", key=key[:12]):
+            try:
+                value = load_payload(self._verified_payload(key))
+            except PayloadError as error:
+                self._count_get("corrupt")
+                raise StoreCorruption(f"entry {key}: {error}") from error
+            except StoreCorruption:
+                self._count_get("corrupt")
+                raise
+            except StoreMiss:
+                self._count_get("miss")
+                raise
+            self._count_get("hit")
+            return value
+
+    def _count_get(self, result: str) -> None:
+        if self._get_counter is not None:
+            self._get_counter.inc(result=result)
 
     def verify(self, key: str) -> bool:
         """True iff ``key``'s entry is committed and its bytes check out.
@@ -476,13 +517,14 @@ class ArtifactStore:
         """
         from repro.stream.derive import derive_bundle
 
-        return derive_bundle(
-            self,
-            delta,
-            context=context,
-            dataset_name=dataset_name,
-            verify=verify,
-        )
+        with obs_trace.span("store.derive"):
+            return derive_bundle(
+                self,
+                delta,
+                context=context,
+                dataset_name=dataset_name,
+                verify=verify,
+            )
 
     def size_bytes(self) -> int:
         """Total payload bytes across committed entries."""

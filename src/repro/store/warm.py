@@ -28,6 +28,7 @@ import warnings
 from typing import Any, Mapping
 
 from repro.api.context import ARTIFACT_NAMES, SelectionContext
+from repro.obs import trace as obs_trace
 from repro.store.keys import artifact_key, context_key, fingerprint_dataset
 from repro.store.store import ArtifactStore, StoreCorruption, StoreMiss
 
@@ -196,6 +197,38 @@ def warm_start(
     on the config) skips the read side — every needed artifact is
     rebuilt and the store refreshed, a cache-priming mode.
     """
+    with obs_trace.span("store.warm_start", consult=consult) as span:
+        events = _warm_start(
+            store,
+            context,
+            needed,
+            consult=consult,
+            dataset=dataset,
+            split=split,
+            dataset_name=dataset_name,
+            num_simulations=num_simulations,
+        )
+        span.set(
+            context=events["context_key"][:12],
+            hits=len(events["hits"]),
+            misses=len(events["misses"]),
+            corrupt=len(events["corrupt"]),
+            saved=len(events["saved"]),
+        )
+        return events
+
+
+def _warm_start(
+    store: ArtifactStore,
+    context: SelectionContext,
+    needed: list[str],
+    *,
+    consult: bool = True,
+    dataset: Any | None = None,
+    split: Mapping[str, Any] | None = None,
+    dataset_name: str = "",
+    num_simulations: int | None = None,
+) -> dict[str, Any]:
     ckey = context_key_for(context, dataset=dataset, split=split)
     events: dict[str, Any] = {
         "context_key": ckey,

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Mapping
 
 from repro.api.context import ARTIFACT_NAMES, SelectionContext
+from repro.obs import trace as obs_trace
 from repro.store.keys import artifact_key, context_key, fingerprint_dataset
 from repro.store.store import ArtifactStore, StoreCorruption, StoreMiss
 from repro.store.warm import (
@@ -138,6 +139,31 @@ def derive_bundle(
     held to the kernel parity contract (see
     :func:`repro.stream.update.fold_delta`).
     """
+    with obs_trace.span("stream.derive", verify=verify) as span:
+        result = _derive_bundle(
+            store,
+            delta,
+            context=context,
+            record=record,
+            dataset_name=dataset_name,
+            verify=verify,
+        )
+        span.set(
+            base=result.base_key[:12],
+            derived=result.derived_key[:12],
+            lineage_depth=int(result.record.get("lineage_depth", 0)),
+        )
+        return result
+
+
+def _derive_bundle(
+    store: ArtifactStore,
+    delta: ActionLogDelta,
+    context: str | None = None,
+    record: Mapping[str, Any] | None = None,
+    dataset_name: str | None = None,
+    verify: bool = False,
+) -> DeriveResult:
     if record is None:
         record = load_context_record(store, context)
     base_ckey = record["context_key"]

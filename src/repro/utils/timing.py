@@ -1,14 +1,20 @@
-"""Wall-clock timing helper used by the runtime experiments (Figures 7-8)."""
+"""Wall-clock timing helper used by the runtime experiments (Figures 7-8).
+
+The clock is :data:`repro.obs.trace.monotonic` — the single monotonic
+source shared with tracing spans and the serving latency histograms,
+so a stage timing in ``ExperimentResult.timings`` and the span that
+wraps the same stage can never disagree about what a second is.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.trace import monotonic
 
 __all__ = ["Timer"]
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Context manager measuring elapsed monotonic seconds.
 
     Example
     -------
@@ -23,14 +29,14 @@ class Timer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = monotonic()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
+            self.elapsed = monotonic() - self._start
 
     def restart(self) -> None:
         """Reset the start point, discarding any recorded elapsed time."""
-        self._start = time.perf_counter()
+        self._start = monotonic()
         self.elapsed = 0.0
